@@ -1,0 +1,32 @@
+"""Ablations: optimizer vs naive planner; delta execution modes."""
+
+from repro.bench.experiments import extensions
+from repro.bench.reporting import persist_report
+
+
+def test_ablation_optimizer_vs_naive(run_experiment):
+    result = run_experiment(extensions.run_optimizer_ablation)
+    persist_report("ablation_optimizer", result.report())
+    by_planner = {row[0]: row for row in result.rows}
+    optimized_msgs = by_planner["cost-based optimizer"][2]
+    naive_msgs = by_planner["naive planner"][2]
+    # the optimizer never ships more than the naive plan on this workload
+    assert optimized_msgs <= naive_msgs
+
+
+def test_ablation_execution_modes(run_experiment):
+    result = run_experiment(extensions.run_modes_ablation)
+    persist_report("ablation_modes", result.report())
+    assert all(row[-1] == "yes" for row in result.rows)
+
+
+def test_ablation_parallelism_scaling(run_experiment):
+    result = run_experiment(extensions.run_parallelism_scaling)
+    persist_report("ablation_parallelism", result.report())
+    by_width = {row[0]: row for row in result.rows}
+    # at P=1 nothing is remote
+    assert by_width[1][1] == 0 and by_width[1][2] == 0
+    # broadcast traffic grows ~(P-1)·|p|, faster than the partition
+    # plan's — their ratio widens with the cluster
+    assert by_width[8][1] > by_width[2][1] * 2
+    assert float(by_width[8][3]) > float(by_width[2][3])

@@ -1,0 +1,116 @@
+"""Engine-primitive microbenchmarks (multi-round, statistical).
+
+Unlike the single-shot experiment drivers, these run many rounds so
+pytest-benchmark's statistics are meaningful — they track performance
+regressions in the substrate the paper experiments are built from:
+shipping channels, join drivers, the solution-set index, and the
+Pregel message loop.
+"""
+
+import pytest
+
+from repro.common.keys import KeyExtractor
+from repro.dataflow.contracts import Contract
+from repro.dataflow.graph import LogicalNode
+from repro.iterations.solution_set import SolutionSetIndex
+from repro.runtime import channels, drivers
+from repro.runtime.metrics import MetricsCollector
+from repro.runtime.plan import BROADCAST, partition_on
+
+RECORDS = [((i * 7919) % 4096, i) for i in range(20_000)]
+PARTS = channels.round_robin(RECORDS, 4)
+
+
+class TestShipping:
+    def test_hash_partition_throughput(self, benchmark):
+        out = benchmark(
+            channels.ship, PARTS, partition_on((0,)), 4, None
+        )
+        assert sum(len(p) for p in out) == len(RECORDS)
+
+    def test_broadcast_throughput(self, benchmark):
+        out = benchmark(channels.ship, PARTS, BROADCAST, 4, None)
+        assert len(out[0]) == len(RECORDS)
+
+
+class TestJoinDrivers:
+    def _node(self):
+        left_src = LogicalNode(Contract.SOURCE, data=[])
+        right_src = LogicalNode(Contract.SOURCE, data=[])
+        return LogicalNode(
+            Contract.MATCH, [left_src, right_src],
+            udf=lambda l, r: (l[0], l[1], r[1]),
+            key_fields=[(0,), (0,)],
+        )
+
+    def test_hash_join_throughput(self, benchmark):
+        node = self._node()
+        left = RECORDS[:8000]
+        right = RECORDS[8000:16000]
+        metrics = MetricsCollector()
+        out = benchmark(
+            drivers.run_hash_join, node, [left, right], metrics, True
+        )
+        assert out  # plenty of matches on 4096 keys
+
+    def test_sort_merge_join_throughput(self, benchmark):
+        node = self._node()
+        left = RECORDS[:8000]
+        right = RECORDS[8000:16000]
+        metrics = MetricsCollector()
+        out = benchmark(
+            drivers.run_sort_merge_join, node, [left, right], metrics
+        )
+        assert out
+
+
+class TestSolutionSet:
+    def test_build_and_probe(self, benchmark):
+        def build_probe():
+            index = SolutionSetIndex.build(
+                RECORDS[:10_000], 0, 4, metrics=None
+            )
+            hits = 0
+            for key, _v in RECORDS[:10_000:7]:
+                if index.lookup_global(key) is not None:
+                    hits += 1
+            return hits
+
+        assert benchmark(build_probe) > 0
+
+    def test_delta_union_throughput(self, benchmark):
+        base = [(k, 1 << 20) for k in range(4096)]
+        deltas = [(k % 4096, v) for k, v in RECORDS[:10_000]]
+
+        def apply():
+            index = SolutionSetIndex.build(
+                base, 0, 4, should_replace=lambda n, o: n[1] < o[1]
+            )
+            return len(index.apply_delta(deltas))
+
+        assert benchmark(apply) > 0
+
+
+class TestPregelLoop:
+    def test_superstep_loop_throughput(self, benchmark):
+        from repro.graphs import erdos_renyi
+        from repro.systems.pregel import PregelMaster
+        graph = erdos_renyi(2000, 6.0, seed=2)
+
+        def run():
+            def compute(ctx, messages):
+                if ctx.superstep == 0:
+                    ctx.send_message_to_all_neighbors(ctx.state)
+                else:
+                    best = min(messages, default=ctx.state)
+                    if best < ctx.state:
+                        ctx.state = best
+                        ctx.send_message_to_all_neighbors(best)
+                ctx.vote_to_halt()
+
+            master = PregelMaster(graph, compute,
+                                  initial_state=lambda v: v, combiner=min)
+            master.run(max_supersteps=3)
+            return master.supersteps_run
+
+        assert benchmark(run) >= 3

@@ -1,0 +1,11 @@
+"""Extension (Sec. 7.2): adaptive PageRank as an incremental iteration."""
+
+from repro.bench.experiments import extensions
+from repro.bench.reporting import persist_report
+
+
+def test_ext_adaptive_pagerank(run_experiment):
+    result = run_experiment(extensions.run_adaptive_pagerank)
+    persist_report("ext_adaptive_pagerank", result.report())
+    # the shape summary carries the workset decay; sanity-check the rows
+    assert len(result.rows) == 2

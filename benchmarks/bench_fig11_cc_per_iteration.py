@@ -1,0 +1,26 @@
+"""Figure 11: CC per-iteration times, six configurations on Wikipedia."""
+
+from repro.bench.experiments import fig11
+from repro.bench.reporting import persist_report
+
+
+def test_fig11_cc_per_iteration(run_experiment):
+    result = run_experiment(fig11.run)
+    persist_report("fig11_cc_per_iteration", result.report())
+    by_system = {m.system: m for m in result.measurements}
+
+    def decay(system):
+        times = by_system[system].iteration_seconds
+        return times[0] / max(min(times[3:]), 1e-9)
+
+    # incremental variants converge to a much lower per-iteration time
+    assert decay("Stratosphere Incr.") > 4
+    assert decay("Giraph") > 4
+    # bulk Stratosphere stays comparatively flat
+    assert decay("Stratosphere Full") < decay("Stratosphere Incr.")
+    # the simulated-incremental Spark variant decays less than the true
+    # incremental ones: it pays for copying unchanged state every round
+    spark_sim = by_system["Spark Sim. Incr."].iteration_seconds
+    strat_incr = by_system["Stratosphere Incr."].iteration_seconds
+    last_common = min(len(spark_sim), len(strat_incr)) - 1
+    assert spark_sim[last_common] > strat_incr[last_common]

@@ -1,0 +1,22 @@
+"""Figure 4: the optimizer derives both PageRank plans from statistics."""
+
+from repro.bench.experiments import fig4
+from repro.bench.reporting import persist_report
+
+
+def test_fig4_optimizer_plans(run_experiment):
+    result = run_experiment(fig4.run)
+    persist_report("fig4_optimizer_plans", result.report())
+    small, large = result.choices
+    # the headline Figure-4 distinction: replicate the small rank vector
+    # (Mahout-style) vs partition the large one (Pegasus-style)
+    assert small.rank_ship == "broadcast"
+    assert large.rank_ship.startswith("partition")
+    assert large.matrix_ship.startswith("partition")
+    # the matrix is never replicated (memory budget)
+    assert small.matrix_ship != "broadcast"
+    # under the small-vector plan the aggregation's shuffle volume is
+    # negligible: either the combined contributions move (≈|p| records
+    # per partition) or A was pre-partitioned on tid (the paper's exact
+    # left plan) — both are orders below the repartition plan's traffic
+    assert small.estimated_cost < large.estimated_cost / 10

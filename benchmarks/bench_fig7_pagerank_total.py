@@ -1,0 +1,20 @@
+"""Figure 7: PageRank total execution time across the four systems."""
+
+from repro.bench.experiments import fig7
+from repro.bench.reporting import persist_report
+
+
+def test_fig7_pagerank_total(run_experiment):
+    result = run_experiment(fig7.run)
+    persist_report("fig7_pagerank_total", result.report())
+    by_key = {(m.dataset, m.system): m for m in result.measurements}
+    datasets = {m.dataset for m in result.measurements}
+    for dataset in datasets:
+        times = [m.seconds for m in result.measurements
+                 if m.dataset == dataset]
+        # the paper's expectation: bulk PageRank costs are comparable
+        # across systems (no order-of-magnitude outliers)
+        assert max(times) < 25 * min(times)
+    # every system performed 20 iterations everywhere
+    for m in result.measurements:
+        assert m.iterations >= 20

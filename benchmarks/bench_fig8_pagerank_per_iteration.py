@@ -1,0 +1,17 @@
+"""Figure 8: PageRank per-iteration times on Wikipedia are flat."""
+
+from repro.bench.experiments import fig8
+from repro.bench.reporting import persist_report
+
+
+def test_fig8_pagerank_per_iteration(run_experiment):
+    result = run_experiment(fig8.run)
+    persist_report("fig8_pagerank_per_iteration", result.report())
+    for m in result.measurements:
+        times = m.iteration_seconds
+        assert len(times) >= 20
+        steady = sorted(times[1:])
+        # constant iteration times: middle 80% of steady-state iterations
+        # within a small factor of each other
+        window = steady[len(steady) // 10: -max(1, len(steady) // 10)]
+        assert max(window) < 3 * min(window), m.system

@@ -1,0 +1,10 @@
+"""Table 1: the iteration templates agree and show the expected work profiles."""
+
+from repro.bench.experiments import table1
+from repro.bench.reporting import persist_report
+
+
+def test_table1_templates(run_experiment):
+    result = run_experiment(table1.run)
+    persist_report("table1_templates", result.report())
+    assert all(r.agrees for r in result.runs)

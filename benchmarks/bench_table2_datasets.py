@@ -1,0 +1,17 @@
+"""Table 2: dataset properties of the synthetic stand-ins."""
+
+from repro.bench.experiments import table2
+from repro.bench.reporting import persist_report
+
+
+def test_table2_datasets(run_experiment):
+    result = run_experiment(table2.run)
+    persist_report("table2_datasets", result.report())
+    by_name = {row[0]: row for row in result.rows}
+    # Table 2's ratios: Hollywood is the dense outlier, Twitter denser
+    # than the web graphs, Webbase has an extreme diameter.
+    avg = {name: float(row[6]) for name, row in by_name.items()}
+    assert avg["Hollywood"] > 3 * avg["Twitter"]
+    assert avg["Twitter"] > avg["Wikipedia-EN"]
+    diam = {name: int(row[7]) for name, row in by_name.items()}
+    assert diam["Webbase"] > 100

@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+Each bench regenerates one paper artifact (table or figure), asserts its
+qualitative shape, and persists the full report to
+``benchmarks/results/<name>.txt`` (also echoed to stdout; run with
+``-s`` to see it live).  Wall-clock numbers are collected by
+pytest-benchmark with a single round — these are minutes-long
+experiment drivers, not microbenchmarks.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run an experiment function once under pytest-benchmark timing."""
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+    return runner

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Recursive queries on the dataflow engine (the Section 7.1 connection).
+
+Transitive closure —
+
+    tc(x, y) :- edge(x, y).
+    tc(x, y) :- tc(x, z), edge(z, y).
+
+— evaluated bottom-up two ways: naively as a bulk iteration (each
+superstep re-derives from the whole closure) and semi-naively as a
+delta iteration (each superstep joins only the previous superstep's new
+facts).  The delta iteration gives the semi-naive evaluator for free:
+the workset *is* the delta relation of the Datalog literature.
+
+Run:  python examples/datalog_reachability.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import ExecutionEnvironment
+from repro.algorithms import transitive_closure as tc
+from repro.bench.reporting import format_seconds, render_table
+
+
+def flight_network(num_airports=50, num_routes=95, seed=23):
+    """A random directed route relation edge(src, dst)."""
+    rng = np.random.default_rng(seed)
+    return sorted({
+        (int(a), int(b))
+        for a, b in zip(rng.integers(0, num_airports, num_routes),
+                        rng.integers(0, num_airports, num_routes))
+        if a != b
+    })
+
+
+def main():
+    edges = flight_network()
+    truth = tc.tc_reference(edges, 50)
+    print(f"edge relation: {len(edges)} base facts; "
+          f"closure: {len(truth)} reachable pairs\n")
+
+    rows = []
+    for label, evaluate in (
+        ("naive (bulk iteration)", tc.tc_naive),
+        ("semi-naive (delta iteration)", tc.tc_semi_naive),
+    ):
+        env = ExecutionEnvironment(parallelism=4)
+        start = time.perf_counter()
+        closure = evaluate(env, edges)
+        elapsed = time.perf_counter() - start
+        rows.append([
+            label,
+            format_seconds(elapsed),
+            env.iteration_summaries[0].supersteps,
+            env.metrics.total_processed,
+            "ok" if closure == truth else "WRONG",
+        ])
+        if "semi" in label:
+            deltas = [s.delta_size for s in env.metrics.iteration_log]
+            print(f"semi-naive new facts per superstep: {deltas}")
+
+    print()
+    print(render_table(
+        "Bottom-up evaluation of transitive closure",
+        ["evaluation", "time", "supersteps", "records processed", "result"],
+        rows,
+    ))
+    print(
+        "\nThe semi-naive evaluator derives each fact exactly once: the\n"
+        "workset carries only the delta relation, and the outer cogroup\n"
+        "against the solution set discards already-known facts — the\n"
+        "'semi-naive flavour of evaluation' of Section 7.1."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Checkpointing and recovery for iterative dataflows (Section 4.2).
+
+Injects a machine failure into superstep 5 of a Connected Components
+delta iteration.  With checkpointing enabled, the executor restores the
+latest logged superstep (solution set + workset) and replays; the
+recovered result is bit-identical to a failure-free run.  The example
+also shows the checkpoint-interval trade-off: frequent snapshots cost
+copies, sparse snapshots cost replayed supersteps.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+import time
+
+from repro import ExecutionEnvironment
+from repro.algorithms import connected_components as cc
+from repro.bench.reporting import format_seconds, render_table
+from repro.graphs import chained_communities
+from repro.runtime.recovery import FailureInjector
+
+
+def run_cc(graph, fail_at=None, interval=0):
+    env = ExecutionEnvironment(parallelism=4)
+    env.checkpoint_interval = interval
+    if fail_at is not None:
+        env.failure_injector = FailureInjector(fail_at)
+    start = time.perf_counter()
+    result = cc.cc_incremental(env, graph, variant="cogroup",
+                               mode="superstep")
+    elapsed = time.perf_counter() - start
+    return env, result, elapsed
+
+
+def main():
+    graph = chained_communities(25, 40, seed=3, name="crawl")
+    print(f"graph: {graph!r}\n")
+
+    env_ok, expected, base_seconds = run_cc(graph)
+    supersteps = env_ok.iteration_summaries[0].supersteps
+    print(f"failure-free run: {supersteps} supersteps "
+          f"in {format_seconds(base_seconds)}")
+
+    rows = []
+    for interval in (1, 3, 8):
+        env, recovered, elapsed = run_cc(graph, fail_at=10,
+                                         interval=interval)
+        store = env.last_checkpoint_store
+        rows.append([
+            interval,
+            format_seconds(elapsed),
+            store.snapshots_taken,
+            store.recoveries,
+            store.supersteps_replayed,
+            "identical" if recovered == expected else "DIVERGED",
+        ])
+    print()
+    print(render_table(
+        "Recovery from a failure injected at superstep 10",
+        ["checkpoint every", "time", "snapshots", "recoveries",
+         "supersteps replayed", "result vs failure-free"],
+        rows,
+    ))
+    print(
+        "\nFine-grained checkpoints replay less but snapshot more —\n"
+        "the logging-cost vs recomputation-cost trade the paper notes\n"
+        "for Nephele's materialization choices (Section 4.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

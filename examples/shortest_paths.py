@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Single-source shortest paths with microstep and asynchronous execution.
+
+SSSP is the second classic sparse-dependency algorithm the paper's
+introduction motivates.  This example runs the same delta-iteration
+plan in all three execution modes (Section 5.2/5.3) on a weighted
+road-network-like graph, and cross-checks against Dijkstra and the
+Pregel-like engine.
+
+Run:  python examples/shortest_paths.py
+"""
+
+import time
+
+from repro import ExecutionEnvironment
+from repro.algorithms import sssp
+from repro.bench.reporting import format_seconds, render_table
+from repro.graphs import chained_communities
+
+SOURCE = 0
+
+
+def road_weight(src, dst):
+    """Deterministic pseudo-random weights in [1, 8]."""
+    return float((src * 2654435761 ^ dst * 40503) % 8 + 1)
+
+
+def main():
+    # chained communities resemble a road network: locally dense,
+    # globally long-stranded — many relaxation waves
+    graph = chained_communities(30, 50, intra_degree=8.0, seed=9,
+                                name="roads")
+    print(f"graph: {graph!r}\n")
+
+    reference = sssp.sssp_reference(graph, SOURCE, road_weight)
+    reachable = sum(1 for d in reference.values() if d < float("inf"))
+    print(f"Dijkstra reference: {reachable}/{graph.num_vertices} reachable, "
+          f"max distance {max(d for d in reference.values() if d < float('inf')):.0f}\n")
+
+    rows = []
+    for mode in ("superstep", "microstep", "async"):
+        env = ExecutionEnvironment(parallelism=4)
+        start = time.perf_counter()
+        distances = sssp.sssp_incremental(
+            env, graph, SOURCE, weight_fn=road_weight, mode=mode
+        )
+        elapsed = time.perf_counter() - start
+        rows.append([
+            mode, format_seconds(elapsed),
+            len(env.metrics.iteration_log),
+            env.metrics.solution_updates,
+            env.metrics.records_shipped_remote,
+            "ok" if distances == reference else "WRONG",
+        ])
+
+    start = time.perf_counter()
+    pregel_result = sssp.sssp_pregel(graph, SOURCE, weight_fn=road_weight)
+    rows.append([
+        "pregel-like", format_seconds(time.perf_counter() - start),
+        "-", "-", "-",
+        "ok" if pregel_result == reference else "WRONG",
+    ])
+
+    print(render_table(
+        "SSSP under different execution modes",
+        ["mode", "time", "supersteps/rounds", "relaxations", "messages",
+         "result"],
+        rows,
+    ))
+    print(
+        "\nNote: superstep mode advances one relaxation wave per barrier;\n"
+        "microstep/async modes apply each relaxation immediately, so later\n"
+        "candidates in the same pass already see improved distances "
+        "(label-correcting behaviour)."
+    )
+
+
+if __name__ == "__main__":
+    main()

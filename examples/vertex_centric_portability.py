@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""One vertex program, two engines (the Section 5.1 claim, live).
+
+The paper argues that Pregel is a special case of incremental
+iterations: "the partial solution holds the state of the vertices, the
+workset holds the messages."  This example writes a single
+Connected-Components vertex program and executes the *same function
+object* on:
+
+  1. the Pregel-like BSP engine (vertices, supersteps, combiners), and
+  2. the dataflow engine, compiled to a delta iteration by
+     ``repro.iterations.run_vertex_centric``,
+
+then compares results, supersteps, and message counts.
+
+Run:  python examples/vertex_centric_portability.py
+"""
+
+import time
+
+from repro import ExecutionEnvironment
+from repro.algorithms.connected_components import cc_ground_truth
+from repro.bench.reporting import format_seconds, render_table
+from repro.graphs import rmat
+from repro.graphs.generators import attach_tail
+from repro.iterations import run_vertex_centric
+from repro.runtime.metrics import MetricsCollector
+from repro.systems.pregel import PregelMaster
+
+
+def min_label_program(ctx, messages):
+    """Connected Components: flood the minimum label (runs on BOTH engines)."""
+    if ctx.is_initial:
+        ctx.send_message_to_all_neighbors(ctx.state)
+        ctx.vote_to_halt()
+        return
+    best = min(messages) if messages else ctx.state
+    if best < ctx.state:
+        ctx.state = best
+        ctx.send_message_to_all_neighbors(best)
+    ctx.vote_to_halt()
+
+
+def main():
+    graph = attach_tail(rmat(11, avg_degree=12.0, seed=13), tail_length=6,
+                        name="social")
+    truth = cc_ground_truth(graph)
+    print(f"graph: {graph!r}\n")
+
+    rows = []
+
+    # 1 — the specialized BSP engine
+    metrics = MetricsCollector()
+    start = time.perf_counter()
+    bsp_result = PregelMaster(
+        graph, min_label_program, initial_state=lambda v: v,
+        combiner=min, metrics=metrics, parallelism=4,
+    ).run()
+    rows.append([
+        "Pregel-like BSP engine",
+        format_seconds(time.perf_counter() - start),
+        len(metrics.iteration_log),
+        metrics.records_shipped_remote,
+        "ok" if bsp_result == truth else "WRONG",
+    ])
+
+    # 2 — the same program as an incremental dataflow iteration
+    env = ExecutionEnvironment(parallelism=4)
+    start = time.perf_counter()
+    dataflow_result = run_vertex_centric(
+        env, graph, min_label_program, initial_state=lambda v: v,
+        combiner=min,
+    )
+    rows.append([
+        "dataflow delta iteration (via adapter)",
+        format_seconds(time.perf_counter() - start),
+        len(env.metrics.iteration_log),
+        env.metrics.records_shipped_remote,
+        "ok" if dataflow_result == truth else "WRONG",
+    ])
+
+    print(render_table(
+        "The same vertex program on both engines",
+        ["engine", "time", "supersteps", "remote messages", "result"],
+        rows,
+    ))
+    agree = bsp_result == dataflow_result
+    print(f"\nresults identical across engines: {agree}")
+    sizes = [s.workset_size for s in env.metrics.iteration_log]
+    print("dataflow workset (= in-flight messages) per superstep:")
+    print(" ", sizes)
+
+
+if __name__ == "__main__":
+    main()

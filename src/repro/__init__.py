@@ -1,0 +1,49 @@
+"""repro — a reproduction of "Spinning Fast Iterative Data Flows" (VLDB 2012).
+
+A parallel dataflow engine (in the Stratosphere/PACT tradition) with:
+
+* bulk iterations embedded as dataflow operators (Section 4),
+* incremental (workset) iterations with an indexed solution set, delta
+  sets, and the ``∪̇`` merge (Section 5),
+* microstep and asynchronous execution for eligible step functions
+  (Section 5.2),
+* a Volcano-style optimizer aware of dynamic/constant data paths and
+  iteration-weighted costs (Section 4.3),
+
+plus the baseline systems the paper evaluates against — a Spark-like RDD
+engine and a Pregel/Giraph-like vertex-centric BSP engine — and the
+graph workloads and benchmark harness that regenerate the paper's tables
+and figures.
+
+Quickstart::
+
+    from repro import ExecutionEnvironment
+
+    env = ExecutionEnvironment(parallelism=4)
+    numbers = env.from_iterable((i,) for i in range(10))
+    doubled = numbers.map(lambda r: (r[0] * 2,))
+    print(doubled.collect())
+"""
+
+from repro.common.errors import (
+    DataflowError,
+    InvalidPlanError,
+    MicrostepViolation,
+    NotConvergedError,
+    OptimizerError,
+)
+from repro.dataflow.dataset import DataSet
+from repro.dataflow.environment import ExecutionEnvironment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DataSet",
+    "DataflowError",
+    "ExecutionEnvironment",
+    "InvalidPlanError",
+    "MicrostepViolation",
+    "NotConvergedError",
+    "OptimizerError",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""The paper's workloads, implemented on every applicable engine.
+
+Connected Components (Sections 2, 5, 6.2) and PageRank (Sections 4, 6.1)
+are the paper's two evaluation algorithms; SSSP and K-Means exercise the
+same iteration constructs on further workloads the paper names
+(shortest paths in Section 1; K-Means as a bulk example).  Each module
+offers the reference implementation (ground truth), the Stratosphere-
+style dataflow variants, and the Spark-like / Pregel-like baselines.
+"""
+
+from repro.algorithms import (
+    connected_components,
+    gradient_descent,
+    kmeans,
+    label_propagation,
+    pagerank,
+    sssp,
+    transitive_closure,
+)
+
+__all__ = [
+    "connected_components",
+    "gradient_descent",
+    "kmeans",
+    "label_propagation",
+    "pagerank",
+    "sssp",
+    "transitive_closure",
+]

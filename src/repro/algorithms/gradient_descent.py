@@ -1,0 +1,100 @@
+"""Batch Gradient Descent — the paper's canonical bulk-iterative ML task.
+
+Section 1 names Batch Gradient Descent among the algorithms whose bulk
+iterations dataflow systems already handle well: the (tiny) model is the
+partial solution, the (large) training set sits on the constant data
+path, and every superstep recomputes the full gradient.
+
+We train linear least-squares regression: records ``(x_1..x_d, y)``,
+model ``w`` with an intercept term, update
+``w ← w − η · ∇L(w)`` with ``∇L(w) = (2/n) Σ (w·x − y) x``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def generate_regression_data(num_points: int, weights, noise: float = 0.05,
+                             seed: int = 0) -> list[tuple]:
+    """Points ``(id, x_1..x_d, y)`` from a linear model plus an intercept.
+
+    ``weights`` is ``(w_1..w_d, bias)``.
+    """
+    rng = np.random.default_rng(seed)
+    weights = np.asarray(weights, dtype=float)
+    dim = len(weights) - 1
+    xs = rng.uniform(-1.0, 1.0, size=(num_points, dim))
+    ys = xs @ weights[:-1] + weights[-1] + rng.normal(0, noise, num_points)
+    return [
+        (i, *map(float, xs[i]), float(ys[i])) for i in range(num_points)
+    ]
+
+
+def gradient_descent_reference(points, dim: int, learning_rate: float,
+                               iterations: int) -> tuple[float, ...]:
+    """Plain-numpy BGD; the semantic reference."""
+    xs = np.array([[*p[1:1 + dim], 1.0] for p in points])
+    ys = np.array([p[1 + dim] for p in points])
+    w = np.zeros(dim + 1)
+    n = len(points)
+    for _ in range(iterations):
+        gradient = 2.0 / n * xs.T @ (xs @ w - ys)
+        w = w - learning_rate * gradient
+    return tuple(float(v) for v in w)
+
+
+def gradient_descent_bulk(env, points, dim: int, learning_rate: float,
+                          iterations: int, epsilon: float = None
+                          ) -> tuple[float, ...]:
+    """BGD as a bulk iteration.
+
+    The model is a single record ``(0, w_1..w_d, bias)``; the point set
+    is loop-invariant and cached after the first superstep.  Per
+    superstep: Cross pairs every point with the model, each pair emits
+    its gradient contribution, a Reduce sums them, and a Map applies the
+    step.  ``epsilon`` optionally terminates once the gradient norm
+    falls below it (the continuous-domain criterion of Section 2.1).
+    """
+    n = len(points)
+    points_ds = env.from_iterable(points, name="training_points")
+    model0 = env.from_iterable([(0, *([0.0] * (dim + 1)))], name="model0")
+    iteration = env.iterate_bulk(model0, iterations, name="bgd")
+    model = iteration.partial_solution
+
+    def contribution(point, model_record):
+        features = (*point[1:1 + dim], 1.0)
+        target = point[1 + dim]
+        w = model_record[1:]
+        residual = sum(wi * xi for wi, xi in zip(w, features)) - target
+        return (0, *(2.0 / n * residual * xi for xi in features))
+
+    def add(a, b):
+        return (0, *(ai + bi for ai, bi in zip(a[1:], b[1:])))
+
+    gradient = points_ds.cross(model, contribution, name="pointwise") \
+        .reduce_by_key(0, add, name="sum_gradient") \
+        .with_estimated_size(1)
+    new_model = gradient.join(
+        model, 0, 0,
+        lambda g, m: (0, *(wi - learning_rate * gi
+                           for wi, gi in zip(m[1:], g[1:]))),
+        name="apply_step",
+    ).with_forwarded_fields({0: 0})
+
+    termination = None
+    if epsilon is not None:
+        termination = gradient.filter(
+            lambda g: sum(gi * gi for gi in g[1:]) > epsilon ** 2,
+            name="not_converged",
+        )
+    result = iteration.close(new_model, termination=termination)
+    (record,) = result.collect()
+    return tuple(record[1:])
+
+
+def mean_squared_error(points, dim: int, model) -> float:
+    xs = np.array([[*p[1:1 + dim], 1.0] for p in points])
+    ys = np.array([p[1 + dim] for p in points])
+    residuals = xs @ np.asarray(model) - ys
+    return float(np.mean(residuals ** 2))

@@ -1,0 +1,91 @@
+"""K-Means clustering — the paper's canonical *bulk* iteration (Sec. 1).
+
+The partial solution is the (tiny) set of cluster centers; the point set
+is loop-invariant and therefore sits on the constant data path, where
+the runtime caches it after the first superstep (Section 4.3).  The
+Cross contract pairs every point with every center — the optimizer
+broadcasts the centers, which is the textbook plan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def generate_points(num_points: int, num_clusters: int, seed: int = 0,
+                    spread: float = 0.15) -> list[tuple[int, float, float]]:
+    """Gaussian blobs around ``num_clusters`` anchors in the unit square."""
+    rng = np.random.default_rng(seed)
+    anchors = rng.random((num_clusters, 2))
+    assignment = rng.integers(0, num_clusters, size=num_points)
+    coords = anchors[assignment] + rng.normal(0.0, spread, (num_points, 2))
+    return [
+        (i, float(x), float(y)) for i, (x, y) in enumerate(coords)
+    ]
+
+
+def kmeans_reference(points, centers0, iterations: int = 20
+                     ) -> list[tuple[int, float, float]]:
+    """Plain-numpy Lloyd iterations; the semantic reference."""
+    coords = np.array([(x, y) for (_i, x, y) in points])
+    centers = np.array([(x, y) for (_c, x, y) in centers0])
+    for _ in range(iterations):
+        distances = (
+            (coords[:, None, :] - centers[None, :, :]) ** 2
+        ).sum(axis=2)
+        nearest = distances.argmin(axis=1)
+        for c in range(len(centers)):
+            members = coords[nearest == c]
+            if len(members):
+                centers[c] = members.mean(axis=0)
+    return [
+        (c, float(x), float(y)) for c, (x, y) in enumerate(centers)
+    ]
+
+
+def kmeans_bulk(env, points, centers0, iterations: int = 20,
+                epsilon: float = None) -> list[tuple[int, float, float]]:
+    """Lloyd's algorithm as a bulk iterative dataflow.
+
+    ``epsilon`` switches from a fixed trip count to a termination
+    criterion: stop once no center moved more than ``epsilon`` (the
+    continuous-domain criterion of Section 2.1).
+    """
+    points_ds = env.from_iterable(points, name="points")
+    centers_ds = env.from_iterable(centers0, name="centers0")
+    iteration = env.iterate_bulk(centers_ds, iterations, name="kmeans")
+    centers = iteration.partial_solution
+
+    def nearest(point, center):
+        pid, px, py = point
+        cid, cx, cy = center
+        dist = (px - cx) ** 2 + (py - cy) ** 2
+        return (pid, cid, px, py, dist)
+
+    paired = points_ds.cross(centers, nearest, name="distances")
+    assigned = paired.reduce_by_key(
+        0, lambda a, b: a if a[4] <= b[4] else b, name="nearest_center"
+    )
+    sums = assigned.map(
+        lambda r: (r[1], r[2], r[3], 1), name="to_center_sums"
+    ).reduce_by_key(
+        0,
+        lambda a, b: (a[0], a[1] + b[1], a[2] + b[2], a[3] + b[3]),
+        name="sum_members",
+    )
+    new_centers = sums.map(
+        lambda r: (r[0], r[1] / r[3], r[2] / r[3]), name="mean"
+    ).with_forwarded_fields({0: 0})
+
+    termination = None
+    if epsilon is not None:
+        moved = new_centers.join(
+            centers, 0, 0,
+            lambda n, o: (n[0],) if (
+                (n[1] - o[1]) ** 2 + (n[2] - o[2]) ** 2 > epsilon ** 2
+            ) else None,
+            name="moved",
+        )
+        termination = moved
+    result = iteration.close(new_centers, termination=termination)
+    return sorted(result.collect())

@@ -1,0 +1,301 @@
+"""PageRank in all the paper's configurations (Sections 4, 6.1, 7.2).
+
+The rank vector is a set of ``(pid, rank)`` tuples and the sparse
+transition matrix a set of ``(tid, pid, prob)`` tuples, exactly as in
+Section 4.1.  Variants:
+
+* :func:`pagerank_bulk` — the bulk iterative dataflow of Figure 3.  The
+  ``plan`` argument selects between the optimizer's choice and the two
+  forced physical plans of Figure 4: ``"broadcast"`` (Mahout-style:
+  replicate the rank vector, cache the matrix partitioned on the target
+  id so aggregation is local) and ``"partition"`` (Pegasus-style:
+  repartition the rank vector per superstep, cache the matrix as the
+  join hash table).
+* :func:`pagerank_sparklike` — the Pegasus-style Spark program.
+* :func:`pagerank_pregel` — the Pregel example program.
+* :func:`pagerank_adaptive` — the adaptive PageRank of Kamvar et al.
+  [25] expressed as an incremental iteration, which Section 7.2 argues
+  is natural here but hard in Pregel: converged pages stop propagating
+  rank changes.
+
+All use damping ``d`` with the uniform teleport ``(1-d)/n``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.plan import BROADCAST, FORWARD, LocalStrategy, partition_on
+from repro.systems.pregel import PregelMaster
+
+DAMPING = 0.85
+
+
+# ----------------------------------------------------------------------
+# shared input construction
+
+
+def transition_tuples(graph) -> list[tuple[int, int, float]]:
+    """The sparse matrix A as ``(tid, pid, prob)`` with prob = 1/deg(pid)."""
+    degrees = graph.degrees()
+    tuples = []
+    for pid in range(graph.num_vertices):
+        deg = int(degrees[pid])
+        if deg == 0:
+            continue
+        prob = 1.0 / deg
+        for tid in graph.neighbors(pid).tolist():
+            tuples.append((tid, pid, prob))
+    return tuples
+
+
+def initial_ranks(graph) -> list[tuple[int, float]]:
+    n = graph.num_vertices
+    return [(v, 1.0 / n) for v in range(n)]
+
+
+# ----------------------------------------------------------------------
+# ground truth
+
+
+def pagerank_reference(graph, iterations: int = 20,
+                       damping: float = DAMPING) -> dict[int, float]:
+    """Dense power iteration with numpy; the semantic reference."""
+    n = graph.num_vertices
+    ranks = np.full(n, 1.0 / n)
+    degrees = np.maximum(graph.degrees(), 1)
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
+    dst = graph.indices
+    teleport = (1.0 - damping) / n
+    for _ in range(iterations):
+        contribs = np.zeros(n)
+        np.add.at(contribs, dst, ranks[src] / degrees[src])
+        ranks = teleport + damping * contribs
+    return {v: float(ranks[v]) for v in range(n)}
+
+
+# ----------------------------------------------------------------------
+# bulk dataflow (Figures 3 and 4)
+
+
+def pagerank_bulk(env, graph, iterations: int = 20, plan: str = "auto",
+                  damping: float = DAMPING,
+                  epsilon: float = None) -> dict[int, float]:
+    """The iterative dataflow of Figure 3 under a chosen physical plan.
+
+    With ``epsilon`` set, the iteration carries the termination criterion
+    ``T`` of Figure 3: a Match between the new and old rank vectors that
+    emits a record whenever a page's rank moved by more than ``epsilon``
+    — the loop stops at the first superstep after which ``T`` is empty.
+    Otherwise the trip count is fixed (the ``(G, I, O, n)`` form).
+    """
+    if plan not in ("auto", "broadcast", "partition"):
+        raise ValueError(f"unknown plan {plan!r}")
+    n = graph.num_vertices
+    teleport = (1.0 - damping) / n
+    ranks0 = env.from_iterable(initial_ranks(graph), name="p")
+    matrix = env.from_iterable(transition_tuples(graph), name="A")
+    zeros = env.from_iterable(
+        ((v, 0.0) for v in range(n)), name="zero_base"
+    )
+
+    iteration = env.iterate_bulk(ranks0, iterations, name="pagerank")
+    ranks = iteration.partial_solution
+    # Match on pid: (pid, r) ⋈ (tid, pid, prob) -> (tid, r * prob)
+    contribs = ranks.join(
+        matrix, 0, 1, lambda r, a: (a[0], r[1] * a[2]), name="join_p_A"
+    ).with_forwarded_fields({0: 0}, input_index=1)
+    summed = (
+        contribs.union(zeros, name="with_base")
+        .reduce_by_key(0, lambda a, b: (a[0], a[1] + b[1]), name="sum_ranks")
+    )
+    new_ranks = summed.map(
+        lambda r: (r[0], teleport + damping * r[1]), name="apply_damping"
+    ).with_forwarded_fields({0: 0})
+
+    termination = None
+    if epsilon is not None:
+        # Figure 3's T: join old and new ranks, emit while still moving
+        termination = new_ranks.join(
+            ranks, 0, 0,
+            lambda new, old: (new[0],) if abs(new[1] - old[1]) > epsilon
+            else None,
+            name="rank_moved",
+        )
+    result = iteration.close(new_ranks, termination=termination)
+
+    join_node = contribs.node
+    reduce_node = summed.node
+    if plan == "broadcast":
+        # Figure 4, left: replicate p, build its hash table per superstep;
+        # cache A hash-partitioned on tid so the aggregation needs no
+        # further shuffle (the interesting-property plan).
+        env.plan_overrides[join_node.id] = {
+            "ship": {0: BROADCAST, 1: partition_on((0,))},
+            "local": LocalStrategy.HASH_BUILD_LEFT,
+        }
+        env.plan_overrides[reduce_node.id] = {
+            "ship": {0: FORWARD},
+            "combiner": False,
+        }
+    elif plan == "partition":
+        # Figure 4, right: partition p on pid per superstep and probe the
+        # cached hash table built over A; re-partition contributions on tid.
+        env.plan_overrides[join_node.id] = {
+            "ship": {0: partition_on((0,)), 1: partition_on((1,))},
+            "local": LocalStrategy.HASH_BUILD_RIGHT,
+        }
+        env.plan_overrides[reduce_node.id] = {
+            "ship": {0: partition_on((0,))},
+            "combiner": True,
+        }
+    return dict(result.collect())
+
+
+# ----------------------------------------------------------------------
+# Spark-like (Pegasus-style, Section 6.1)
+
+
+def pagerank_sparklike(ctx, graph, iterations: int = 20,
+                       damping: float = DAMPING) -> dict[int, float]:
+    n = graph.num_vertices
+    teleport = (1.0 - damping) / n
+    links = ctx.parallelize(
+        ((v, tuple(graph.neighbors(v).tolist()))
+         for v in range(n)),
+        name="links",
+    ).cache()
+    ranks = ctx.parallelize(((v, 1.0 / n) for v in range(n)), name="ranks")
+    for iteration in range(1, iterations + 1):
+        ctx.begin_iteration(iteration)
+
+        def contribute(kv):
+            _pid, (targets, rank) = kv
+            if not targets:
+                return []
+            share = rank / len(targets)
+            return [(t, share) for t in targets]
+
+        contribs = links.join(ranks).flat_map(contribute)
+        base = links.map_values(lambda _targets: 0.0)
+        new_ranks = (
+            contribs.union(base)
+            .reduce_by_key(lambda a, b: a + b)
+            .map_values(lambda s: teleport + damping * s)
+            .cache()
+        )
+        count = new_ranks.count()  # action materializing this iteration
+        ctx.end_iteration(workset_size=count, delta_size=count)
+        ranks.unpersist()
+        ranks = new_ranks
+    return dict(ranks.collect())
+
+
+# ----------------------------------------------------------------------
+# Pregel (the example program of [29])
+
+
+def pagerank_pregel(graph, iterations: int = 20, damping: float = DAMPING,
+                    parallelism: int = 4, metrics=None,
+                    epsilon: float = None) -> dict[int, float]:
+    """Fixed-trip-count Pregel PageRank, or — with ``epsilon`` — the
+    aggregator-driven variant: a global max-delta aggregator lets every
+    vertex see the previous superstep's largest rank movement and halt
+    once it drops below the threshold (Pregel's idiom for the Figure-3
+    termination criterion)."""
+    n = graph.num_vertices
+    teleport = (1.0 - damping) / n
+
+    def compute(ctx, messages):
+        if ctx.superstep > 0:
+            new_rank = teleport + damping * sum(messages)
+            if epsilon is not None:
+                ctx.aggregate("max_delta", abs(new_rank - ctx.state))
+            ctx.state = new_rank
+        if epsilon is not None and ctx.superstep > 1:
+            if ctx.get_aggregated("max_delta") <= epsilon:
+                ctx.vote_to_halt()
+                return
+        if ctx.superstep < iterations:
+            degree = ctx.num_neighbors
+            if degree:
+                ctx.send_message_to_all_neighbors(ctx.state / degree)
+        else:
+            ctx.vote_to_halt()
+
+    master = PregelMaster(
+        graph, compute, initial_state=lambda v: 1.0 / n,
+        combiner=lambda a, b: a + b,
+        parallelism=parallelism, metrics=metrics,
+        aggregators=(
+            {"max_delta": (0.0, max)} if epsilon is not None else None
+        ),
+    )
+    return master.run(max_supersteps=iterations + 1)
+
+
+# ----------------------------------------------------------------------
+# adaptive PageRank as an incremental iteration (Section 7.2)
+
+
+def pagerank_adaptive(env, graph, epsilon: float = 1e-9,
+                      damping: float = DAMPING,
+                      max_iterations: int = 200) -> dict[int, float]:
+    """Gauss–Seidel-flavoured incremental PageRank.
+
+    The solution set holds ``(pid, rank, gain)``; the workset carries
+    undamped contribution increments ``(pid, delta)``.  A vertex whose
+    accumulated gain stays below ``epsilon`` neither updates nor
+    propagates — the adaptive behaviour of [25], expressed with a delta
+    iteration because vertex activation is decoupled from messaging.
+    """
+    n = graph.num_vertices
+    base = (1.0 - damping) / n
+    degrees = graph.degrees()
+
+    solution0 = env.from_iterable(
+        ((v, base, 0.0) for v in range(n)), name="ranks0"
+    )
+    # edges with the sender's inverse out-degree: (src, dst, 1/deg(src))
+    fan_out = env.from_iterable(
+        (
+            (v, int(t), 1.0 / int(degrees[v]))
+            for v in range(n) if degrees[v]
+            for t in graph.neighbors(v)
+        ),
+        name="fan_out",
+    )
+    workset0 = env.from_iterable(
+        (
+            (int(t), base / int(degrees[v]))
+            for v in range(n) if degrees[v]
+            for t in graph.neighbors(v)
+        ),
+        name="initial_contribs",
+    )
+
+    iteration = env.iterate_delta(
+        solution0, workset0, key_fields=0,
+        max_iterations=max_iterations, name="adaptive_pagerank",
+    )
+
+    def accumulate(pid, contribs, stored):
+        _pid, rank, _gain = stored[0]
+        gain = damping * sum(delta for (_p, delta) in contribs)
+        if gain > epsilon:
+            yield (pid, rank + gain, gain)
+
+    delta = iteration.workset.cogroup(
+        iteration.solution_set, 0, 0, accumulate, name="accumulate"
+    )
+    next_workset = delta.join(
+        fan_out, 0, 0,
+        lambda d, e: (e[1], d[2] * e[2]),  # (dst, gain / deg(src))
+        name="propagate_gain",
+    )
+    result = iteration.close(
+        delta, next_workset,
+        should_replace=lambda new, old: new[1] > old[1],
+        mode="superstep",
+    )
+    return {pid: rank for (pid, rank, _gain) in result.collect()}

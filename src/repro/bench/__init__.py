@@ -1,0 +1,17 @@
+"""Benchmark harness: regenerates every table and figure of the paper.
+
+Each experiment module under :mod:`repro.bench.experiments` exposes a
+``run(...)`` function returning a structured result with a
+``report() -> str`` rendering of the paper's rows/series.  The pytest
+benchmarks under ``benchmarks/`` drive these and persist the reports to
+``benchmarks/results/``; EXPERIMENTS.md records paper-vs-measured.
+
+Scaling: the datasets are ~1000× smaller than the paper's (see
+DESIGN.md), so absolute times are not comparable — the reported shapes
+(which system wins, by what factor, where per-iteration work decays)
+are the reproduction targets.
+"""
+
+from repro.bench.reporting import format_quantity, format_seconds, render_table
+
+__all__ = ["format_quantity", "format_seconds", "render_table"]

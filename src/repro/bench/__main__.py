@@ -1,0 +1,93 @@
+"""Command-line experiment runner: ``python -m repro.bench <experiment>``.
+
+Runs one (or all) of the paper's table/figure reproductions and prints
+the report, without going through pytest.  Useful for quick looks and
+for regenerating ``benchmarks/results/`` piecemeal.
+
+Examples::
+
+    python -m repro.bench --list
+    python -m repro.bench fig2
+    python -m repro.bench fig9 fig10
+    python -m repro.bench all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _registry():
+    from repro.bench.experiments import (
+        extensions, fig2, fig4, fig7, fig8, fig9, fig10, fig11, fig12,
+        table1, table2,
+    )
+    return {
+        "table1": ("Table 1 — iteration templates", table1.run),
+        "table2": ("Table 2 — dataset properties", table2.run),
+        "fig2": ("Figure 2 — CC effective work (FOAF)", fig2.run),
+        "fig4": ("Figure 4 — optimizer PageRank plans", fig4.run),
+        "fig7": ("Figure 7 — PageRank totals", fig7.run),
+        "fig8": ("Figure 8 — PageRank per-iteration", fig8.run),
+        "fig9": ("Figure 9 — CC totals", fig9.run),
+        "fig10": ("Figure 10 — CC on webbase to convergence", fig10.run),
+        "fig11": ("Figure 11 — CC per-iteration", fig11.run),
+        "fig12": ("Figure 12 — time vs messages", fig12.run),
+        "adaptive": ("Extension — adaptive PageRank",
+                     extensions.run_adaptive_pagerank),
+        "ablation-optimizer": ("Ablation — optimizer vs naive planner",
+                               extensions.run_optimizer_ablation),
+        "ablation-modes": ("Ablation — delta execution modes",
+                           extensions.run_modes_ablation),
+    }
+
+
+def main(argv=None) -> int:
+    registry = _registry()
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*",
+        help=f"experiment ids ({', '.join(registry)}) or 'all'",
+    )
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
+    parser.add_argument("--save", action="store_true",
+                        help="also persist reports to benchmarks/results/")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        width = max(len(name) for name in registry)
+        for name, (title, _fn) in registry.items():
+            print(f"  {name.ljust(width)}  {title}")
+        return 0
+
+    requested = list(registry) if "all" in args.experiments else (
+        args.experiments
+    )
+    unknown = [name for name in requested if name not in registry]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+
+    for name in requested:
+        title, run = registry[name]
+        print(f"\n### {title} [{name}]")
+        started = time.perf_counter()
+        result = run()
+        elapsed = time.perf_counter() - started
+        report = result.report()
+        if args.save:
+            from repro.bench.reporting import persist_report
+            persist_report(name, report)
+        else:
+            print(report)
+        print(f"\n[{name} finished in {elapsed:.1f} s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,1 @@
+"""One module per paper artifact (table/figure); see DESIGN.md §4."""

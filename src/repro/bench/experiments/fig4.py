@@ -1,0 +1,109 @@
+"""Figure 4: the optimizer derives both PageRank execution plans.
+
+The paper shows two hand-tuned Hadoop implementations (Mahout's
+broadcast plan, Pegasus's repartition plan) falling out of one dataflow
+program automatically, depending on the size statistics.  This
+experiment feeds the same PageRank program through the optimizer under
+small-vector and large-vector statistics and reports the chosen
+shipping strategies and estimated costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import ExecutionEnvironment
+from repro.bench.reporting import render_table
+from repro.dataflow.contracts import Contract
+from repro.dataflow.graph import LogicalNode, LogicalPlan
+from repro.optimizer import optimize_plan
+from repro.runtime.plan import ShipKind
+
+
+def _pagerank_plan(env, vector_size, matrix_size):
+    ranks = env.from_iterable([(i, 1.0) for i in range(min(vector_size, 50))],
+                              name="p").with_estimated_size(vector_size)
+    matrix = env.from_iterable(
+        [(0, 0, 0.1)], name="A"
+    ).with_estimated_size(matrix_size)
+    iteration = env.iterate_bulk(ranks, max_iterations=20, name="pagerank")
+    joined = iteration.partial_solution.join(
+        matrix, 0, 1, lambda r, a: (a[0], r[1] * a[2]), name="join_p_A"
+    ).with_forwarded_fields({0: 0}, input_index=1)
+    summed = joined.reduce_by_key(
+        0, lambda a, b: (a[0], a[1] + b[1]), name="sum_ranks"
+    ).with_forwarded_fields({0: 0, 1: 1}).with_estimated_size(vector_size)
+    result = iteration.close(summed)
+    sink = LogicalNode(Contract.SINK, [result.node])
+    exec_plan = optimize_plan(LogicalPlan([sink]).validate(), env)
+    return exec_plan, joined.node, summed.node
+
+
+@dataclass
+class PlanChoice:
+    scenario: str
+    vector_size: int
+    matrix_size: int
+    rank_ship: str
+    matrix_ship: str
+    reduce_ship: str
+    estimated_cost: float
+
+    @property
+    def classified(self) -> str:
+        if self.rank_ship == "broadcast":
+            return "broadcast plan (Fig. 4 left / Mahout)"
+        return "repartition plan (Fig. 4 right / Pegasus)"
+
+
+@dataclass
+class Fig4Result:
+    choices: list
+
+    def report(self) -> str:
+        rows = [
+            [c.scenario, c.vector_size, c.matrix_size, c.rank_ship,
+             c.matrix_ship, c.reduce_ship, f"{c.estimated_cost:.3g}",
+             c.classified]
+            for c in self.choices
+        ]
+        table = render_table(
+            "Figure 4 — optimizer plan choice for PageRank by statistics",
+            ["scenario", "|p|", "|A|", "ship p", "ship A", "ship contribs",
+             "est. cost", "classification"],
+            rows,
+        )
+        shape = (
+            "Shape check (paper: small models -> broadcast plan, large "
+            "models -> repartition plan):\n"
+            f"  small-vector choice: {self.choices[0].classified}\n"
+            f"  large-vector choice: {self.choices[1].classified}\n"
+            "  note: under the broadcast plan our combiner-aware model may\n"
+            "  ship the (tiny) combined contributions instead of\n"
+            "  pre-partitioning A on tid; both variants make the\n"
+            "  aggregation's traffic negligible, which is the plan's point."
+        )
+        return table + "\n\n" + shape
+
+
+def run() -> Fig4Result:
+    scenarios = [
+        ("small vector", 100, 200_000),
+        ("large vector", 200_000, 400_000),
+    ]
+    choices = []
+    for label, vec, mat in scenarios:
+        env = ExecutionEnvironment(4)
+        exec_plan, join_node, reduce_node = _pagerank_plan(env, vec, mat)
+        join_ann = exec_plan.annotations[join_node.id]
+        reduce_ann = exec_plan.annotations[reduce_node.id]
+        choices.append(PlanChoice(
+            scenario=label,
+            vector_size=vec,
+            matrix_size=mat,
+            rank_ship=join_ann.ship[0].describe(),
+            matrix_ship=join_ann.ship[1].describe(),
+            reduce_ship=reduce_ann.ship[0].describe(),
+            estimated_cost=exec_plan.estimated_cost,
+        ))
+    return Fig4Result(choices)

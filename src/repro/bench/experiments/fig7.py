@@ -1,0 +1,61 @@
+"""Figure 7: total execution times for PageRank across systems.
+
+The paper runs 20 PageRank iterations on Wikipedia, Webbase, and
+Twitter with Spark, Giraph, and Stratosphere's partitioning and
+broadcasting plans, expecting roughly equal runtimes per dataset
+because every system performs the same per-iteration work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.reporting import format_seconds, render_table
+from repro.bench.experiments.runners import PAGERANK_RUNNERS
+from repro.bench.workloads import PAGERANK_DATASETS, bench_parallelism, graph
+
+
+@dataclass
+class Fig7Result:
+    measurements: list  # RunMeasurement
+
+    def report(self) -> str:
+        rows = [
+            [m.dataset, m.system, format_seconds(m.seconds),
+             m.messages, m.records_processed]
+            for m in self.measurements
+        ]
+        table = render_table(
+            "Figure 7 — PageRank total execution time (20 iterations)",
+            ["dataset", "system", "time", "messages", "records processed"],
+            rows,
+        )
+        return table + "\n\n" + self._shape_summary()
+
+    def _shape_summary(self) -> str:
+        lines = ["Shape check (paper: systems within small factors per dataset):"]
+        by_dataset: dict[str, list] = {}
+        for m in self.measurements:
+            by_dataset.setdefault(m.dataset, []).append(m)
+        for dataset, ms in by_dataset.items():
+            fastest = min(ms, key=lambda m: m.seconds)
+            slowest = max(ms, key=lambda m: m.seconds)
+            ratio = slowest.seconds / fastest.seconds
+            lines.append(
+                f"  {dataset}: fastest={fastest.system}, "
+                f"slowest={slowest.system}, spread x{ratio:.2f}"
+            )
+        return "\n".join(lines)
+
+
+def run(iterations: int = 20, datasets=PAGERANK_DATASETS,
+        systems=None) -> Fig7Result:
+    parallelism = bench_parallelism()
+    systems = systems or list(PAGERANK_RUNNERS)
+    measurements = []
+    for name in datasets:
+        g = graph(name)
+        for system in systems:
+            runner = PAGERANK_RUNNERS[system]
+            measurements.append(runner(g, iterations, parallelism))
+    return Fig7Result(measurements)

@@ -1,0 +1,81 @@
+"""Figure 9: total execution times for Connected Components.
+
+Five configurations — Spark (bulk), Giraph, Stratosphere Full (bulk),
+Stratosphere Micro (Match variant), Stratosphere Incr. (CoGroup
+variant) — on the four datasets.  Following the paper, the huge-diameter
+Webbase graph is capped at 20 supersteps for *all* variants here
+("Webbase (20)"); Figure 10 runs it to convergence.
+
+Expected shapes: incremental variants beat the bulk variants by growing
+factors as the graph's convergence is more skewed (×2 wikipedia →
+×5.3 twitter in the paper); on the dense Hollywood graph the batch-
+incremental CoGroup variant beats the per-record Match variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.reporting import format_seconds, render_table
+from repro.bench.experiments.runners import CC_RUNNERS
+from repro.bench.workloads import CC_DATASETS, bench_parallelism, graph
+
+WEBBASE_CAP = 20
+
+
+@dataclass
+class Fig9Result:
+    measurements: list
+
+    def report(self) -> str:
+        rows = [
+            [m.dataset, m.system, format_seconds(m.seconds), m.iterations,
+             m.messages]
+            for m in self.measurements
+        ]
+        table = render_table(
+            "Figure 9 — Connected Components total execution time",
+            ["dataset", "system", "time", "supersteps", "messages"],
+            rows,
+        )
+        return table + "\n\n" + self._shape_summary()
+
+    def _time(self, dataset, system):
+        for m in self.measurements:
+            if m.dataset == dataset and m.system == system:
+                return m.seconds
+        return float("nan")
+
+    def _shape_summary(self) -> str:
+        lines = ["Shape check:"]
+        datasets = {m.dataset for m in self.measurements}
+        for dataset in sorted(datasets):
+            bulk = self._time(dataset, "Stratosphere Full")
+            incr = self._time(dataset, "Stratosphere Incr.")
+            micro = self._time(dataset, "Stratosphere Micro")
+            best_incr = min(incr, micro)
+            lines.append(
+                f"  {dataset}: incremental speedup over bulk "
+                f"x{bulk / best_incr:.2f} "
+                f"(micro {format_seconds(micro)}, incr {format_seconds(incr)})"
+            )
+        if "hollywood" in datasets:
+            lines.append(
+                "  hollywood (dense): CoGroup vs Match ratio "
+                f"{self._time('hollywood', 'Stratosphere Micro') / self._time('hollywood', 'Stratosphere Incr.'):.2f}"
+                " (paper: batch-incremental ~30% faster)"
+            )
+        return "\n".join(lines)
+
+
+def run(datasets=CC_DATASETS, systems=None) -> Fig9Result:
+    parallelism = bench_parallelism()
+    systems = systems or list(CC_RUNNERS)
+    measurements = []
+    for name in datasets:
+        g = graph(name)
+        cap = WEBBASE_CAP if name == "webbase" else 1_000
+        for system in systems:
+            runner = CC_RUNNERS[system]
+            measurements.append(runner(g, parallelism, max_iterations=cap))
+    return Fig9Result(measurements)

@@ -1,0 +1,156 @@
+"""Shared measured runners: one function per (system, algorithm).
+
+Every runner executes one full algorithm run on a fresh engine and
+returns a :class:`RunMeasurement` with wall time, per-iteration stats,
+and logical counters.  The figure modules compose these.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro import ExecutionEnvironment
+from repro.algorithms import connected_components as cc
+from repro.algorithms import pagerank as pr
+from repro.systems.sparklike import SparkLikeContext
+
+
+@dataclass
+class RunMeasurement:
+    system: str
+    dataset: str
+    seconds: float
+    iterations: int
+    messages: int
+    records_processed: int
+    per_iteration: list = field(default_factory=list)  # IterationStats
+    result: dict = None
+
+    @property
+    def iteration_seconds(self) -> list[float]:
+        return [s.duration_s for s in self.per_iteration]
+
+
+def _measure(system, dataset, metrics, fn):
+    start = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - start
+    return RunMeasurement(
+        system=system,
+        dataset=dataset,
+        seconds=elapsed,
+        iterations=len(metrics.iteration_log),
+        messages=metrics.records_shipped_remote,
+        records_processed=metrics.total_processed,
+        per_iteration=list(metrics.iteration_log),
+        result=result,
+    )
+
+
+# ----------------------------------------------------------------------
+# PageRank runners (Figures 7, 8)
+
+
+def run_pagerank_sparklike(graph, iterations, parallelism):
+    ctx = SparkLikeContext(parallelism)
+    return _measure(
+        "Spark", graph.name, ctx.metrics,
+        lambda: pr.pagerank_sparklike(ctx, graph, iterations),
+    )
+
+
+def run_pagerank_pregel(graph, iterations, parallelism):
+    from repro.runtime.metrics import MetricsCollector
+    metrics = MetricsCollector()
+    return _measure(
+        "Giraph", graph.name, metrics,
+        lambda: pr.pagerank_pregel(graph, iterations,
+                                   parallelism=parallelism, metrics=metrics),
+    )
+
+
+def run_pagerank_stratosphere(graph, iterations, parallelism, plan):
+    env = ExecutionEnvironment(parallelism)
+    label = "Stratosphere Part." if plan == "partition" else "Stratosphere BC"
+    return _measure(
+        label, graph.name, env.metrics,
+        lambda: pr.pagerank_bulk(env, graph, iterations, plan=plan),
+    )
+
+
+PAGERANK_RUNNERS = {
+    "Spark": run_pagerank_sparklike,
+    "Giraph": run_pagerank_pregel,
+    "Stratosphere Part.": lambda g, i, p: run_pagerank_stratosphere(
+        g, i, p, "partition"),
+    "Stratosphere BC": lambda g, i, p: run_pagerank_stratosphere(
+        g, i, p, "broadcast"),
+}
+
+
+# ----------------------------------------------------------------------
+# Connected Components runners (Figures 9, 10, 11, 12)
+
+
+def run_cc_sparklike(graph, parallelism, max_iterations=1_000):
+    ctx = SparkLikeContext(parallelism)
+    return _measure(
+        "Spark", graph.name, ctx.metrics,
+        lambda: cc.cc_sparklike(ctx, graph, max_iterations),
+    )
+
+
+def run_cc_sparklike_sim(graph, parallelism, max_iterations=1_000):
+    ctx = SparkLikeContext(parallelism)
+    return _measure(
+        "Spark Sim. Incr.", graph.name, ctx.metrics,
+        lambda: cc.cc_sparklike_sim_incremental(ctx, graph, max_iterations),
+    )
+
+
+def run_cc_pregel(graph, parallelism, max_iterations=1_000_000):
+    from repro.runtime.metrics import MetricsCollector
+    metrics = MetricsCollector()
+    return _measure(
+        "Giraph", graph.name, metrics,
+        lambda: cc.cc_pregel(graph, parallelism=parallelism, metrics=metrics,
+                             max_supersteps=max_iterations),
+    )
+
+
+def run_cc_bulk(graph, parallelism, max_iterations=1_000):
+    env = ExecutionEnvironment(parallelism)
+    return _measure(
+        "Stratosphere Full", graph.name, env.metrics,
+        lambda: cc.cc_bulk(env, graph, max_iterations),
+    )
+
+
+def run_cc_micro(graph, parallelism, max_iterations=100_000):
+    env = ExecutionEnvironment(parallelism)
+    return _measure(
+        "Stratosphere Micro", graph.name, env.metrics,
+        lambda: cc.cc_incremental(env, graph, variant="match",
+                                  mode="microstep",
+                                  max_iterations=max_iterations),
+    )
+
+
+def run_cc_incremental(graph, parallelism, max_iterations=100_000):
+    env = ExecutionEnvironment(parallelism)
+    return _measure(
+        "Stratosphere Incr.", graph.name, env.metrics,
+        lambda: cc.cc_incremental(env, graph, variant="cogroup",
+                                  mode="superstep",
+                                  max_iterations=max_iterations),
+    )
+
+
+CC_RUNNERS = {
+    "Spark": run_cc_sparklike,
+    "Giraph": run_cc_pregel,
+    "Stratosphere Full": run_cc_bulk,
+    "Stratosphere Micro": run_cc_micro,
+    "Stratosphere Incr.": run_cc_incremental,
+}

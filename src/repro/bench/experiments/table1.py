@@ -1,0 +1,74 @@
+"""Table 1: the three iteration templates compute the same fixpoint.
+
+Runs FIXPOINT-CC, INCR-CC, and MICRO-CC (plus the dataflow delta
+iteration) on the same graph and reports result agreement and the work
+profile of each template — the bulk template's state reads stay
+constant per iteration while the incremental templates' shrink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import ExecutionEnvironment
+from repro.algorithms import connected_components as cc
+from repro.bench.reporting import render_table
+from repro.bench.workloads import bench_parallelism, graph
+
+
+@dataclass
+class TemplateRun:
+    template: str
+    agrees: bool
+    work_metric: str
+
+
+@dataclass
+class Table1Result:
+    dataset: str
+    runs: list
+
+    def report(self) -> str:
+        rows = [
+            [r.template, "yes" if r.agrees else "NO", r.work_metric]
+            for r in self.runs
+        ]
+        return render_table(
+            f"Table 1 — iteration templates on {self.dataset}: result "
+            "agreement and work profile",
+            ["template", "matches union-find", "work"],
+            rows,
+        )
+
+
+def run(dataset: str = "foaf") -> Table1Result:
+    g = graph(dataset)
+    truth = cc.cc_ground_truth(g)
+
+    runs = []
+    fixpoint = cc.cc_fixpoint(g)
+    # the bulk template reads every vertex's neighborhood every iteration
+    runs.append(TemplateRun(
+        "FIXPOINT-CC (bulk)", fixpoint == truth,
+        f"state reads/iteration = {g.num_vertices + g.num_edges} (constant)",
+    ))
+
+    incr = cc.cc_incremental_reference(g)
+    runs.append(TemplateRun(
+        "INCR-CC (superstep workset)", incr == truth,
+        "state reads/iteration = |workset| (shrinking)",
+    ))
+
+    micro = cc.cc_microstep_reference(g)
+    runs.append(TemplateRun(
+        "MICRO-CC (per-element)", micro == truth,
+        "one state read per workset element",
+    ))
+
+    env = ExecutionEnvironment(bench_parallelism())
+    dataflow = cc.cc_incremental(env, g, variant="match")
+    runs.append(TemplateRun(
+        "dataflow delta iteration (Sec. 5)", dataflow == truth,
+        f"solution accesses = {env.metrics.solution_accesses}",
+    ))
+    return Table1Result(dataset, runs)

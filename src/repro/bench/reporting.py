@@ -1,0 +1,72 @@
+"""Plain-text report rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+import os
+
+
+def format_seconds(value: float) -> str:
+    if value >= 100:
+        return f"{value:,.0f} s"
+    if value >= 1:
+        return f"{value:.2f} s"
+    return f"{value * 1000:.1f} ms"
+
+
+def format_quantity(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000 or (value and abs(value) < 0.01):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, int) and abs(value) >= 10_000:
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(title: str, headers: list[str], rows: list[list]) -> str:
+    """Aligned fixed-width table like the paper's result listings."""
+    cells = [[format_quantity(v) if not isinstance(v, str) else v
+              for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells))
+        if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(row[i].rjust(widths[i]) if _numeric(row[i])
+                      else row[i].ljust(widths[i])
+                      for i in range(len(headers)))
+        )
+    return "\n".join(lines)
+
+
+def _numeric(text: str) -> bool:
+    stripped = text.replace(",", "").replace(".", "").replace("-", "")
+    stripped = stripped.replace("e", "").replace("+", "").replace(" s", "")
+    stripped = stripped.replace(" ms", "").replace("x", "")
+    return stripped.isdigit()
+
+
+def results_dir() -> str:
+    """Where benchmark reports are persisted (created on demand)."""
+    here = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))
+    )))
+    path = os.path.join(here, "benchmarks", "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def persist_report(name: str, text: str) -> str:
+    """Write a report under benchmarks/results/ and echo it to stdout."""
+    path = os.path.join(results_dir(), f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print("\n" + text)
+    return path

@@ -1,0 +1,32 @@
+"""Shared workload configuration for the benchmark suite.
+
+``REPRO_BENCH_SCALE`` (default 0) doubles every dataset's vertex count
+per increment, letting the same harness run laptop-quick or overnight-
+thorough.  ``REPRO_BENCH_PARALLELISM`` sets the simulated cluster width
+(default 4, matching the paper's four machines).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.graphs import load_dataset
+
+#: datasets used by the PageRank comparison (Figure 7); the paper used
+#: Wikipedia, Webbase, Twitter
+PAGERANK_DATASETS = ("wikipedia", "webbase", "twitter")
+
+#: datasets used by the Connected Components comparison (Figure 9)
+CC_DATASETS = ("wikipedia", "hollywood", "twitter", "webbase")
+
+
+def bench_scale() -> int:
+    return int(os.environ.get("REPRO_BENCH_SCALE", "0"))
+
+
+def bench_parallelism() -> int:
+    return int(os.environ.get("REPRO_BENCH_PARALLELISM", "4"))
+
+
+def graph(name: str):
+    return load_dataset(name, scale=bench_scale())

@@ -1,0 +1,29 @@
+"""Shared substrate: record model, key extraction, errors, and order theory.
+
+Records throughout the system are plain Python tuples; keys are tuples of
+field positions.  This mirrors the flat record model of the Stratosphere /
+PACT system the paper builds on.
+"""
+
+from repro.common.errors import (
+    DataflowError,
+    InvalidPlanError,
+    MicrostepViolation,
+    NotConvergedError,
+    OptimizerError,
+)
+from repro.common.keys import KeyExtractor, normalize_key_fields
+from repro.common.ordering import ComponentOrder, PartialOrder, is_chain_descending
+
+__all__ = [
+    "ComponentOrder",
+    "DataflowError",
+    "InvalidPlanError",
+    "KeyExtractor",
+    "MicrostepViolation",
+    "NotConvergedError",
+    "OptimizerError",
+    "PartialOrder",
+    "is_chain_descending",
+    "normalize_key_fields",
+]

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the repro dataflow system."""
+
+
+class DataflowError(Exception):
+    """Base class for all errors raised by the repro system."""
+
+
+class InvalidPlanError(DataflowError):
+    """A logical or physical plan is structurally invalid.
+
+    Raised for cycles outside iteration constructs, dangling inputs,
+    key-arity mismatches between join sides, and similar authoring errors.
+    """
+
+
+class OptimizerError(DataflowError):
+    """The optimizer could not produce an execution plan."""
+
+
+class MicrostepViolation(DataflowError):
+    """A delta iteration requested microstep execution but is not eligible.
+
+    Section 5.2 of the paper lists the eligibility conditions: the step
+    function must consist solely of record-at-a-time operators, the dynamic
+    data path must be unbranched, and updates to the solution set must be
+    partition-local (key constancy along the path from the solution set to
+    the delta output).
+    """
+
+
+class NotConvergedError(DataflowError):
+    """An iteration reached its superstep budget without converging."""
+
+    def __init__(self, iterations, message=None):
+        self.iterations = iterations
+        super().__init__(
+            message or f"iteration did not converge within {iterations} supersteps"
+        )

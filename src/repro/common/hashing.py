@@ -1,0 +1,42 @@
+"""Deterministic hashing for partition assignment.
+
+Python's built-in ``hash`` is salted per process for strings, which
+would make partition assignments (and therefore message counts and
+plans) irreproducible across runs.  ``stable_hash`` is process-
+independent; every partitioner in the system — channels, the solution-
+set index, microstep queues — routes through :func:`partition_index`.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+
+def stable_hash(value) -> int:
+    """A process-independent hash for partitioning.
+
+    Integers partition by value (keeping assignments stable and
+    testable); strings and bytes use CRC32; tuples combine their
+    elements.  Anything else falls back to ``hash``.
+    """
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, str):
+        return zlib.crc32(value.encode("utf-8"))
+    if isinstance(value, bytes):
+        return zlib.crc32(value)
+    if isinstance(value, tuple):
+        acc = 0x345678
+        for item in value:
+            acc = (acc * 1000003) ^ stable_hash(item)
+        return acc & 0x7FFFFFFF
+    if isinstance(value, float):
+        return hash(value)
+    return hash(value)
+
+
+def partition_index(key_value, parallelism: int) -> int:
+    """The partition that owns ``key_value`` under hash partitioning."""
+    return stable_hash(key_value) % parallelism

@@ -1,0 +1,72 @@
+"""Key extraction over tuple records.
+
+A key is an ordered selection of field positions.  ``KeyExtractor`` turns
+that selection into a fast callable returning a hashable key value, used by
+partitioners, join drivers, aggregations, and the solution-set index.
+"""
+
+from __future__ import annotations
+
+import operator
+from collections.abc import Iterable
+
+
+def normalize_key_fields(key_fields) -> tuple[int, ...]:
+    """Coerce a key specification into a canonical tuple of field positions.
+
+    Accepts a single int or an iterable of ints.  Raises ``TypeError`` or
+    ``ValueError`` for anything else, so authoring mistakes surface at plan
+    construction time rather than mid-execution.
+    """
+    if isinstance(key_fields, bool):
+        raise TypeError("key fields must be ints, not bool")
+    if isinstance(key_fields, int):
+        fields = (key_fields,)
+    elif isinstance(key_fields, Iterable):
+        fields = tuple(key_fields)
+    else:
+        raise TypeError(f"unsupported key specification: {key_fields!r}")
+    if not fields:
+        raise ValueError("key specification must name at least one field")
+    for f in fields:
+        if isinstance(f, bool) or not isinstance(f, int):
+            raise TypeError(f"key field positions must be ints, got {f!r}")
+        if f < 0:
+            raise ValueError(f"key field positions must be non-negative, got {f}")
+    if len(set(fields)) != len(fields):
+        raise ValueError(f"duplicate key field in {fields}")
+    return fields
+
+
+class KeyExtractor:
+    """Extracts the key value of a record for a fixed set of field positions.
+
+    Single-field keys return the bare field value (cheap and hashable);
+    composite keys return a tuple of field values.
+    """
+
+    __slots__ = ("fields", "_getter", "_single")
+
+    def __init__(self, key_fields):
+        self.fields = normalize_key_fields(key_fields)
+        self._single = len(self.fields) == 1
+        if self._single:
+            self._getter = operator.itemgetter(self.fields[0])
+        else:
+            self._getter = operator.itemgetter(*self.fields)
+
+    def __call__(self, record):
+        return self._getter(record)
+
+    @property
+    def arity(self) -> int:
+        return len(self.fields)
+
+    def __eq__(self, other):
+        return isinstance(other, KeyExtractor) and self.fields == other.fields
+
+    def __hash__(self):
+        return hash(self.fields)
+
+    def __repr__(self):
+        return f"KeyExtractor(fields={self.fields})"

@@ -1,0 +1,62 @@
+"""Order-theoretic helpers: complete partial orders over partial solutions.
+
+Section 2.1 of the paper grounds fixpoint iteration convergence in a
+complete partial order (CPO) over the partial-solution domain, with the
+step function producing a successor state on every application.  This
+module provides a small ``PartialOrder`` protocol plus the concrete order
+used by Connected Components (component IDs only ever decrease), so tests
+and the fixpoint runner can check the convergence preconditions.
+"""
+
+from __future__ import annotations
+
+
+class PartialOrder:
+    """A partial order ``precedes`` over partial-solution states.
+
+    Subclasses define :meth:`precedes`; ``strictly_precedes`` and
+    ``comparable`` derive from it.  States may be any hashable or mapping
+    type agreed upon by the subclass.
+    """
+
+    def precedes(self, a, b) -> bool:
+        """Return True if ``a`` is at or below ``b`` in the order (a ⊑ b)."""
+        raise NotImplementedError
+
+    def strictly_precedes(self, a, b) -> bool:
+        return self.precedes(a, b) and not self.precedes(b, a)
+
+    def comparable(self, a, b) -> bool:
+        return self.precedes(a, b) or self.precedes(b, a)
+
+
+class ComponentOrder(PartialOrder):
+    """The CPO used by Connected Components.
+
+    States are mappings ``vertex -> component id``.  ``s' ⊑ s`` iff every
+    vertex's component ID in ``s'`` is less than or equal to its ID in
+    ``s``.  The supremum direction is *downward*: progress means component
+    IDs decrease, with the all-zero mapping as a trivial bottom.
+
+    Note the paper writes the order with later (smaller-ID) states as the
+    successors; we adopt ``precedes(later, earlier)`` == progress.
+    """
+
+    def precedes(self, a, b) -> bool:
+        if a.keys() != b.keys():
+            return False
+        return all(a[v] <= b[v] for v in a)
+
+
+def is_chain_descending(order: PartialOrder, chain) -> bool:
+    """Check that consecutive states of ``chain`` each precede the previous.
+
+    This is the Kleene-chain progress condition of Section 2.1: every
+    application of the step function must produce a successor state.
+    Returns True for chains of length 0 or 1.
+    """
+    chain = list(chain)
+    return all(
+        order.precedes(later, earlier)
+        for earlier, later in zip(chain, chain[1:])
+    )

@@ -1,0 +1,29 @@
+"""Logical dataflow layer: PACT contracts, plan DAG, and the fluent API.
+
+A program is authored against :class:`~repro.dataflow.environment.ExecutionEnvironment`
+and :class:`~repro.dataflow.dataset.DataSet`; both build a
+:class:`~repro.dataflow.graph.LogicalPlan` of operator nodes carrying PACT
+second-order contracts (Section 3 of the paper).  Iterations are embedded
+as complex operators holding nested step-function subplans (Sections 4-5).
+"""
+
+from repro.dataflow.contracts import Contract, is_record_at_a_time
+from repro.dataflow.dataset import DataSet
+from repro.dataflow.environment import ExecutionEnvironment
+from repro.dataflow.graph import (
+    BulkIterationNode,
+    DeltaIterationNode,
+    LogicalNode,
+    LogicalPlan,
+)
+
+__all__ = [
+    "BulkIterationNode",
+    "Contract",
+    "DataSet",
+    "DeltaIterationNode",
+    "ExecutionEnvironment",
+    "LogicalNode",
+    "LogicalPlan",
+    "is_record_at_a_time",
+]

@@ -1,0 +1,118 @@
+"""PACT second-order contracts and their structural properties.
+
+Contracts describe how a user-defined first-order function may be invoked
+on partitions of its input (Section 3 of the paper): record-at-a-time
+contracts (Map, Filter, Match, Cross) admit fully pipelined, per-record
+execution, while group-at-a-time contracts (Reduce, CoGroup) must see all
+records of a key group before producing output.  The distinction drives
+both optimizer choices and microstep eligibility (Section 5.2).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Contract(enum.Enum):
+    """Second-order function contracts plus plan-structural pseudo-contracts."""
+
+    SOURCE = "source"
+    SINK = "sink"
+
+    MAP = "map"
+    FLAT_MAP = "flat_map"
+    FILTER = "filter"
+    UNION = "union"
+
+    REDUCE = "reduce"          # combinable aggregation: fn(a, b) -> merged
+    REDUCE_GROUP = "reduce_group"  # general group function: fn(key, group) -> iter
+    MATCH = "match"            # equi-join, record-at-a-time per pair
+    CROSS = "cross"            # cartesian product
+    COGROUP = "cogroup"        # full outer group pairing
+    INNER_COGROUP = "inner_cogroup"  # group pairing, key must exist on both sides
+
+    # Iteration pseudo-contracts (complex operators and their placeholders).
+    BULK_ITERATION = "bulk_iteration"
+    DELTA_ITERATION = "delta_iteration"
+    PARTIAL_SOLUTION = "partial_solution"
+    WORKSET = "workset"
+    SOLUTION_SET = "solution_set"
+
+    # Stateful operators that merge the solution-set index into a join
+    # or cogroup (Section 5.3: "we merge the S index into o").
+    SOLUTION_JOIN = "solution_join"
+    SOLUTION_COGROUP = "solution_cogroup"
+
+
+#: Contracts whose UDF consumes one record (or one record pair) at a time.
+#: These are the operators permitted on the dynamic data path of a
+#: microstep-executable delta iteration (Section 5.2).
+_RECORD_AT_A_TIME = frozenset(
+    {
+        Contract.MAP,
+        Contract.FLAT_MAP,
+        Contract.FILTER,
+        Contract.UNION,
+        Contract.MATCH,
+        Contract.CROSS,
+        Contract.SOLUTION_JOIN,
+    }
+)
+
+#: Contracts that require a full key group before invoking the UDF.
+_GROUP_AT_A_TIME = frozenset(
+    {
+        Contract.REDUCE,
+        Contract.REDUCE_GROUP,
+        Contract.COGROUP,
+        Contract.INNER_COGROUP,
+        Contract.SOLUTION_COGROUP,
+    }
+)
+
+#: Contracts with two data inputs.
+BINARY_CONTRACTS = frozenset(
+    {
+        Contract.MATCH,
+        Contract.CROSS,
+        Contract.COGROUP,
+        Contract.INNER_COGROUP,
+        Contract.UNION,
+        Contract.SOLUTION_JOIN,
+        Contract.SOLUTION_COGROUP,
+    }
+)
+
+#: Contracts that group or join by a key and therefore require their
+#: input(s) to be partitioned (or replicated) accordingly.
+KEYED_CONTRACTS = frozenset(
+    {
+        Contract.REDUCE,
+        Contract.REDUCE_GROUP,
+        Contract.MATCH,
+        Contract.COGROUP,
+        Contract.INNER_COGROUP,
+        Contract.SOLUTION_JOIN,
+        Contract.SOLUTION_COGROUP,
+    }
+)
+
+
+def is_record_at_a_time(contract: Contract) -> bool:
+    """True if the contract's UDF is invoked per record (pair)."""
+    return contract in _RECORD_AT_A_TIME
+
+
+def is_group_at_a_time(contract: Contract) -> bool:
+    """True if the contract's UDF needs a whole key group."""
+    return contract in _GROUP_AT_A_TIME
+
+
+def is_binary(contract: Contract) -> bool:
+    """True if the contract consumes two data inputs."""
+    return contract in BINARY_CONTRACTS
+
+
+def is_keyed(contract: Contract) -> bool:
+    """True if the contract operates on key groups / key-equal pairs."""
+    return contract in KEYED_CONTRACTS

@@ -1,0 +1,214 @@
+"""Execution environment: program entry point, sources, iteration builders.
+
+One environment models one cluster session: it fixes the parallelism,
+owns the metric collector, and provides the optimizer gateway.  Programs
+author logical plans via :class:`~repro.dataflow.dataset.DataSet` handles
+and trigger execution with :meth:`ExecutionEnvironment.collect` or
+:meth:`ExecutionEnvironment.execute`.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import InvalidPlanError
+from repro.dataflow.contracts import Contract
+from repro.dataflow.dataset import DataSet
+from repro.dataflow.graph import (
+    BulkIterationNode,
+    DeltaIterationNode,
+    LogicalNode,
+    LogicalPlan,
+)
+
+
+class BulkIteration:
+    """Builder for a bulk iteration ``(G, I, O, T)``; see Section 4.1."""
+
+    def __init__(self, env, node: BulkIterationNode):
+        self._env = env
+        self._node = node
+
+    @property
+    def partial_solution(self) -> DataSet:
+        """The dataset ``I`` — the latest partial solution inside the body."""
+        return DataSet(self._env, self._node.placeholder)
+
+    def close(self, body, termination=None, convergence_check=None) -> DataSet:
+        """Close the loop: ``body`` is ``O``, the next partial solution.
+
+        ``termination`` is a dataset inside the body; the iteration stops
+        at the first superstep after which it is empty (the criterion
+        ``T``).  Alternatively ``convergence_check(prev, new) -> bool``
+        compares materialized partial solutions.  With neither, the
+        iteration runs for exactly ``max_iterations`` supersteps (the
+        ``(G, I, O, n)`` form).
+        """
+        term_node = termination.node if termination is not None else None
+        self._node.close(body.node, term_node, convergence_check)
+        return DataSet(self._env, self._node)
+
+
+class DeltaIteration:
+    """Builder for an incremental (workset) iteration ``(Δ, S0, W0)``."""
+
+    def __init__(self, env, node: DeltaIterationNode):
+        self._env = env
+        self._node = node
+
+    @property
+    def solution_set(self) -> DataSet:
+        """The state ``S``; only usable as the stateful side of a join or
+        cogroup keyed on the iteration's solution key (Section 5.3)."""
+        return DataSet(self._env, self._node.solution_placeholder)
+
+    @property
+    def workset(self) -> DataSet:
+        """The current workset ``W``."""
+        return DataSet(self._env, self._node.workset_placeholder)
+
+    def close(self, delta, next_workset, should_replace=None,
+              mode="auto") -> DataSet:
+        """Close Δ: ``delta`` holds ``D`` (same schema as ``S``),
+        ``next_workset`` holds ``W_{i+1}``.
+
+        ``should_replace(new, old)`` is the CPO comparator of Section 5.1.
+        ``mode`` is one of ``superstep`` (batch-incremental),
+        ``microstep`` (per-element with supersteps), ``async``
+        (no barriers), or ``auto`` (microstep if eligible).
+        """
+        self._node.close(delta.node, next_workset.node, should_replace, mode)
+        return DataSet(self._env, self._node)
+
+
+class ExecutionEnvironment:
+    """Entry point for authoring and running dataflow programs."""
+
+    def __init__(self, parallelism: int = 4, optimize: bool = True,
+                 cost_weights=None):
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        self.parallelism = parallelism
+        self.optimize = optimize
+        self.cost_weights = cost_weights
+        from repro.runtime.metrics import MetricsCollector
+        self.metrics = MetricsCollector()
+        self._sinks: list[LogicalNode] = []
+        self.last_executor = None
+        self.last_plan = None
+        #: per-node physical overrides applied after planning:
+        #: {node id: {"ship": {input: ShipStrategy}, "local": LocalStrategy,
+        #:            "combiner": bool}} — used by experiments that force a
+        #: specific plan (e.g. the two PageRank plans of Figure 4)
+        self.plan_overrides: dict[int, dict] = {}
+        #: fault tolerance (Section 4.2): snapshot iteration state every k
+        #: supersteps (0 disables); see repro.runtime.recovery
+        self.checkpoint_interval: int = 0
+        #: callable(superstep) that may raise SimulatedFailure; tests and
+        #: benchmarks inject machine failures through this hook
+        self.failure_injector = None
+        #: populated after a run when checkpointing was active
+        self.last_checkpoint_store = None
+        #: asynchronous execution: how many queue elements one partition
+        #: drains per polling round (interleaving granularity; any value
+        #: must converge to the same fixpoint)
+        self.async_poll_batch: int = 64
+
+    # ------------------------------------------------------------------
+    # sources
+
+    def from_iterable(self, records, name=None) -> DataSet:
+        """Create a source from an in-memory record collection.
+
+        Records must be tuples; the collection is materialized eagerly so
+        the optimizer has an exact cardinality.
+        """
+        data = list(records)
+        node = LogicalNode(Contract.SOURCE, data=data, name=name or "source")
+        return DataSet(self, node)
+
+    def generate_sequence(self, count, fn=None, name=None) -> DataSet:
+        """Source of ``(i,)`` or ``fn(i)`` records for ``i`` in [0, count)."""
+        if fn is None:
+            fn = lambda i: (i,)
+        return self.from_iterable(
+            (fn(i) for i in range(count)), name=name or "sequence"
+        )
+
+    # ------------------------------------------------------------------
+    # iterations
+
+    def iterate_bulk(self, initial: DataSet, max_iterations: int,
+                     name=None) -> BulkIteration:
+        node = BulkIterationNode(initial.node, max_iterations,
+                                 name=name or "bulk_iteration")
+        return BulkIteration(self, node)
+
+    def iterate_delta(self, initial_solution: DataSet,
+                      initial_workset: DataSet, key_fields,
+                      max_iterations: int, name=None) -> DeltaIteration:
+        node = DeltaIterationNode(
+            initial_solution.node, initial_workset.node, key_fields,
+            max_iterations, name=name or "delta_iteration",
+        )
+        return DeltaIteration(self, node)
+
+    # ------------------------------------------------------------------
+    # execution
+
+    def _register_sink(self, sink: LogicalNode):
+        self._sinks.append(sink)
+
+    def _compile(self, plan: LogicalPlan):
+        plan.validate()
+        if self.optimize:
+            from repro.optimizer import optimize_plan
+            exec_plan = optimize_plan(plan, self)
+        else:
+            from repro.optimizer.naive import naive_plan
+            exec_plan = naive_plan(plan, self.parallelism)
+        for node_id, override in self.plan_overrides.items():
+            ann = exec_plan.annotations.get(node_id)
+            if ann is None:
+                continue
+            ann.ship.update(override.get("ship", {}))
+            if "local" in override:
+                ann.local = override["local"]
+            if "combiner" in override:
+                ann.combiner = override["combiner"]
+        return exec_plan
+
+    def _execute_plan(self, plan: LogicalPlan):
+        from repro.runtime.executor import Executor
+        exec_plan = self._compile(plan)
+        executor = Executor(self)
+        results = executor.run(exec_plan)
+        self.last_executor = executor
+        self.last_plan = exec_plan
+        return results
+
+    def collect(self, dataset: DataSet) -> list:
+        """Execute the plan rooted at ``dataset`` and return its records."""
+        sink = LogicalNode(Contract.SINK, [dataset.node], name="collect")
+        results = self._execute_plan(LogicalPlan([sink]))
+        return results[sink.id]
+
+    def execute(self) -> dict[str, list]:
+        """Execute all registered sinks; returns {sink name: records}."""
+        if not self._sinks:
+            raise InvalidPlanError("no sinks registered; nothing to execute")
+        results = self._execute_plan(LogicalPlan(list(self._sinks)))
+        return {sink.name: results[sink.id] for sink in self._sinks}
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    @property
+    def iteration_summaries(self):
+        if self.last_executor is None:
+            return []
+        return self.last_executor.iteration_summaries
+
+    def explain(self, dataset: DataSet) -> str:
+        """Return the optimizer's chosen physical plan as text, not running it."""
+        sink = LogicalNode(Contract.SINK, [dataset.node], name="explain")
+        exec_plan = self._compile(LogicalPlan([sink]))
+        return exec_plan.describe()

@@ -1,0 +1,36 @@
+"""Graph substrate: compact graphs, synthetic generators, dataset registry.
+
+The paper evaluates on four web/social graphs (Table 2) plus a FOAF
+subgraph (Figure 2).  Those datasets are not redistributable here, so
+:mod:`repro.graphs.generators` provides seeded synthetic generators that
+preserve the structural traits the evaluation depends on — degree
+distribution, density, and diameter — and
+:mod:`repro.graphs.datasets` registers scaled-down named datasets with
+the same roles (see DESIGN.md, substitution table).
+"""
+
+from repro.graphs.graph import Graph
+from repro.graphs.datasets import dataset_names, load_dataset
+from repro.graphs.generators import (
+    chained_communities,
+    erdos_renyi,
+    foaf_like,
+    overlapping_cliques,
+    preferential_attachment,
+    rmat,
+)
+from repro.graphs.stats import GraphStats, compute_stats
+
+__all__ = [
+    "Graph",
+    "GraphStats",
+    "chained_communities",
+    "compute_stats",
+    "dataset_names",
+    "erdos_renyi",
+    "foaf_like",
+    "load_dataset",
+    "overlapping_cliques",
+    "preferential_attachment",
+    "rmat",
+]

@@ -1,0 +1,116 @@
+"""Named datasets standing in for the paper's Table 2 graphs.
+
+Each dataset is a seeded synthetic graph scaled down ~1000× from the
+paper's, preserving the structural trait that drives its role in the
+evaluation (see DESIGN.md).  ``load_dataset(name)`` memoizes, so the
+benchmark suite generates each graph once per process.
+
+==================  =========================  ==========================
+name                paper counterpart          preserved trait
+==================  =========================  ==========================
+``wikipedia``       Wikipedia-EN (16.5M/220M)  power-law web graph,
+                                               avg degree ~13
+``webbase``         Webbase 2001 (116M/1.7B)   web crawl with a
+                                               huge-diameter component
+``hollywood``       Hollywood (2.0M/229M)      dense social graph,
+                                               avg degree ~115
+``twitter``         Twitter (41.7M/1.5B)       power-law follower graph,
+                                               avg degree ~35
+``foaf``            FOAF BTC subgraph          work-decay tail (Fig. 2)
+==================  =========================  ==========================
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.graphs import generators
+from repro.graphs.graph import Graph
+
+#: paper-reported properties, for the Table 2 report (vertices, edges)
+PAPER_PROPERTIES = {
+    "wikipedia": ("Wikipedia-EN", 16_513_969, 219_505_928, 13.29),
+    "webbase": ("Webbase", 115_657_290, 1_736_677_821, 15.02),
+    "hollywood": ("Hollywood", 1_985_306, 228_985_632, 115.34),
+    "twitter": ("Twitter", 41_652_230, 1_468_365_182, 35.25),
+}
+
+_BUILDERS = {}
+
+
+def _register(name):
+    def deco(fn):
+        _BUILDERS[name] = fn
+        return fn
+    return deco
+
+
+@_register("wikipedia")
+def _wikipedia(scale: int = 0) -> Graph:
+    # RMAT collapses duplicate edges; request a higher degree so the
+    # deduplicated graph lands near the paper's 13.3.  The straggler tail
+    # reproduces the original graph's convergence profile: the paper's CC
+    # runs need 14 supersteps on Wikipedia, not the ~6 a bare RMAT core
+    # would give.
+    core = generators.rmat(13 + scale, avg_degree=15.7, seed=11)
+    return generators.attach_tail(core, tail_length=8, seed=11,
+                                  name="wikipedia")
+
+
+@_register("webbase")
+def _webbase(scale: int = 0) -> Graph:
+    return generators.chained_communities(
+        num_communities=150 * (1 << scale), community_size=80,
+        intra_degree=13.0, bridges=1, seed=22, name="webbase",
+    )
+
+
+@_register("hollywood")
+def _hollywood(scale: int = 0) -> Graph:
+    return generators.overlapping_cliques(
+        num_vertices=1500 * (1 << scale), clique_size=40,
+        cliques_per_vertex=3.0, seed=33, name="hollywood",
+    )
+
+
+@_register("twitter")
+def _twitter(scale: int = 0) -> Graph:
+    # like wikipedia: a straggler tail reproduces the paper's 14-superstep
+    # convergence ("a large subset of the vertices finds its final
+    # component ID within the first four iterations", Sec. 6.2)
+    core = generators.rmat(13 + scale, avg_degree=47.0, seed=44)
+    return generators.attach_tail(core, tail_length=9, seed=44,
+                                  name="twitter")
+
+
+@_register("foaf")
+def _foaf(scale: int = 0) -> Graph:
+    return generators.foaf_like(6000 * (1 << scale), avg_degree=11.0,
+                                seed=55, name="foaf")
+
+
+@_register("sample9")
+def _sample9(scale: int = 0) -> Graph:
+    """The 9-vertex example graph of Figure 1 (vertex ids shifted to 0-8)."""
+    edges = [(0, 1), (1, 2), (0, 2), (2, 3), (4, 5), (5, 6), (6, 7),
+             (7, 8), (6, 8)]
+    return Graph(9, edges, name="sample9")
+
+
+def dataset_names() -> list[str]:
+    return sorted(_BUILDERS)
+
+
+@lru_cache(maxsize=None)
+def load_dataset(name: str, scale: int = 0) -> Graph:
+    """Build (or return the cached) named dataset.
+
+    ``scale`` doubles the vertex count per increment, for benchmarks
+    that want to study scaling behaviour beyond the defaults.
+    """
+    builder = _BUILDERS.get(name)
+    if builder is None:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {dataset_names()}"
+        )
+    return builder(scale=scale)

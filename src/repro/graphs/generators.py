@@ -1,0 +1,214 @@
+"""Seeded synthetic graph generators.
+
+Each generator targets one structural regime of the paper's datasets:
+
+* :func:`rmat` — power-law web/social graphs (Wikipedia, Twitter roles);
+* :func:`chained_communities` — huge-diameter crawl graphs (Webbase role,
+  whose largest component needs 744 supersteps to converge);
+* :func:`overlapping_cliques` — dense collaboration graphs (Hollywood
+  role, avg degree ~115);
+* :func:`foaf_like` — a social graph whose Connected Components work
+  decays like Figure 2 (most vertices converge in early supersteps, a
+  small tail keeps iterating);
+* :func:`erdos_renyi`, :func:`preferential_attachment` — classical
+  baselines for tests and property checks.
+
+All generators are deterministic in their ``seed``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+
+def erdos_renyi(num_vertices: int, avg_degree: float, seed: int = 0,
+                name: str = "erdos_renyi") -> Graph:
+    """G(n, m) random graph with ~``avg_degree`` stored entries per vertex."""
+    rng = np.random.default_rng(seed)
+    target_edges = int(num_vertices * avg_degree / 2)
+    src = rng.integers(0, num_vertices, size=target_edges)
+    dst = rng.integers(0, num_vertices, size=target_edges)
+    return Graph(num_vertices, np.stack([src, dst], axis=1), name=name)
+
+
+def preferential_attachment(num_vertices: int, edges_per_vertex: int,
+                            seed: int = 0,
+                            name: str = "preferential_attachment") -> Graph:
+    """Barabási–Albert-style growth: new vertices attach to popular ones."""
+    if edges_per_vertex < 1:
+        raise ValueError("edges_per_vertex must be >= 1")
+    rng = np.random.default_rng(seed)
+    # repeated-endpoint list trick: sampling uniformly from it is
+    # proportional to degree
+    targets = list(range(min(edges_per_vertex, num_vertices)))
+    repeated = list(targets)
+    edges = []
+    for v in range(len(targets), num_vertices):
+        chosen = rng.choice(len(repeated), size=edges_per_vertex)
+        for c in chosen:
+            u = repeated[int(c)]
+            edges.append((v, u))
+            repeated.append(u)
+        repeated.extend([v] * edges_per_vertex)
+    return Graph(num_vertices, edges, name=name)
+
+
+def rmat(scale: int, avg_degree: float, seed: int = 0,
+         a: float = 0.57, b: float = 0.19, c: float = 0.19,
+         name: str = "rmat") -> Graph:
+    """Recursive-matrix (Kronecker) generator: power-law, small-world.
+
+    ``scale`` is log2 of the vertex count.  Probabilities follow the
+    Graph500 defaults; ``d = 1 - a - b - c``.
+    """
+    num_vertices = 1 << scale
+    target_edges = int(num_vertices * avg_degree / 2)
+    rng = np.random.default_rng(seed)
+    src = np.zeros(target_edges, dtype=np.int64)
+    dst = np.zeros(target_edges, dtype=np.int64)
+    p_right = b + c  # probability mass in the right column blocks
+    for bit in range(scale):
+        r1 = rng.random(target_edges)
+        r2 = rng.random(target_edges)
+        go_right = r1 < p_right
+        # conditional probability of the bottom row given the column
+        p_bottom_given_right = c / p_right if p_right else 0.0
+        p_bottom_given_left = (1.0 - a - b - c) / (1.0 - p_right)
+        go_bottom = np.where(
+            go_right, r2 < p_bottom_given_right, r2 < p_bottom_given_left
+        )
+        src = (src << 1) | go_bottom.astype(np.int64)
+        dst = (dst << 1) | go_right.astype(np.int64)
+    # permute vertex ids so degree does not correlate with id
+    perm = rng.permutation(num_vertices)
+    return Graph(num_vertices, np.stack([perm[src], perm[dst]], axis=1),
+                 name=name)
+
+
+def chained_communities(num_communities: int, community_size: int,
+                        intra_degree: float = 12.0, bridges: int = 1,
+                        seed: int = 0,
+                        name: str = "chained_communities") -> Graph:
+    """Communities arranged in a long chain — a huge-diameter graph.
+
+    Adjacent communities are linked by ``bridges`` edges, so the graph's
+    diameter is Θ(number of communities) and label-propagation style
+    algorithms need that many supersteps to converge (the Webbase
+    regime of Figure 10).
+    """
+    rng = np.random.default_rng(seed)
+    num_vertices = num_communities * community_size
+    edge_chunks = []
+    per_community = int(community_size * intra_degree / 2)
+    for block in range(num_communities):
+        lo = block * community_size
+        src = rng.integers(lo, lo + community_size, size=per_community)
+        dst = rng.integers(lo, lo + community_size, size=per_community)
+        edge_chunks.append(np.stack([src, dst], axis=1))
+        if block + 1 < num_communities:
+            next_lo = lo + community_size
+            bsrc = rng.integers(lo, lo + community_size, size=bridges)
+            bdst = rng.integers(next_lo, next_lo + community_size, size=bridges)
+            edge_chunks.append(np.stack([bsrc, bdst], axis=1))
+    # a ring edge within each community keeps communities connected
+    for block in range(num_communities):
+        lo = block * community_size
+        ids = np.arange(lo, lo + community_size)
+        ring = np.stack([ids, np.roll(ids, -1)], axis=1)
+        edge_chunks.append(ring)
+    # Permute vertex ids: with block-contiguous numbering every
+    # community's minimum label would chase the global minimum down the
+    # chain forever (waves travel at equal speed and are never caught),
+    # keeping the whole graph churning in min-label algorithms.  Random
+    # ids make community minima random, so trailing waves die quickly —
+    # matching the fast-decay/long-tail behaviour of real crawl graphs.
+    edges = np.concatenate(edge_chunks)
+    perm = rng.permutation(num_vertices)
+    return Graph(num_vertices, perm[edges], name=name)
+
+
+def overlapping_cliques(num_vertices: int, clique_size: int,
+                        cliques_per_vertex: float = 2.0, seed: int = 0,
+                        name: str = "overlapping_cliques") -> Graph:
+    """Dense collaboration graph: actors linked by shared movies.
+
+    Samples ``num_vertices * cliques_per_vertex / clique_size`` cliques
+    of uniformly random members; produces the Hollywood regime (average
+    degree far above the web graphs)."""
+    rng = np.random.default_rng(seed)
+    num_cliques = max(1, int(num_vertices * cliques_per_vertex / clique_size))
+    edge_chunks = []
+    for _ in range(num_cliques):
+        members = rng.choice(num_vertices, size=clique_size, replace=False)
+        grid_a, grid_b = np.meshgrid(members, members)
+        mask = grid_a < grid_b
+        edge_chunks.append(
+            np.stack([grid_a[mask], grid_b[mask]], axis=1)
+        )
+    # connect everything loosely so there is one dominant component
+    ids = np.arange(num_vertices)
+    spine = np.stack([ids[:-1], ids[1:]], axis=1)
+    spine = spine[rng.random(len(spine)) < 0.05]
+    edge_chunks.append(spine)
+    return Graph(num_vertices, np.concatenate(edge_chunks), name=name)
+
+
+def attach_tail(graph: Graph, tail_length: int, seed: int = 0,
+                name: str = None) -> Graph:
+    """Append a straggler chain of ``tail_length`` vertices to a graph.
+
+    Real web and social graphs are not diameter-2 cores: their largest
+    components carry long filaments, which is why the paper's Connected
+    Components runs need 14 supersteps on Wikipedia/Twitter rather than
+    a handful.  The chain hangs off a random core vertex, raising the
+    convergence superstep count by ``tail_length`` without noticeably
+    changing size or degree statistics.
+    """
+    rng = np.random.default_rng(seed)
+    core = graph.num_vertices
+    src = np.repeat(np.arange(core, dtype=np.int64), np.diff(graph.indptr))
+    core_edges = np.stack([src, graph.indices], axis=1)
+    tail_ids = np.arange(core, core + tail_length)
+    chain = np.stack([
+        np.concatenate([[rng.integers(0, core)], tail_ids[:-1]]),
+        tail_ids,
+    ], axis=1)
+    return Graph(core + tail_length,
+                 np.concatenate([core_edges, chain]),
+                 name=name or graph.name)
+
+
+def foaf_like(num_vertices: int, avg_degree: float = 11.0, seed: int = 0,
+              name: str = "foaf_like") -> Graph:
+    """Friend-of-a-friend-style graph reproducing Figure 2's work decay.
+
+    A power-law core (most vertices, converging within a few supersteps)
+    plus a sparse long tail of chained stragglers that keeps a small
+    workset alive for tens of supersteps — matching the FOAF subgraph's
+    behaviour where iteration 30+ still touches a handful of vertices.
+    """
+    rng = np.random.default_rng(seed)
+    tail = max(16, num_vertices // 200)
+    core = num_vertices - tail
+    scale = max(4, int(np.ceil(np.log2(core))))
+    core_graph = rmat(scale, avg_degree, seed=seed, name="core")
+    edges = [
+        np.stack([
+            np.minimum(core_graph.indices, core - 1),
+            np.minimum(
+                np.repeat(np.arange(core_graph.num_vertices),
+                          np.diff(core_graph.indptr)),
+                core - 1,
+            ),
+        ], axis=1)
+    ]
+    # chain of stragglers hanging off the core
+    tail_ids = np.arange(core, num_vertices)
+    chain = np.stack([
+        np.concatenate([[rng.integers(0, core)], tail_ids[:-1]]),
+        tail_ids,
+    ], axis=1)
+    edges.append(chain)
+    return Graph(num_vertices, np.concatenate(edges), name=name)

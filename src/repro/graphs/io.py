@@ -1,0 +1,57 @@
+"""Edge-list persistence for graphs.
+
+The format is the ubiquitous whitespace-separated edge list used by SNAP
+and the WebGraph-derived datasets of Table 2: one ``src dst`` pair per
+line, ``#``-prefixed comment lines ignored.  Only one direction of each
+undirected edge needs to be stored; :class:`~repro.graphs.Graph`
+symmetrizes on load by default.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.graphs.graph import Graph
+
+
+def write_edge_list(graph: Graph, path: str, deduplicate: bool = True):
+    """Write the graph as a ``src dst`` text file with a header comment."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# {graph.name}: {graph.num_vertices} vertices, "
+                     f"{graph.num_edges} adjacency entries\n")
+        handle.write(f"# vertices {graph.num_vertices}\n")
+        for src, dst in graph.edge_tuples():
+            if deduplicate and src > dst:
+                continue  # store one direction; load symmetrizes
+            handle.write(f"{src} {dst}\n")
+
+
+def read_edge_list(path: str, num_vertices: int = None,
+                   symmetrize: bool = True, name: str = None) -> Graph:
+    """Read a ``src dst`` edge-list file.
+
+    ``num_vertices`` defaults to the ``# vertices N`` header if present,
+    else ``max endpoint + 1``.
+    """
+    edges = []
+    header_vertices = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if len(parts) == 2 and parts[0] == "vertices":
+                    header_vertices = int(parts[1])
+                continue
+            src_text, dst_text = line.split()[:2]
+            edges.append((int(src_text), int(dst_text)))
+    if num_vertices is None:
+        num_vertices = header_vertices
+    if num_vertices is None:
+        num_vertices = 1 + max(
+            (max(s, d) for s, d in edges), default=-1
+        )
+    return Graph(num_vertices, edges, symmetrize=symmetrize,
+                 name=name or os.path.splitext(os.path.basename(path))[0])

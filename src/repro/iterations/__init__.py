@@ -1,0 +1,43 @@
+"""Iteration constructs: fixpoint templates, solution sets, microstep analysis.
+
+The logical iteration *nodes* live in :mod:`repro.dataflow.graph`; this
+package holds the machinery behind them:
+
+* :mod:`repro.iterations.fixpoint` — the three iteration templates of
+  Table 1 (FIXPOINT, INCR, MICRO) as executable, engine-independent
+  reference implementations, plus CPO-based convergence checking.
+* :mod:`repro.iterations.solution_set` — the partitioned, key-indexed
+  solution set with the ``∪̇`` delta-union of Section 5.1.
+* :mod:`repro.iterations.microstep` — static eligibility analysis for
+  microstep execution (Section 5.2).
+* :mod:`repro.iterations.termination` — termination detection for
+  synchronous (empty workset vote) and asynchronous (acknowledgement
+  counting) execution.
+"""
+
+from repro.iterations.fixpoint import (
+    FixpointResult,
+    fixpoint_iterate,
+    incremental_iterate,
+    microstep_iterate,
+)
+from repro.iterations.microstep import MicrostepReport, analyze_microstep
+from repro.iterations.solution_set import SolutionSetIndex
+from repro.iterations.termination import (
+    AsyncTerminationDetector,
+    EmptyWorksetVote,
+)
+from repro.iterations.vertex_centric import run_vertex_centric
+
+__all__ = [
+    "AsyncTerminationDetector",
+    "EmptyWorksetVote",
+    "FixpointResult",
+    "MicrostepReport",
+    "SolutionSetIndex",
+    "analyze_microstep",
+    "fixpoint_iterate",
+    "incremental_iterate",
+    "microstep_iterate",
+    "run_vertex_centric",
+]

@@ -1,0 +1,116 @@
+"""Engine-independent iteration templates (Table 1 of the paper).
+
+These are the three abstract iteration schemes — FIXPOINT, INCR, MICRO —
+as executable higher-order functions.  They serve three purposes: as the
+semantic reference the dataflow engines are tested against, as the
+vehicle for the CPO convergence checks of Section 2.1, and as runnable
+documentation of the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import NotConvergedError
+
+
+@dataclass
+class FixpointResult:
+    """Final state plus the iteration trace."""
+
+    solution: object
+    iterations: int
+    converged: bool
+    #: per-iteration sizes of the working set (empty for FIXPOINT)
+    workset_sizes: list[int] = field(default_factory=list)
+    #: Kleene chain of partial solutions, recorded when ``trace=True``
+    chain: list = field(default_factory=list)
+
+
+def fixpoint_iterate(step, state, equals=None, max_iterations=10_000,
+                     order=None, trace=False) -> FixpointResult:
+    """Template FIXPOINT: ``while s != f(s): s = f(s)``.
+
+    Parameters
+    ----------
+    step:
+        The step function ``f``.
+    state:
+        The initial partial solution ``s``.
+    equals:
+        Equality test ``t(s, f(s))``; defaults to ``==``.  For continuous
+        domains pass an epsilon comparison.
+    order:
+        Optional :class:`~repro.common.ordering.PartialOrder`; when given,
+        every application of ``f`` is checked to produce a successor
+        state, raising ``ValueError`` otherwise (the convergence
+        precondition of Section 2.1).
+    trace:
+        Record the full Kleene chain in the result.
+    """
+    if equals is None:
+        equals = lambda a, b: a == b
+    chain = [state] if trace else []
+    for iteration in range(1, max_iterations + 1):
+        new_state = step(state)
+        if order is not None and not order.precedes(new_state, state):
+            raise ValueError(
+                f"step function violated the CPO at iteration {iteration}"
+            )
+        if trace:
+            chain.append(new_state)
+        if equals(state, new_state):
+            return FixpointResult(new_state, iteration, True, chain=chain)
+        state = new_state
+    raise NotConvergedError(max_iterations)
+
+
+def incremental_iterate(delta, update, state, workset, max_iterations=10_000,
+                        trace=False) -> FixpointResult:
+    """Template INCR: superstep-wise workset iteration.
+
+    Each superstep computes the next workset ``w' = δ(s, w)`` *before*
+    applying the updates ``s = u(s, w)``, matching algorithm INCR of
+    Table 1 (δ observes the pre-update state).
+    """
+    workset_sizes = []
+    chain = [state] if trace else []
+    for iteration in range(1, max_iterations + 1):
+        if not workset:
+            return FixpointResult(
+                state, iteration - 1, True,
+                workset_sizes=workset_sizes, chain=chain,
+            )
+        workset_sizes.append(len(workset))
+        next_workset = delta(state, workset)
+        state = update(state, workset)
+        if trace:
+            chain.append(state)
+        workset = next_workset
+    raise NotConvergedError(max_iterations)
+
+
+def microstep_iterate(delta, update, state, workset, max_steps=10_000_000,
+                      trace=False) -> FixpointResult:
+    """Template MICRO: one workset element at a time.
+
+    ``arb`` selection is FIFO here (deterministic); the state reflects
+    each update immediately, so ``δ`` runs against the freshest state —
+    the property that admits asynchronous execution (Section 2.2).
+    """
+    from collections import deque
+
+    queue = deque(workset)
+    steps = 0
+    chain = [state] if trace else []
+    while queue:
+        if steps >= max_steps:
+            raise NotConvergedError(steps)
+        element = queue.popleft()
+        steps += 1
+        state, changed = update(state, element)
+        if changed:
+            queue.extend(delta(state, element))
+            if trace:
+                chain.append(state)
+    return FixpointResult(state, steps, True, chain=chain)

@@ -1,0 +1,121 @@
+"""The partitioned solution set of an incremental iteration (Section 5).
+
+The solution set ``S`` is a bag of records uniquely identified by a key
+``k(s)``.  It lives partitioned by that key across all partitions, each
+partition holding a primary hash index, so that lookups from the stateful
+solution-join operator and point updates from the delta set are O(1)
+(Section 5.3).
+
+The delta union ``S ∪̇ D`` replaces the stored record on key collision;
+when a ``should_replace(new, old)`` comparator is supplied, a colliding
+record only replaces the stored one if the comparator approves — this is
+the CPO comparator of Section 5.1, which guarantees every applied update
+is a successor state and discards regressive updates.
+"""
+
+from __future__ import annotations
+
+from repro.common.keys import KeyExtractor
+from repro.common.hashing import partition_index
+
+
+class SolutionSetIndex:
+    """Hash-indexed, key-partitioned solution set with counted accesses."""
+
+    def __init__(self, key_fields, parallelism, metrics=None, should_replace=None):
+        self.key = KeyExtractor(key_fields)
+        self.parallelism = parallelism
+        self.metrics = metrics
+        self.should_replace = should_replace
+        self._partitions: list[dict] = [{} for _ in range(parallelism)]
+
+    # ------------------------------------------------------------------
+    # construction
+
+    @classmethod
+    def build(cls, records, key_fields, parallelism, metrics=None,
+              should_replace=None):
+        """Build the index from a flat or partitioned record collection.
+
+        Records are routed to partitions by the stable hash of their key,
+        matching the runtime's hash partitioner, so solution-join probes
+        arriving over a hash channel land in the right partition.
+        """
+        index = cls(key_fields, parallelism, metrics, should_replace)
+        if records and isinstance(records[0], list):
+            flat = (record for part in records for record in part)
+        else:
+            flat = iter(records)
+        for record in flat:
+            k = index.key(record)
+            index._partitions[partition_index(k, parallelism)][k] = record
+        return index
+
+    # ------------------------------------------------------------------
+    # reads
+
+    def lookup(self, partition: int, key_value):
+        """Partition-local point lookup; counts a solution-set access."""
+        if self.metrics is not None:
+            self.metrics.add_solution_access()
+        return self._partitions[partition].get(key_value)
+
+    def lookup_global(self, key_value):
+        """Route-by-key lookup (used by drivers that know only the key)."""
+        return self.lookup(partition_index(key_value, self.parallelism), key_value)
+
+    def contains(self, key_value) -> bool:
+        part = partition_index(key_value, self.parallelism)
+        return key_value in self._partitions[part]
+
+    def __len__(self):
+        return sum(len(p) for p in self._partitions)
+
+    def partition_sizes(self):
+        return [len(p) for p in self._partitions]
+
+    # ------------------------------------------------------------------
+    # writes (the ∪̇ operator)
+
+    def apply_record(self, record):
+        """Apply one delta record; returns the applied record or ``None``.
+
+        ``None`` means the comparator rejected the update (the stored
+        record already supersedes it), so the record contributes neither
+        to the solution nor — per Section 5.1 — to the reported delta.
+        """
+        k = self.key(record)
+        part = self._partitions[partition_index(k, self.parallelism)]
+        old = part.get(k)
+        if old is not None and self.should_replace is not None:
+            if not self.should_replace(record, old):
+                return None
+        part[k] = record
+        if self.metrics is not None:
+            self.metrics.add_solution_update()
+        return record
+
+    def apply_delta(self, records) -> list:
+        """Apply a batch of delta records; returns the accepted records."""
+        applied = []
+        for record in records:
+            accepted = self.apply_record(record)
+            if accepted is not None:
+                applied.append(accepted)
+        return applied
+
+    # ------------------------------------------------------------------
+    # export
+
+    def to_partitions(self) -> list[list]:
+        return [list(part.values()) for part in self._partitions]
+
+    def records(self) -> list:
+        return [record for part in self._partitions for record in part.values()]
+
+    def as_dict(self) -> dict:
+        """Key -> record over all partitions (test/debug helper)."""
+        merged = {}
+        for part in self._partitions:
+            merged.update(part)
+        return merged

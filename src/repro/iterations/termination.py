@@ -1,0 +1,78 @@
+"""Termination detection for synchronous and asynchronous iterations.
+
+Synchronous supersteps use the simple voting scheme of Section 5.3: at
+the superstep barrier every partition reports its produced-workset size,
+and the iteration ends when the global sum is zero.
+
+Asynchronous microstep execution has no barrier, so we implement a
+message-acknowledgement detector in the spirit of Lai/Tseng/Dong [27]:
+every enqueued workset element is a pending message, every processed
+element an acknowledgement, and the computation has terminated exactly
+when all partitions are idle and no message is unacknowledged.
+"""
+
+from __future__ import annotations
+
+
+class EmptyWorksetVote:
+    """Barrier-time vote: all partitions report their next-workset sizes."""
+
+    def __init__(self, parallelism: int):
+        self.parallelism = parallelism
+        self._votes: dict[int, int] = {}
+
+    def vote(self, partition: int, produced: int):
+        if not 0 <= partition < self.parallelism:
+            raise ValueError(f"partition {partition} out of range")
+        self._votes[partition] = produced
+
+    @property
+    def complete(self) -> bool:
+        return len(self._votes) == self.parallelism
+
+    def decide(self) -> bool:
+        """True iff the iteration should terminate (all votes are zero)."""
+        if not self.complete:
+            raise RuntimeError(
+                f"only {len(self._votes)}/{self.parallelism} partitions voted"
+            )
+        return all(v == 0 for v in self._votes.values())
+
+    def reset(self):
+        self._votes.clear()
+
+
+class AsyncTerminationDetector:
+    """Counts in-flight workset elements across partitions.
+
+    ``sent`` when an element is enqueued (locally or remotely), ``acked``
+    when a partition finishes processing it.  ``terminated`` holds when
+    every sent element has been acknowledged and all partitions report an
+    empty queue — at that point no future work can be generated, because
+    work is only generated while processing an element.
+    """
+
+    def __init__(self, parallelism: int):
+        self.parallelism = parallelism
+        self._sent = 0
+        self._acked = 0
+        self._idle = [True] * parallelism
+
+    def sent(self, count: int = 1):
+        self._sent += count
+
+    def acked(self, count: int = 1):
+        self._acked += count
+        if self._acked > self._sent:
+            raise RuntimeError("acknowledged more elements than were sent")
+
+    def set_idle(self, partition: int, idle: bool):
+        self._idle[partition] = idle
+
+    @property
+    def in_flight(self) -> int:
+        return self._sent - self._acked
+
+    @property
+    def terminated(self) -> bool:
+        return self.in_flight == 0 and all(self._idle)

@@ -1,0 +1,123 @@
+"""Pregel on top of the dataflow engine (Section 5.1's template).
+
+    "Every algorithm that can be expressed via a message-passing
+    interface can also be expressed as an incremental iteration.
+    S(vid, state) represents the graph states, and W(tid, vid, msg)
+    represents the messages sent from vertex vid to vertex tid."
+
+This module is that claim as code: :func:`run_vertex_centric` takes a
+vertex program written against the same surface as
+:class:`~repro.systems.pregel.vertex.VertexContext` and executes it as a
+delta iteration — the solution set holds the vertex states, the workset
+holds the messages, and one stateful CoGroup implements the superstep.
+The identical program object runs unchanged on the BSP engine and here
+(see ``tests/integration/test_vertex_centric.py``).
+
+Supported program surface: ``ctx.vertex_id``, ``ctx.state``,
+``ctx.is_initial``, ``ctx.num_vertices``, ``ctx.neighbors()``,
+``ctx.num_neighbors``, ``ctx.send_message(target, value)``,
+``ctx.send_message_to_all_neighbors(value)``, ``ctx.vote_to_halt()``.
+``ctx.superstep`` is *not* available — dataflow UDFs are superstep-
+agnostic by design; halting is implicit (a vertex runs exactly when it
+has messages, and the iteration ends when no messages exist), which is
+precisely Pregel's vote-to-halt-with-reactivation semantics.
+"""
+
+from __future__ import annotations
+
+from functools import reduce as _reduce
+
+#: sentinel message that activates every vertex in the first superstep
+_WAKE = object()
+
+
+class _DataflowVertexContext:
+    """The vertex-program view, backed by the delta iteration."""
+
+    __slots__ = ("vertex_id", "state", "is_initial", "num_vertices",
+                 "_graph", "_outbox")
+
+    def __init__(self, graph):
+        self._graph = graph
+        self.num_vertices = graph.num_vertices
+        self.vertex_id = -1
+        self.state = None
+        self.is_initial = False
+        self._outbox = []
+
+    def _reset(self, vertex_id, state, is_initial):
+        self.vertex_id = vertex_id
+        self.state = state
+        self.is_initial = is_initial
+        self._outbox = []
+
+    def neighbors(self):
+        return self._graph.neighbors(self.vertex_id)
+
+    @property
+    def num_neighbors(self) -> int:
+        return self._graph.degree(self.vertex_id)
+
+    def send_message(self, target: int, value):
+        self._outbox.append((target, value))
+
+    def send_message_to_all_neighbors(self, value):
+        outbox = self._outbox
+        for target in self.neighbors().tolist():
+            outbox.append((target, value))
+
+    def vote_to_halt(self):
+        """No-op: halting is implicit — a vertex without messages sleeps."""
+
+
+def run_vertex_centric(env, graph, compute, initial_state, combiner=None,
+                       max_supersteps: int = 1_000_000) -> dict[int, object]:
+    """Execute a vertex program as an incremental iteration.
+
+    Parameters mirror :class:`~repro.systems.pregel.PregelMaster`: the
+    ``compute(ctx, messages)`` program, the per-vertex ``initial_state``
+    function, and an optional associative ``combiner`` applied to a
+    vertex's incoming messages before delivery.
+
+    Returns ``{vertex id: final state}``.
+    """
+    solution0 = env.from_iterable(
+        ((v, initial_state(v)) for v in range(graph.num_vertices)),
+        name="vertex_states",
+    )
+    workset0 = env.from_iterable(
+        ((v, _WAKE) for v in range(graph.num_vertices)), name="wake_all"
+    )
+    iteration = env.iterate_delta(
+        solution0, workset0, key_fields=0,
+        max_iterations=max_supersteps, name="vertex_centric",
+    )
+    ctx = _DataflowVertexContext(graph)
+
+    def superstep(vid, inbox, stored):
+        """One vertex invocation: Δ combines state and messages, emits
+        tagged records — ('S', vid, state) updates and ('M', tid, value)
+        messages — exactly the (D, W') pair of Section 5.1."""
+        _vid, state = stored[0]
+        is_initial = any(m[1] is _WAKE for m in inbox)
+        values = [m[1] for m in inbox if m[1] is not _WAKE]
+        if combiner is not None and len(values) > 1:
+            values = [_reduce(combiner, values)]
+        ctx._reset(vid, state, is_initial)
+        compute(ctx, values)
+        if ctx.state != state:
+            yield ("S", vid, ctx.state)
+        for target, value in ctx._outbox:
+            yield ("M", target, value)
+
+    step = iteration.workset.cogroup(
+        iteration.solution_set, 0, 0, superstep, name="superstep"
+    )
+    delta = step.filter(
+        lambda r: r[0] == "S", name="state_updates"
+    ).map(lambda r: (r[1], r[2]), name="to_solution_schema")
+    messages = step.filter(
+        lambda r: r[0] == "M", name="messages"
+    ).map(lambda r: (r[1], r[2]), name="to_workset_schema")
+    result = iteration.close(delta, messages, mode="superstep")
+    return dict(result.collect())

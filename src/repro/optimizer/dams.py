@@ -1,0 +1,118 @@
+"""Dam (materialization-barrier) placement for iterations (Section 4.2).
+
+Pipelined execution of an iterative dataflow risks two hazards:
+
+1. **Premature feedback**: the body output ``O`` may receive records
+   before the termination criterion ``T`` has decided whether another
+   superstep happens.  A dam must hold ``O``'s records back — unless the
+   operator consuming the partial solution ``I`` materializes its input
+   anyway (a sort buffer or hash table), in which case that
+   materialization point serves as the dam.
+2. **Superstep overlap**: with feedback-channel execution, an operator
+   could receive records of superstep ``i+1`` while still processing
+   superstep ``i``.  The feedback channel must dam the flow unless the
+   dynamic data path already contains at least two materializing
+   operators.
+
+This module analyzes an annotated plan and reports which dams are
+required; the executor's operator-at-a-time evaluation implicitly
+materializes everything (every dam is trivially satisfied), so the
+analysis exists to make the paper's placement rules explicit and
+testable, and to annotate plans for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dataflow.contracts import Contract
+from repro.dataflow.graph import dynamic_path_nodes
+from repro.runtime.plan import LocalStrategy
+
+
+@dataclass
+class DamReport:
+    """Where an iteration's plan needs materialization barriers."""
+
+    #: (node, input index) pairs on the dynamic path whose local strategy
+    #: materializes that input (hash-table build sides, sort buffers, ...)
+    materialization_points: list = field(default_factory=list)
+    #: the feedback channel must fully materialize each superstep's result
+    feedback_dam: bool = False
+    #: an extra dam must hold the body output until T decides
+    output_dam: bool = False
+
+    @property
+    def num_materializing(self) -> int:
+        return len(self.materialization_points)
+
+
+def materializing_inputs(node, local: LocalStrategy) -> tuple[int, ...]:
+    """Input slots that the local strategy materializes before producing."""
+    if local is LocalStrategy.HASH_BUILD_LEFT:
+        return (0,)
+    if local is LocalStrategy.HASH_BUILD_RIGHT:
+        return (1,)
+    if local is LocalStrategy.SORT_MERGE:
+        return (0, 1)
+    if local in (LocalStrategy.HASH_AGGREGATE, LocalStrategy.SORT_AGGREGATE):
+        return (0,)
+    if local is LocalStrategy.SORT_COGROUP:
+        return (0, 1)
+    if local is LocalStrategy.SOLUTION_GROUP:
+        return (0,)
+    if node.contract in (Contract.REDUCE_GROUP, Contract.COGROUP,
+                         Contract.INNER_COGROUP):
+        # grouping always materializes, whatever the flavour
+        return tuple(range(len(node.inputs)))
+    return ()
+
+
+def analyze_dams(iteration, exec_plan) -> DamReport:
+    """Apply the Section 4.2 placement rules to a bulk iteration's plan."""
+    report = DamReport()
+    dynamic = dynamic_path_nodes(iteration)
+    dynamic_ids = {n.id for n in dynamic}
+
+    for node in dynamic:
+        if node.is_placeholder():
+            continue
+        ann = exec_plan.annotation(node)
+        for input_index in materializing_inputs(node, ann.local):
+            producer = node.inputs[input_index]
+            if producer.id in dynamic_ids:
+                report.materialization_points.append((node, input_index))
+
+    # Rule 2: fewer than two materializing operators on the dynamic path
+    # means records of consecutive supersteps could overlap in a pipeline.
+    report.feedback_dam = report.num_materializing < 2
+
+    # Rule 1: with a termination criterion, O must not emit into the next
+    # superstep before T decides — unless I's consumer materializes.
+    termination = getattr(iteration, "termination", None)
+    if termination is not None:
+        report.output_dam = not _placeholder_consumer_materializes(
+            iteration, exec_plan
+        )
+        if report.output_dam:
+            ann = exec_plan.annotation(iteration.body_output)
+            ann.dams.add(0)
+    return report
+
+
+def _placeholder_consumer_materializes(iteration, exec_plan) -> bool:
+    """True if *every* consumer of ``I`` materializes its placeholder
+    input — those materialization points then serve as the dam.  A single
+    streaming consumer would let next-superstep records leak in early,
+    so it forces an explicit dam at ``O``."""
+    placeholder = iteration.placeholder
+    found_consumer = False
+    for node in dynamic_path_nodes(iteration):
+        for input_index, producer in enumerate(node.inputs):
+            if producer.id != placeholder.id:
+                continue
+            found_consumer = True
+            ann = exec_plan.annotation(node)
+            if input_index not in materializing_inputs(node, ann.local):
+                return False
+    return found_consumer

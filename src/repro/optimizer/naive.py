@@ -1,0 +1,79 @@
+"""Naive (rule-based) planner: always-correct default strategies.
+
+This is the no-optimizer baseline: hash-partition every keyed input,
+build hash tables on the right join side, broadcast cross inputs, and
+gather at sinks.  The cost-based optimizer produces the same annotation
+structure with better choices; keeping this planner separate makes the
+optimizer's improvements measurable (see the Figure 4 benchmark).
+"""
+
+from __future__ import annotations
+
+from repro.dataflow.contracts import Contract
+from repro.iterations.microstep import analyze_microstep
+from repro.runtime.plan import (
+    BROADCAST,
+    ExecutionPlan,
+    FORWARD,
+    GATHER,
+    LocalStrategy,
+    partition_on,
+)
+
+
+def annotate_node_naive(node, exec_plan):
+    """Assign default strategies for one logical node."""
+    ann = exec_plan.annotation(node)
+    contract = node.contract
+    if contract is Contract.SINK:
+        ann.ship[0] = GATHER
+    elif contract in (Contract.REDUCE, Contract.REDUCE_GROUP):
+        ann.ship[0] = partition_on(node.key_fields[0])
+        if contract is Contract.REDUCE:
+            ann.local = LocalStrategy.HASH_AGGREGATE
+            ann.combiner = node.combinable
+    elif contract is Contract.MATCH:
+        ann.ship[0] = partition_on(node.key_fields[0])
+        ann.ship[1] = partition_on(node.key_fields[1])
+        ann.local = LocalStrategy.HASH_BUILD_RIGHT
+    elif contract in (Contract.COGROUP, Contract.INNER_COGROUP):
+        ann.ship[0] = partition_on(node.key_fields[0])
+        ann.ship[1] = partition_on(node.key_fields[1])
+        ann.local = LocalStrategy.SORT_COGROUP
+    elif contract is Contract.CROSS:
+        ann.ship[0] = FORWARD
+        ann.ship[1] = BROADCAST
+        ann.local = LocalStrategy.NESTED_LOOP
+    elif contract in (Contract.SOLUTION_JOIN, Contract.SOLUTION_COGROUP):
+        ann.ship[0] = partition_on(node.key_fields[0])
+        ann.local = (
+            LocalStrategy.SOLUTION_PROBE
+            if contract is Contract.SOLUTION_JOIN
+            else LocalStrategy.SOLUTION_GROUP
+        )
+    else:
+        for idx in range(len(node.inputs)):
+            ann.ship[idx] = FORWARD
+    return ann
+
+
+def resolve_iteration_mode(node) -> str:
+    """Resolve a delta iteration's execution mode ('auto' picks by analysis)."""
+    if node.mode == "auto":
+        report = analyze_microstep(node)
+        return "microstep" if report.eligible else "superstep"
+    return node.mode
+
+
+def naive_plan(logical_plan, parallelism) -> ExecutionPlan:
+    """Annotate every node (iteration bodies included) with defaults."""
+    from repro.optimizer import _fixup_microstep
+    exec_plan = ExecutionPlan(logical_plan)
+    for node in logical_plan.nodes():
+        annotate_node_naive(node, exec_plan)
+        if node.contract is Contract.DELTA_ITERATION:
+            mode = resolve_iteration_mode(node)
+            exec_plan.iteration_modes[node.id] = mode
+            if mode in ("microstep", "async"):
+                _fixup_microstep(exec_plan, node)
+    return exec_plan

@@ -1,0 +1,79 @@
+"""Cardinality estimation for the cost model.
+
+Sources carry exact sizes (they are in-memory collections); everything
+else uses textbook default selectivities, overridable per operator with
+``DataSet.with_estimated_size``.  The estimates only steer strategy
+choices — correctness never depends on them.
+"""
+
+from __future__ import annotations
+
+from repro.dataflow.contracts import Contract
+
+#: default output/input ratio per contract
+FILTER_SELECTIVITY = 0.5
+FLAT_MAP_EXPANSION = 2.0
+REDUCE_COMPRESSION = 0.5
+JOIN_MATCH_RATE = 1.0  # FK-join assumption: |out| ~ max(|L|, |R|)
+
+DEFAULT_SIZE = 1_000.0
+
+
+class Statistics:
+    """Memoized size estimator over a logical plan region."""
+
+    def __init__(self, placeholder_sizes=None):
+        self._memo: dict[int, float] = {}
+        self.placeholder_sizes = placeholder_sizes or {}
+
+    def size(self, node) -> float:
+        cached = self._memo.get(node.id)
+        if cached is not None:
+            return cached
+        estimate = self._estimate(node)
+        self._memo[node.id] = estimate
+        return estimate
+
+    def _estimate(self, node) -> float:
+        if node.estimated_size is not None:
+            return float(node.estimated_size)
+        contract = node.contract
+        if node.is_placeholder():
+            return float(self.placeholder_sizes.get(node.id, DEFAULT_SIZE))
+        if contract is Contract.SOURCE:
+            return float(len(node.data or ()))
+        if contract is Contract.SINK:
+            return self.size(node.inputs[0])
+        if contract in (Contract.BULK_ITERATION, Contract.DELTA_ITERATION):
+            return self.size(node.inputs[0])
+        if contract is Contract.MAP:
+            return self.size(node.inputs[0])
+        if contract is Contract.FLAT_MAP:
+            return self.size(node.inputs[0]) * FLAT_MAP_EXPANSION
+        if contract is Contract.FILTER:
+            return self.size(node.inputs[0]) * FILTER_SELECTIVITY
+        if contract in (Contract.REDUCE, Contract.REDUCE_GROUP):
+            return max(1.0, self.size(node.inputs[0]) * REDUCE_COMPRESSION)
+        if contract is Contract.UNION:
+            return self.size(node.inputs[0]) + self.size(node.inputs[1])
+        if contract is Contract.CROSS:
+            return self.size(node.inputs[0]) * self.size(node.inputs[1])
+        if contract in (Contract.MATCH, Contract.SOLUTION_JOIN):
+            left = self.size(node.inputs[0])
+            right = self._input_or_default(node, 1, left)
+            return max(left, right) * JOIN_MATCH_RATE
+        if contract in (
+            Contract.COGROUP, Contract.INNER_COGROUP, Contract.SOLUTION_COGROUP,
+        ):
+            left = self.size(node.inputs[0])
+            right = self._input_or_default(node, 1, left)
+            return max(1.0, max(left, right) * REDUCE_COMPRESSION)
+        return DEFAULT_SIZE
+
+    def _input_or_default(self, node, index, default) -> float:
+        if index >= len(node.inputs):
+            return default
+        producer = node.inputs[index]
+        if producer.contract is Contract.SOLUTION_SET:
+            return float(self.placeholder_sizes.get(producer.id, default))
+        return self.size(producer)

@@ -1,0 +1,89 @@
+"""Graphviz (DOT) rendering of logical and physical plans.
+
+``plan_to_dot`` draws the operator DAG with iteration bodies as
+clusters; when an :class:`~repro.runtime.plan.ExecutionPlan` is
+supplied, edges carry their shipping strategies and nodes their local
+strategies — the same information ``ExecutionPlan.describe`` prints,
+but in a shape suitable for papers and debugging sessions:
+
+    dot = plan_to_dot(env.last_plan.logical_plan, env.last_plan)
+    open("plan.dot", "w").write(dot)   # render with `dot -Tsvg`
+"""
+
+from __future__ import annotations
+
+from repro.dataflow.contracts import Contract
+from repro.dataflow.graph import iteration_body_nodes, topological_order
+
+_SHAPES = {
+    Contract.SOURCE: "cylinder",
+    Contract.SINK: "cds",
+    Contract.BULK_ITERATION: "doubleoctagon",
+    Contract.DELTA_ITERATION: "doubleoctagon",
+    Contract.PARTIAL_SOLUTION: "invhouse",
+    Contract.WORKSET: "invhouse",
+    Contract.SOLUTION_SET: "house",
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', r"\"")
+
+
+def _node_line(node, exec_plan) -> str:
+    shape = _SHAPES.get(node.contract, "box")
+    label = node.name
+    if exec_plan is not None:
+        ann = exec_plan.annotations.get(node.id)
+        if ann is not None and ann.local.value != "none":
+            label += f"\\n[{ann.local.value}]"
+    return f'  n{node.id} [label="{_escape(label)}", shape={shape}];'
+
+
+def _edge_line(producer, consumer, input_index, exec_plan) -> str:
+    attrs = ""
+    if exec_plan is not None:
+        ann = exec_plan.annotations.get(consumer.id)
+        if ann is not None and input_index in ann.ship:
+            strategy = ann.ship[input_index].describe()
+            if strategy != "forward":
+                attrs = f' [label="{_escape(strategy)}"]'
+    return f"  n{producer.id} -> n{consumer.id}{attrs};"
+
+
+def plan_to_dot(logical_plan, exec_plan=None) -> str:
+    """Render a plan (optionally with physical annotations) as DOT text."""
+    lines = [
+        "digraph plan {",
+        "  rankdir=BT;",
+        '  node [fontname="Helvetica", fontsize=10];',
+        '  edge [fontname="Helvetica", fontsize=9];',
+    ]
+    emitted: set[int] = set()
+    edges: list[str] = []
+
+    def emit(node, indent="  "):
+        if node.id in emitted:
+            return
+        emitted.add(node.id)
+        lines.append(indent + _node_line(node, exec_plan).strip())
+        for idx, producer in enumerate(node.inputs):
+            edges.append(_edge_line(producer, node, idx, exec_plan))
+
+    outer = topological_order(logical_plan.sinks)
+    iterations = [n for n in outer if n.is_iteration()]
+    for node in outer:
+        if not node.is_iteration():
+            emit(node)
+        else:
+            emit(node)  # the complex operator itself
+    for iteration in iterations:
+        lines.append(f"  subgraph cluster_{iteration.id} {{")
+        lines.append(f'    label="{_escape(iteration.name)} body";')
+        lines.append("    style=dashed;")
+        for body_node in iteration_body_nodes(iteration):
+            emit(body_node, indent="    ")
+        lines.append("  }")
+    lines.extend(sorted(set(edges)))
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Simulated shared-nothing runtime ("Nephele" stand-in).
+
+The runtime executes physical plans over ``parallelism`` logical
+partitions.  Data movement goes through explicit shipping channels that
+count local and remote record transfers, so the network behaviour the
+paper reasons about (partitioning vs broadcasting, constant-path caching,
+workset traffic) is observable even though everything runs in one process.
+"""
+
+from repro.runtime.executor import Executor
+from repro.runtime.metrics import IterationStats, MetricsCollector
+from repro.runtime.plan import ExecutionPlan, LocalStrategy, ShipKind, ShipStrategy
+
+__all__ = [
+    "ExecutionPlan",
+    "Executor",
+    "IterationStats",
+    "LocalStrategy",
+    "MetricsCollector",
+    "ShipKind",
+    "ShipStrategy",
+]

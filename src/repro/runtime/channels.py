@@ -1,0 +1,110 @@
+"""Shipping channels between operators of the simulated cluster.
+
+A dataset at rest is a list of ``parallelism`` partitions, each a list of
+tuple records.  Shipping a dataset re-routes records according to a
+:class:`~repro.runtime.plan.ShipStrategy`; every record transfer is
+counted as local (stays in its partition) or remote (crosses a partition
+boundary — a "network message" in the paper's terms).
+
+Hashing is deterministic across processes so that plans, tests, and
+benchmarks are reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.common.hashing import partition_index, stable_hash
+from repro.common.keys import KeyExtractor
+from repro.runtime.plan import ShipKind
+
+
+def empty_partitions(parallelism: int) -> list[list]:
+    return [[] for _ in range(parallelism)]
+
+
+def ship(partitions, strategy, parallelism, metrics=None):
+    """Move ``partitions`` according to ``strategy``; returns new partitions.
+
+    The input partition count may differ from ``parallelism`` only for
+    FORWARD when they already agree; partition-changing strategies always
+    produce exactly ``parallelism`` output partitions.
+    """
+    kind = strategy.kind
+    if kind is ShipKind.FORWARD:
+        return _ship_forward(partitions, parallelism, metrics)
+    if kind is ShipKind.PARTITION_HASH:
+        return _ship_hash(partitions, strategy.key_fields, parallelism, metrics)
+    if kind is ShipKind.BROADCAST:
+        return _ship_broadcast(partitions, parallelism, metrics)
+    if kind is ShipKind.GATHER:
+        return _ship_gather(partitions, parallelism, metrics)
+    raise ValueError(f"unknown ship kind {kind}")
+
+
+def _ship_forward(partitions, parallelism, metrics):
+    if len(partitions) != parallelism:
+        raise ValueError(
+            f"forward shipping cannot change the partition count "
+            f"({len(partitions)} -> {parallelism})"
+        )
+    if metrics is not None:
+        metrics.add_shipped(local=sum(len(p) for p in partitions), remote=0)
+    return [list(p) for p in partitions]
+
+
+def _ship_hash(partitions, key_fields, parallelism, metrics):
+    extract = KeyExtractor(key_fields)
+    out = empty_partitions(parallelism)
+    local = 0
+    remote = 0
+    for source_index, part in enumerate(partitions):
+        for record in part:
+            target = partition_index(extract(record), parallelism)
+            out[target].append(record)
+            if target == source_index:
+                local += 1
+            else:
+                remote += 1
+    if metrics is not None:
+        metrics.add_shipped(local=local, remote=remote)
+    return out
+
+def _ship_broadcast(partitions, parallelism, metrics):
+    all_records = [record for part in partitions for record in part]
+    if metrics is not None:
+        metrics.add_shipped(
+            local=len(all_records),
+            remote=len(all_records) * (parallelism - 1),
+        )
+    return [list(all_records) for _ in range(parallelism)]
+
+
+def _ship_gather(partitions, parallelism, metrics):
+    local = len(partitions[0]) if partitions else 0
+    remote = sum(len(p) for p in partitions[1:])
+    if metrics is not None:
+        metrics.add_shipped(local=local, remote=remote)
+    out = empty_partitions(parallelism)
+    out[0] = [record for part in partitions for record in part]
+    return out
+
+
+def merge(partitions) -> list:
+    """Flatten partitions into one list (driver-side collect)."""
+    return [record for part in partitions for record in part]
+
+
+def partition_records(records, key_fields, parallelism) -> list[list]:
+    """Hash-partition a flat record list (used to load initial datasets)."""
+    extract = KeyExtractor(key_fields)
+    out = empty_partitions(parallelism)
+    for record in records:
+        out[partition_index(extract(record), parallelism)].append(record)
+    return out
+
+
+def round_robin(records, parallelism) -> list[list]:
+    """Spread a flat record list evenly (source loading, key-less data)."""
+    out = empty_partitions(parallelism)
+    for i, record in enumerate(records):
+        out[i % parallelism].append(record)
+    return out

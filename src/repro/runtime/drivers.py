@@ -1,0 +1,273 @@
+"""Per-partition physical operator implementations (local strategies).
+
+Each driver consumes the partition-local input record lists of one
+operator and produces the partition-local output list.  Drivers are pure
+with respect to the partition: all cross-partition movement has already
+happened in the shipping channel, exactly as in a shared-nothing engine.
+
+Join and aggregation drivers come in hash- and sort-based flavours; the
+optimizer picks between them (Section 4.3), and the sort-based flavours
+establish sort order as a physical property downstream operators can
+reuse.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.common.errors import InvalidPlanError
+from repro.common.keys import KeyExtractor
+from repro.dataflow.contracts import Contract
+from repro.runtime.plan import LocalStrategy
+
+
+def _emit_join_result(result, flat, out):
+    if result is None:
+        return
+    if flat:
+        out.extend(result)
+    else:
+        out.append(result)
+
+
+# ----------------------------------------------------------------------
+# record-at-a-time drivers
+
+
+def run_map(node, inputs, metrics):
+    records = inputs[0]
+    metrics.add_processed(node.name, len(records))
+    fn = node.udf
+    return [fn(record) for record in records]
+
+
+def run_flat_map(node, inputs, metrics):
+    records = inputs[0]
+    metrics.add_processed(node.name, len(records))
+    fn = node.udf
+    out = []
+    for record in records:
+        out.extend(fn(record))
+    return out
+
+
+def run_filter(node, inputs, metrics):
+    records = inputs[0]
+    metrics.add_processed(node.name, len(records))
+    fn = node.udf
+    return [record for record in records if fn(record)]
+
+
+def run_union(node, inputs, metrics):
+    left, right = inputs
+    metrics.add_processed(node.name, len(left) + len(right))
+    return list(left) + list(right)
+
+
+# ----------------------------------------------------------------------
+# joins
+
+
+def run_hash_join(node, inputs, metrics, build_left: bool):
+    left, right = inputs
+    metrics.add_processed(node.name, len(left) + len(right))
+    left_key = KeyExtractor(node.key_fields[0])
+    right_key = KeyExtractor(node.key_fields[1])
+    fn = node.udf
+    flat = getattr(node, "flat", False)
+    out = []
+    if build_left:
+        table = defaultdict(list)
+        for record in left:
+            table[left_key(record)].append(record)
+        for probe in right:
+            for build in table.get(right_key(probe), ()):
+                _emit_join_result(fn(build, probe), flat, out)
+    else:
+        table = defaultdict(list)
+        for record in right:
+            table[right_key(record)].append(record)
+        for probe in left:
+            for build in table.get(left_key(probe), ()):
+                _emit_join_result(fn(probe, build), flat, out)
+    return out
+
+
+def run_sort_merge_join(node, inputs, metrics):
+    left, right = inputs
+    metrics.add_processed(node.name, len(left) + len(right))
+    left_key = KeyExtractor(node.key_fields[0])
+    right_key = KeyExtractor(node.key_fields[1])
+    fn = node.udf
+    flat = getattr(node, "flat", False)
+    lsorted = sorted(left, key=left_key)
+    rsorted = sorted(right, key=right_key)
+    out = []
+    i = j = 0
+    nl, nr = len(lsorted), len(rsorted)
+    while i < nl and j < nr:
+        lk = left_key(lsorted[i])
+        rk = right_key(rsorted[j])
+        if lk < rk:
+            i += 1
+        elif rk < lk:
+            j += 1
+        else:
+            i_end = i
+            while i_end < nl and left_key(lsorted[i_end]) == lk:
+                i_end += 1
+            j_end = j
+            while j_end < nr and right_key(rsorted[j_end]) == rk:
+                j_end += 1
+            for a in range(i, i_end):
+                for b in range(j, j_end):
+                    _emit_join_result(fn(lsorted[a], rsorted[b]), flat, out)
+            i, j = i_end, j_end
+    return out
+
+
+# ----------------------------------------------------------------------
+# aggregations and groupings
+
+
+def run_hash_aggregate(node, inputs, metrics):
+    """Combinable REDUCE via an updateable hash table."""
+    records = inputs[0]
+    metrics.add_processed(node.name, len(records))
+    key = KeyExtractor(node.key_fields[0])
+    fn = node.udf
+    table = {}
+    for record in records:
+        k = key(record)
+        held = table.get(k)
+        table[k] = record if held is None else fn(held, record)
+    return list(table.values())
+
+
+def run_sort_aggregate(node, inputs, metrics):
+    """Combinable REDUCE over key-sorted runs; output is key-sorted."""
+    records = inputs[0]
+    metrics.add_processed(node.name, len(records))
+    key = KeyExtractor(node.key_fields[0])
+    fn = node.udf
+    out = []
+    current_key = _SENTINEL = object()
+    acc = None
+    for record in sorted(records, key=key):
+        k = key(record)
+        if k != current_key:
+            if acc is not None:
+                out.append(acc)
+            current_key, acc = k, record
+        else:
+            acc = fn(acc, record)
+    if acc is not None:
+        out.append(acc)
+    return out
+
+
+def run_reduce_group(node, inputs, metrics):
+    records = inputs[0]
+    metrics.add_processed(node.name, len(records))
+    key = KeyExtractor(node.key_fields[0])
+    fn = node.udf
+    groups = defaultdict(list)
+    for record in records:
+        groups[key(record)].append(record)
+    out = []
+    for k, group in groups.items():
+        out.extend(fn(k, group))
+    return out
+
+
+def run_cogroup(node, inputs, metrics, inner: bool):
+    left, right = inputs
+    metrics.add_processed(node.name, len(left) + len(right))
+    left_key = KeyExtractor(node.key_fields[0])
+    right_key = KeyExtractor(node.key_fields[1])
+    fn = node.udf
+    left_groups = defaultdict(list)
+    for record in left:
+        left_groups[left_key(record)].append(record)
+    right_groups = defaultdict(list)
+    for record in right:
+        right_groups[right_key(record)].append(record)
+    if inner:
+        keys = left_groups.keys() & right_groups.keys()
+    else:
+        keys = left_groups.keys() | right_groups.keys()
+    out = []
+    for k in keys:
+        out.extend(fn(k, left_groups.get(k, []), right_groups.get(k, [])))
+    return out
+
+
+def run_cross(node, inputs, metrics):
+    left, right = inputs
+    metrics.add_processed(node.name, len(left) * max(1, len(right)))
+    fn = node.udf
+    out = []
+    for a in left:
+        for b in right:
+            result = fn(a, b)
+            if result is not None:
+                out.append(result)
+    return out
+
+
+# ----------------------------------------------------------------------
+# combiner (pre-shuffle partial aggregation for combinable REDUCE)
+
+
+def apply_combiner(node, partitions, metrics):
+    """Partially aggregate each partition before shipping (Sec. 6.1)."""
+    key = KeyExtractor(node.key_fields[0])
+    fn = node.udf
+    combined = []
+    for part in partitions:
+        table = {}
+        for record in part:
+            k = key(record)
+            held = table.get(k)
+            table[k] = record if held is None else fn(held, record)
+        metrics.add_processed(f"{node.name}.combine", len(part))
+        combined.append(list(table.values()))
+    return combined
+
+
+# ----------------------------------------------------------------------
+# dispatch
+
+
+def run_driver(node, local_strategy, inputs, metrics):
+    """Run one operator on one partition's inputs."""
+    contract = node.contract
+    if contract is Contract.MAP:
+        return run_map(node, inputs, metrics)
+    if contract is Contract.FLAT_MAP:
+        return run_flat_map(node, inputs, metrics)
+    if contract is Contract.FILTER:
+        return run_filter(node, inputs, metrics)
+    if contract is Contract.UNION:
+        return run_union(node, inputs, metrics)
+    if contract is Contract.MATCH:
+        if local_strategy is LocalStrategy.HASH_BUILD_LEFT:
+            return run_hash_join(node, inputs, metrics, build_left=True)
+        if local_strategy is LocalStrategy.HASH_BUILD_RIGHT:
+            return run_hash_join(node, inputs, metrics, build_left=False)
+        if local_strategy is LocalStrategy.SORT_MERGE:
+            return run_sort_merge_join(node, inputs, metrics)
+        raise InvalidPlanError(f"{node.name}: no join strategy assigned")
+    if contract is Contract.REDUCE:
+        if local_strategy is LocalStrategy.SORT_AGGREGATE:
+            return run_sort_aggregate(node, inputs, metrics)
+        return run_hash_aggregate(node, inputs, metrics)
+    if contract is Contract.REDUCE_GROUP:
+        return run_reduce_group(node, inputs, metrics)
+    if contract is Contract.COGROUP:
+        return run_cogroup(node, inputs, metrics, inner=False)
+    if contract is Contract.INNER_COGROUP:
+        return run_cogroup(node, inputs, metrics, inner=True)
+    if contract is Contract.CROSS:
+        return run_cross(node, inputs, metrics)
+    raise InvalidPlanError(f"no driver for contract {contract.value}")

@@ -1,0 +1,822 @@
+"""The plan interpreter: runs annotated plans over simulated partitions.
+
+Non-iterative parts execute operator-at-a-time in topological order.
+Iterations follow the feedback-channel scheme of Section 4.2: the step
+function's subplan is evaluated once per superstep with fresh memoization
+for the *dynamic data path*, while the *constant data path* is evaluated
+once and its shipped results (and hash-join build tables) are cached at
+the point where the constant path meets the dynamic path (Section 4.3).
+
+Delta iterations (Section 5) keep the solution set in a partitioned
+primary hash index (:class:`~repro.iterations.solution_set.SolutionSetIndex`).
+Three execution modes are supported, mirroring Section 5.3:
+
+* ``superstep`` — batch-incremental: Δ runs as a set-at-a-time dataflow,
+  delta records are staged during the superstep and merged at the barrier.
+* ``microstep`` — per-element execution with *supersteps*: each workset
+  element flows through the compiled record-at-a-time pipeline and updates
+  the solution set immediately, but produced workset records are buffered
+  for the next superstep (the buffering queues of Figure 6).
+* ``async`` — per-element execution without barriers: queues pass records
+  through FIFO; termination is detected by acknowledgement counting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.common.errors import InvalidPlanError, MicrostepViolation
+from repro.common.keys import KeyExtractor
+from repro.dataflow.contracts import Contract
+from repro.dataflow.graph import dynamic_path_nodes, iteration_body_nodes
+from repro.iterations.microstep import analyze_microstep
+from repro.iterations.solution_set import SolutionSetIndex
+from repro.iterations.termination import AsyncTerminationDetector
+from repro.runtime import channels, drivers
+from repro.common.hashing import partition_index
+from repro.runtime.plan import (
+    FORWARD,
+    GATHER,
+    LocalStrategy,
+    ShipKind,
+    partition_on,
+)
+
+
+class _IterationScope:
+    """Per-iteration execution state: bindings, caches, path classification."""
+
+    def __init__(self, iteration, bindings, solution_index=None):
+        self.iteration = iteration
+        self.bindings = bindings
+        self.solution_index = solution_index
+        self.body_ids = {n.id for n in iteration_body_nodes(iteration)}
+        self.dynamic_ids = {n.id for n in dynamic_path_nodes(iteration)}
+        self.iter_memo: dict[int, list] = {}
+        self.edge_cache: dict = {}
+        self.table_cache: dict = {}
+
+
+class IterationSummary:
+    """Recorded outcome of one iteration construct's execution."""
+
+    def __init__(self, name, supersteps, converged):
+        self.name = name
+        self.supersteps = supersteps
+        self.converged = converged
+
+    def __repr__(self):
+        state = "converged" if self.converged else "NOT converged"
+        return f"<{self.name}: {self.supersteps} supersteps, {state}>"
+
+
+class Executor:
+    """Interprets an :class:`~repro.runtime.plan.ExecutionPlan`."""
+
+    def __init__(self, env):
+        self.env = env
+        self.parallelism = env.parallelism
+        self.metrics = env.metrics
+        self._memo: dict[int, list] = {}
+        self.iteration_summaries: list[IterationSummary] = []
+
+    # ------------------------------------------------------------------
+    # entry point
+
+    def run(self, exec_plan) -> dict[int, list]:
+        """Execute the plan; returns {sink node id: merged record list}."""
+        self.plan = exec_plan
+        results = {}
+        for sink in exec_plan.logical_plan.sinks:
+            parts = self._evaluate(sink, self._memo, scope=None)
+            results[sink.id] = channels.merge(parts)
+        return results
+
+    # ------------------------------------------------------------------
+    # recursive evaluation
+
+    def _evaluate(self, node, step_memo, scope):
+        memo = self._memo_for(node, step_memo, scope)
+        cached = memo.get(node.id)
+        if cached is not None:
+            return cached
+        result = self._compute(node, step_memo, scope)
+        memo[node.id] = result
+        return result
+
+    def _memo_for(self, node, step_memo, scope):
+        if scope is not None and node.id in scope.body_ids:
+            if node.id in scope.dynamic_ids:
+                return step_memo
+            return scope.iter_memo
+        return self._memo
+
+    def _compute(self, node, step_memo, scope):
+        contract = node.contract
+        if contract is Contract.SOURCE:
+            return self._load_source(node)
+        if node.is_placeholder():
+            return self._resolve_placeholder(node, scope)
+        if contract is Contract.SINK:
+            inputs = self._shipped_inputs(node, step_memo, scope, default=GATHER)
+            return inputs[0]
+        if contract is Contract.BULK_ITERATION:
+            return self._run_bulk_iteration(node, step_memo, scope)
+        if contract is Contract.DELTA_ITERATION:
+            return self._run_delta_iteration(node, step_memo, scope)
+        if contract is Contract.SOLUTION_JOIN:
+            return self._run_solution_join(node, step_memo, scope)
+        if contract is Contract.SOLUTION_COGROUP:
+            return self._run_solution_cogroup(node, step_memo, scope)
+        if contract is Contract.MATCH:
+            return self._run_match(node, step_memo, scope)
+        return self._run_generic(node, step_memo, scope)
+
+    def _load_source(self, node):
+        if node.data is None:
+            raise InvalidPlanError(f"source {node.name} has no data")
+        return channels.round_robin(node.data, self.parallelism)
+
+    def _resolve_placeholder(self, node, scope):
+        found_scope = scope
+        while found_scope is not None and node.id not in found_scope.bindings:
+            found_scope = getattr(found_scope, "parent", None)
+        if found_scope is None:
+            raise InvalidPlanError(
+                f"placeholder {node.name} evaluated outside its iteration"
+            )
+        return found_scope.bindings[node.id]
+
+    # ------------------------------------------------------------------
+    # shipping with constant-path edge caching
+
+    def _shipped_inputs(self, node, step_memo, scope, default=FORWARD):
+        ann = self.plan.annotation(node)
+        shipped = []
+        for idx, producer in enumerate(node.inputs):
+            if producer.contract is Contract.SOLUTION_SET:
+                shipped.append(None)
+                continue
+            strategy = ann.ship.get(idx, default)
+            cacheable = self._edge_is_constant(node, producer, scope)
+            cache_key = (node.id, idx)
+            if cacheable and cache_key in scope.edge_cache:
+                self.metrics.cache_hits += 1
+                shipped.append(scope.edge_cache[cache_key])
+                continue
+            parts = self._evaluate(producer, step_memo, scope)
+            routed = channels.ship(parts, strategy, self.parallelism, self.metrics)
+            if cacheable:
+                scope.edge_cache[cache_key] = routed
+                self.metrics.cache_builds += 1
+            shipped.append(routed)
+        return shipped
+
+    def _edge_is_constant(self, consumer, producer, scope) -> bool:
+        """True if the producer's data is constant across supersteps while
+        the consumer re-executes — the caching point of Section 4.3."""
+        return (
+            scope is not None
+            and consumer.id in scope.dynamic_ids
+            and producer.id not in scope.dynamic_ids
+            and not producer.is_placeholder()
+        )
+
+    # ------------------------------------------------------------------
+    # operator execution
+
+    def _run_generic(self, node, step_memo, scope):
+        ann = self.plan.annotation(node)
+        if ann.combiner and node.contract is Contract.REDUCE:
+            # combiners run *before* shipping, so only the pre-aggregated
+            # (smaller) data pays network cost (cf. Combiners, Sec. 6.1)
+            raw = self._evaluate(node.inputs[0], step_memo, scope)
+            combined = drivers.apply_combiner(node, raw, self.metrics)
+            strategy = ann.ship.get(0, FORWARD)
+            shipped = [
+                channels.ship(combined, strategy, self.parallelism, self.metrics)
+            ]
+        else:
+            shipped = self._shipped_inputs(node, step_memo, scope)
+        out = []
+        for p in range(self.parallelism):
+            inputs = [s[p] for s in shipped]
+            out.append(drivers.run_driver(node, ann.local, inputs, self.metrics))
+        return out
+
+    def _run_match(self, node, step_memo, scope):
+        """Match with optional constant-side build-table caching (Fig. 4)."""
+        ann = self.plan.annotation(node)
+        build_left = ann.local is LocalStrategy.HASH_BUILD_LEFT
+        build_right = ann.local is LocalStrategy.HASH_BUILD_RIGHT
+        if not (build_left or build_right) or scope is None:
+            return self._run_generic(node, step_memo, scope)
+        build_idx = 0 if build_left else 1
+        producer = node.inputs[build_idx]
+        if not self._edge_is_constant(node, producer, scope):
+            return self._run_generic(node, step_memo, scope)
+
+        tables = scope.table_cache.get(node.id)
+        if tables is None:
+            shipped = self._ship_one_input(node, build_idx, step_memo, scope)
+            key = KeyExtractor(node.key_fields[build_idx])
+            tables = []
+            for part in shipped:
+                table = {}
+                for record in part:
+                    table.setdefault(key(record), []).append(record)
+                tables.append(table)
+            scope.table_cache[node.id] = tables
+            self.metrics.cache_builds += 1
+            self.metrics.add_processed(node.name, sum(len(p) for p in shipped))
+        else:
+            self.metrics.cache_hits += 1
+
+        probe_idx = 1 - build_idx
+        probe_parts = self._ship_one_input(node, probe_idx, step_memo, scope)
+        probe_key = KeyExtractor(node.key_fields[probe_idx])
+        fn = node.udf
+        flat = getattr(node, "flat", False)
+        out = []
+        for p in range(self.parallelism):
+            table = tables[p]
+            results = []
+            self.metrics.add_processed(node.name, len(probe_parts[p]))
+            for probe in probe_parts[p]:
+                for build in table.get(probe_key(probe), ()):
+                    if build_left:
+                        drivers._emit_join_result(fn(build, probe), flat, results)
+                    else:
+                        drivers._emit_join_result(fn(probe, build), flat, results)
+            out.append(results)
+        return out
+
+    def _ship_one_input(self, node, idx, step_memo, scope, default=FORWARD):
+        ann = self.plan.annotation(node)
+        strategy = ann.ship.get(idx, default)
+        producer = node.inputs[idx]
+        cacheable = self._edge_is_constant(node, producer, scope)
+        cache_key = (node.id, idx)
+        if cacheable and cache_key in scope.edge_cache:
+            self.metrics.cache_hits += 1
+            return scope.edge_cache[cache_key]
+        parts = self._evaluate(producer, step_memo, scope)
+        routed = channels.ship(parts, strategy, self.parallelism, self.metrics)
+        if cacheable:
+            scope.edge_cache[cache_key] = routed
+            self.metrics.cache_builds += 1
+        return routed
+
+    # ------------------------------------------------------------------
+    # stateful solution-set operators (Section 5.3)
+
+    def _solution_scope(self, node, scope):
+        iteration = getattr(node, "enclosing_iteration", None)
+        found = scope
+        while found is not None and (
+            found.solution_index is None or found.iteration is not iteration
+        ):
+            found = getattr(found, "parent", None)
+        if found is None:
+            raise InvalidPlanError(
+                f"{node.name}: solution set accessed outside its iteration"
+            )
+        return found
+
+    def _run_solution_join(self, node, step_memo, scope):
+        owner = self._solution_scope(node, scope)
+        index = owner.solution_index
+        probe_parts = self._ship_one_input(
+            node, 0, step_memo, scope,
+            default=partition_on(node.key_fields[0]),
+        )
+        probe_key = KeyExtractor(node.key_fields[0])
+        fn = node.udf
+        flat = getattr(node, "flat", False)
+        out = []
+        for p in range(self.parallelism):
+            results = []
+            self.metrics.add_processed(node.name, len(probe_parts[p]))
+            for probe in probe_parts[p]:
+                stored = index.lookup(p, probe_key(probe))
+                if stored is None:
+                    continue
+                drivers._emit_join_result(fn(probe, stored), flat, results)
+            out.append(results)
+        return out
+
+    def _run_solution_cogroup(self, node, step_memo, scope):
+        owner = self._solution_scope(node, scope)
+        index = owner.solution_index
+        probe_parts = self._ship_one_input(
+            node, 0, step_memo, scope,
+            default=partition_on(node.key_fields[0]),
+        )
+        probe_key = KeyExtractor(node.key_fields[0])
+        fn = node.udf
+        inner = getattr(node, "inner", True)
+        out = []
+        for p in range(self.parallelism):
+            groups: dict = {}
+            for record in probe_parts[p]:
+                groups.setdefault(probe_key(record), []).append(record)
+            self.metrics.add_processed(node.name, len(probe_parts[p]))
+            results = []
+            for key_value, group in groups.items():
+                stored = index.lookup(p, key_value)
+                if stored is None:
+                    if inner:
+                        continue  # InnerCoGroup semantics (Fig. 5)
+                    results.extend(fn(key_value, group, []))
+                else:
+                    results.extend(fn(key_value, group, [stored]))
+            out.append(results)
+        return out
+
+    # ------------------------------------------------------------------
+    # bulk iterations (Section 4)
+
+    def _run_bulk_iteration(self, node, outer_memo, outer_scope):
+        from repro.runtime.recovery import CheckpointStore, SimulatedFailure
+
+        current = self._evaluate(node.inputs[0], outer_memo, outer_scope)
+        scope = _IterationScope(node, bindings={node.placeholder.id: current})
+        scope.parent = outer_scope
+
+        store = None
+        interval = getattr(self.env, "checkpoint_interval", 0)
+        if interval:
+            store = CheckpointStore(interval)
+            self.env.last_checkpoint_store = store
+        injector = getattr(self.env, "failure_injector", None)
+
+        converged = False
+        steps = 0
+        step = 1
+        while step <= node.max_iterations:
+            if store is not None and store.due(step):
+                store.take(step, current, None)
+            steps = max(steps, step)
+            self.metrics.begin_superstep(step)
+            try:
+                if injector is not None:
+                    injector(step)
+                step_memo = {}
+                new_parts = self._evaluate(node.body_output, step_memo, scope)
+                stop = False
+                if node.termination is not None:
+                    term_parts = self._evaluate(
+                        node.termination, step_memo, scope
+                    )
+                    stop = sum(len(p) for p in term_parts) == 0
+                elif node.convergence_check is not None:
+                    stop = node.convergence_check(
+                        channels.merge(current), channels.merge(new_parts)
+                    )
+            except SimulatedFailure as failure:
+                self.metrics.end_superstep()
+                if store is None:
+                    raise RuntimeError(
+                        "machine failure without checkpointing enabled"
+                    ) from failure
+                checkpoint = store.restore(failure.superstep)
+                current = checkpoint.state
+                scope.bindings[node.placeholder.id] = current
+                step = checkpoint.superstep
+                continue
+            self.metrics.end_superstep(
+                delta_size=sum(len(p) for p in new_parts)
+            )
+            current = new_parts
+            scope.bindings[node.placeholder.id] = current
+            step += 1
+            if stop:
+                converged = True
+                break
+        fixed_trip_count = (
+            node.termination is None and node.convergence_check is None
+        )
+        self.iteration_summaries.append(
+            IterationSummary(node.name, steps, converged or fixed_trip_count)
+        )
+        return current
+
+    # ------------------------------------------------------------------
+    # delta iterations (Section 5)
+
+    def _run_delta_iteration(self, node, outer_memo, outer_scope):
+        mode = self.plan.iteration_modes.get(node.id) or self._resolve_mode(node)
+        sol_parts = self._evaluate(node.inputs[0], outer_memo, outer_scope)
+        # route the initial solution set into its index partitioning
+        routed = channels.ship(
+            sol_parts, partition_on(node.solution_key), self.parallelism,
+            self.metrics,
+        )
+        index = SolutionSetIndex.build(
+            routed, node.solution_key, self.parallelism,
+            metrics=self.metrics, should_replace=node.should_replace,
+        )
+        workset = self._evaluate(node.inputs[1], outer_memo, outer_scope)
+        scope = _IterationScope(
+            node,
+            bindings={node.workset_placeholder.id: workset},
+            solution_index=index,
+        )
+        scope.parent = outer_scope
+        if mode == "superstep":
+            converged, steps = self._delta_supersteps(node, scope, index)
+        else:
+            converged, steps = self._delta_microsteps(
+                node, scope, index, synchronous=(mode == "microstep")
+            )
+        self.iteration_summaries.append(
+            IterationSummary(node.name, steps, converged)
+        )
+        return index.to_partitions()
+
+    def _resolve_mode(self, node) -> str:
+        mode = node.mode
+        if mode == "auto":
+            report = analyze_microstep(node)
+            return "microstep" if report.eligible else "superstep"
+        if mode in ("microstep", "async"):
+            analyze_microstep(node).raise_if_ineligible()
+        return mode
+
+    def _delta_supersteps(self, node, scope, index):
+        from repro.runtime.recovery import CheckpointStore, SimulatedFailure
+
+        store = None
+        interval = getattr(self.env, "checkpoint_interval", 0)
+        if interval:
+            store = CheckpointStore(interval)
+            self.env.last_checkpoint_store = store
+        injector = getattr(self.env, "failure_injector", None)
+
+        converged = False
+        steps = 0
+        step = 1
+        while step <= node.max_iterations:
+            workset = scope.bindings[node.workset_placeholder.id]
+            workset_size = sum(len(p) for p in workset)
+            if workset_size == 0:
+                converged = True
+                break
+            if store is not None and store.due(step):
+                store.take(step, index._partitions, workset)
+            steps = max(steps, step)
+            self.metrics.begin_superstep(step)
+            try:
+                if injector is not None:
+                    injector(step)
+                next_workset, applied = self._delta_one_superstep(
+                    node, scope, index
+                )
+            except SimulatedFailure as failure:
+                # recovery (Section 4.2): restore the latest logged
+                # superstep and replay from there
+                self.metrics.end_superstep()
+                if store is None:
+                    raise RuntimeError(
+                        "machine failure without checkpointing enabled"
+                    ) from failure
+                checkpoint = store.restore(failure.superstep)
+                index._partitions = checkpoint.state
+                scope.bindings[node.workset_placeholder.id] = (
+                    checkpoint.workset
+                )
+                step = checkpoint.superstep
+                continue
+            next_size = sum(len(p) for p in next_workset)
+            self.metrics.end_superstep(
+                workset_size=next_size, delta_size=applied
+            )
+            scope.bindings[node.workset_placeholder.id] = next_workset
+            step += 1
+        else:
+            converged = sum(
+                len(p) for p in scope.bindings[node.workset_placeholder.id]
+            ) == 0
+        return converged, steps
+
+    def _delta_one_superstep(self, node, scope, index):
+        """Evaluate Δ once: returns (next workset, applied delta count)."""
+        step_memo = {}
+        delta_parts = self._evaluate(node.delta_output, step_memo, scope)
+        # Stage the delta: route by solution key, resolve collisions
+        # with the comparator, but do not mutate S until the barrier.
+        routed = channels.ship(
+            delta_parts, partition_on(node.solution_key),
+            self.parallelism, self.metrics,
+        )
+        staged, accepted_parts = self._stage_delta(node, index, routed)
+        # The next workset observes only the records that will make it
+        # into S (Section 5.1: dropped records are discarded from D).
+        step_memo[node.delta_output.id] = accepted_parts
+        next_workset = self._evaluate(node.workset_output, step_memo, scope)
+        applied = self._commit_delta(index, staged)
+        return next_workset, applied
+
+    def _stage_delta(self, node, index, routed_parts):
+        """Resolve ∪̇ winners per partition without touching S yet."""
+        staged = []
+        accepted_parts = []
+        for p, part in enumerate(routed_parts):
+            winners: dict = {}
+            for record in part:
+                k = index.key(record)
+                incumbent = winners.get(k)
+                if incumbent is None:
+                    incumbent = index.lookup(p, k)
+                if (
+                    incumbent is not None
+                    and node.should_replace is not None
+                    and not node.should_replace(record, incumbent)
+                ):
+                    continue
+                winners[k] = record
+            staged.append(winners)
+            accepted_parts.append(list(winners.values()))
+        return staged, accepted_parts
+
+    def _commit_delta(self, index, staged) -> int:
+        applied = 0
+        for p, winners in enumerate(staged):
+            for k, record in winners.items():
+                index._partitions[p][k] = record
+                applied += 1
+        if applied:
+            self.metrics.add_solution_update(applied)
+        return applied
+
+    # ------------------------------------------------------------------
+    # microstep execution (Section 5.2, Figure 6)
+
+    def _delta_microsteps(self, node, scope, index, synchronous):
+        report = analyze_microstep(node).raise_if_ineligible()
+        to_delta = _compile_chain(self, node, scope, report.chain_to_delta)
+        to_workset = _compile_chain(self, node, scope, report.chain_to_workset)
+        route_key = KeyExtractor(
+            report.workset_route_fields or node.solution_key
+        )
+
+        queues = [deque() for _ in range(self.parallelism)]
+        detector = AsyncTerminationDetector(self.parallelism)
+
+        def enqueue(record, source_partition):
+            target = partition_index(route_key(record), self.parallelism)
+            queues[target].append(record)
+            detector.sent()
+            if target == source_partition:
+                self.metrics.add_shipped(local=1, remote=0)
+            else:
+                self.metrics.add_shipped(local=0, remote=1)
+
+        initial = scope.bindings[node.workset_placeholder.id]
+        for p, part in enumerate(initial):
+            for record in part:
+                enqueue(record, p)
+
+        if synchronous:
+            return self._micro_supersteps(node, index, queues, route_key,
+                                          to_delta, to_workset)
+        return self._micro_async(node, index, queues, detector,
+                                 to_delta, to_workset, enqueue)
+
+    def _drain_queue(self, queue, partition, index, to_delta, to_workset,
+                     emit, limit=None):
+        """Process up to ``limit`` elements of one partition's queue.
+
+        This is the microstep hot loop; per-element work is kept to the
+        compiled pipeline stages and the immediate ∪̇ point update.
+        Returns the number of elements processed.
+        """
+        processed = 0
+        apply_record = index.apply_record
+        popleft = queue.popleft
+        if len(to_delta) == 1 and len(to_workset) == 1:
+            # fast path for the common shape (one update operator, one
+            # workset operator — e.g. the CC/SSSP Match plans)
+            delta_stage = to_delta[0]
+            workset_stage = to_workset[0]
+            while queue and (limit is None or processed < limit):
+                record = popleft()
+                processed += 1
+                for delta_record in delta_stage(partition, record):
+                    accepted = apply_record(delta_record)
+                    if accepted is None:
+                        continue
+                    for produced in workset_stage(partition, accepted):
+                        emit(produced, partition)
+            return processed
+        while queue and (limit is None or processed < limit):
+            record = popleft()
+            processed += 1
+            deltas = _run_chain(to_delta, partition, [record])
+            for delta_record in deltas:
+                accepted = apply_record(delta_record)
+                if accepted is None:
+                    continue
+                for produced in _run_chain(to_workset, partition, [accepted]):
+                    emit(produced, partition)
+        return processed
+
+    def _micro_supersteps(self, node, index, queues, route_key,
+                          to_delta, to_workset):
+        """Per-element processing with superstep-buffered queues (Fig. 6)."""
+        steps = 0
+        label = f"{node.name}.microstep"
+        parallelism = self.parallelism
+        for step in range(1, node.max_iterations + 1):
+            pending = sum(len(q) for q in queues)
+            if pending == 0:
+                return True, steps
+            steps = step
+            self.metrics.begin_superstep(step)
+            buffers = [[] for _ in range(parallelism)]
+            shipped = [0, 0]  # local, remote
+
+            def emit(record, source):
+                target = partition_index(route_key(record), parallelism)
+                buffers[target].append(record)
+                shipped[target != source] += 1
+
+            updates_before = self.metrics.solution_updates
+            for p in range(parallelism):
+                count = self._drain_queue(
+                    queues[p], p, index, to_delta, to_workset, emit
+                )
+                self.metrics.add_processed(label, count)
+            self.metrics.add_shipped(local=shipped[0], remote=shipped[1])
+            next_size = sum(len(b) for b in buffers)
+            self.metrics.end_superstep(
+                workset_size=next_size,
+                delta_size=self.metrics.solution_updates - updates_before,
+            )
+            for p in range(parallelism):
+                queues[p].extend(buffers[p])
+        return sum(len(q) for q in queues) == 0, steps
+
+    def _micro_async(self, node, index, queues, detector,
+                     to_delta, to_workset, enqueue):
+        """Fully asynchronous FIFO execution with termination detection.
+
+        Partitions are polled round-robin, each draining a bounded batch
+        per poll — an interleaving that a real asynchronous cluster could
+        produce.  Rounds are recorded as pseudo-supersteps for reporting.
+        """
+        batch = max(1, int(getattr(self.env, "async_poll_batch", 64)))
+        rounds = 0
+        label = f"{node.name}.microstep"
+        max_rounds = node.max_iterations * max(
+            1, (sum(len(q) for q in queues) or 1)
+        )
+        while not detector.terminated:
+            rounds += 1
+            if rounds > max_rounds:
+                break
+            self.metrics.begin_superstep(rounds)
+            updates_before = self.metrics.solution_updates
+            for p in range(self.parallelism):
+                queue = queues[p]
+                detector.set_idle(p, False)
+                taken = self._drain_queue(
+                    queue, p, index, to_delta, to_workset, enqueue,
+                    limit=batch,
+                )
+                self.metrics.add_processed(label, taken)
+                detector.acked(taken)
+                detector.set_idle(p, len(queue) == 0)
+            self.metrics.end_superstep(
+                workset_size=sum(len(q) for q in queues),
+                delta_size=self.metrics.solution_updates - updates_before,
+            )
+        return detector.terminated, rounds
+
+
+# ----------------------------------------------------------------------
+# microstep pipeline compilation
+
+
+def _compile_chain(executor, iteration, scope, chain):
+    """Compile a record-at-a-time operator chain into per-record stages.
+
+    Constant-side inputs of binary operators (e.g. the topology table N)
+    are shipped once per their plan annotation and materialized as
+    per-partition hash tables (Match) or record lists (Cross).
+    """
+    stages = []
+    chain_ids = {op.id for op in chain}
+    for op in chain:
+        stages.append(_compile_stage(executor, iteration, scope, op, chain_ids))
+    return stages
+
+
+def _compile_stage(executor, iteration, scope, op, chain_ids):
+    contract = op.contract
+    metrics = executor.metrics
+    if contract is Contract.MAP:
+        fn = op.udf
+        return lambda p, rec: (fn(rec),)
+    if contract is Contract.FLAT_MAP:
+        fn = op.udf
+        return lambda p, rec: tuple(fn(rec))
+    if contract is Contract.FILTER:
+        fn = op.udf
+        return lambda p, rec: (rec,) if fn(rec) else ()
+    if contract is Contract.SOLUTION_JOIN:
+        index = scope.solution_index
+        probe_key = KeyExtractor(op.key_fields[0])
+        fn = op.udf
+        flat = getattr(op, "flat", False)
+
+        def solution_stage(p, rec):
+            stored = index.lookup(p, probe_key(rec))
+            if stored is None:
+                return ()
+            result = fn(rec, stored)
+            if result is None:
+                return ()
+            return tuple(result) if flat else (result,)
+
+        return solution_stage
+    if contract is Contract.MATCH:
+        return _compile_match_stage(executor, scope, op, chain_ids)
+    if contract is Contract.CROSS:
+        return _compile_cross_stage(executor, scope, op, chain_ids)
+    raise MicrostepViolation(
+        f"{op.name}: contract {contract.value} cannot run as a microstep stage"
+    )
+
+
+def _dynamic_input_of(scope, op) -> int:
+    """The input slot carrying the per-record (dynamic-path) stream.
+
+    Placeholders and all dynamic-path nodes — including the delta output,
+    which seeds the workset chain — qualify; the other side is constant.
+    """
+    first = op.inputs[0]
+    if first.is_placeholder() or first.id in scope.dynamic_ids:
+        return 0
+    return 1
+
+
+def _compile_match_stage(executor, scope, op, chain_ids):
+    dyn_idx = _dynamic_input_of(scope, op)
+    const_idx = 1 - dyn_idx
+    shipped = executor._ship_one_input(op, const_idx, scope.iter_memo, scope)
+    const_key = KeyExtractor(op.key_fields[const_idx])
+    tables = []
+    for part in shipped:
+        table: dict = {}
+        for record in part:
+            table.setdefault(const_key(record), []).append(record)
+        tables.append(table)
+    dyn_key = KeyExtractor(op.key_fields[dyn_idx])
+    fn = op.udf
+    flat = getattr(op, "flat", False)
+
+    def match_stage(p, rec):
+        out = []
+        for other in tables[p].get(dyn_key(rec), ()):
+            pair = (other, rec) if const_idx == 0 else (rec, other)
+            result = fn(*pair)
+            if result is None:
+                continue
+            if flat:
+                out.extend(result)
+            else:
+                out.append(result)
+        return out
+
+    return match_stage
+
+
+def _compile_cross_stage(executor, scope, op, chain_ids):
+    dyn_idx = _dynamic_input_of(scope, op)
+    const_idx = 1 - dyn_idx
+    shipped = executor._ship_one_input(op, const_idx, scope.iter_memo, scope)
+    fn = op.udf
+
+    def cross_stage(p, rec):
+        out = []
+        for other in shipped[p]:
+            pair = (other, rec) if const_idx == 0 else (rec, other)
+            result = fn(*pair)
+            if result is not None:
+                out.append(result)
+        return out
+
+    return cross_stage
+
+
+def _run_chain(stages, partition, records):
+    current = records
+    for stage in stages:
+        produced = []
+        for record in current:
+            produced.extend(stage(partition, record))
+        current = produced
+        if not current:
+            break
+    return current

@@ -1,0 +1,131 @@
+"""Execution metrics: logical cost counters and per-superstep snapshots.
+
+Wall-clock numbers from a single-process simulator are noisy and scale-
+dependent; the *logical* counters here (records shipped locally/remotely,
+records processed per operator, solution-set accesses and updates, workset
+sizes) are deterministic and carry the paper's comparisons exactly.  The
+benchmark harness reports both.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IterationStats:
+    """Counters scoped to one superstep of an iteration."""
+
+    superstep: int
+    duration_s: float = 0.0
+    records_processed: int = 0
+    records_shipped_local: int = 0
+    records_shipped_remote: int = 0
+    workset_size: int = 0
+    delta_size: int = 0
+    solution_accesses: int = 0
+    solution_updates: int = 0
+
+    @property
+    def messages(self) -> int:
+        """Cross-partition record transfers — the paper's 'messages sent'."""
+        return self.records_shipped_remote
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates counters for one environment; cheap enough to always run."""
+
+    records_processed: Counter = field(default_factory=Counter)
+    records_shipped_local: int = 0
+    records_shipped_remote: int = 0
+    solution_accesses: int = 0
+    solution_updates: int = 0
+    supersteps: int = 0
+    cache_hits: int = 0
+    cache_builds: int = 0
+    iteration_log: list[IterationStats] = field(default_factory=list)
+    _open_superstep: IterationStats | None = None
+    _superstep_started: float = 0.0
+
+    # ------------------------------------------------------------------
+    # raw counter hooks (called by channels / drivers / solution set)
+
+    def add_processed(self, operator_name: str, count: int = 1):
+        self.records_processed[operator_name] += count
+        if self._open_superstep is not None:
+            self._open_superstep.records_processed += count
+
+    def add_shipped(self, local: int, remote: int):
+        self.records_shipped_local += local
+        self.records_shipped_remote += remote
+        if self._open_superstep is not None:
+            self._open_superstep.records_shipped_local += local
+            self._open_superstep.records_shipped_remote += remote
+
+    def add_solution_access(self, count: int = 1):
+        self.solution_accesses += count
+        if self._open_superstep is not None:
+            self._open_superstep.solution_accesses += count
+
+    def add_solution_update(self, count: int = 1):
+        self.solution_updates += count
+        if self._open_superstep is not None:
+            self._open_superstep.solution_updates += count
+
+    # ------------------------------------------------------------------
+    # superstep scoping
+
+    def begin_superstep(self, superstep: int):
+        self._open_superstep = IterationStats(superstep=superstep)
+        self._superstep_started = time.perf_counter()
+
+    def end_superstep(self, workset_size: int = 0, delta_size: int = 0):
+        stats = self._open_superstep
+        if stats is None:
+            return None
+        stats.duration_s = time.perf_counter() - self._superstep_started
+        stats.workset_size = workset_size
+        stats.delta_size = delta_size
+        self.iteration_log.append(stats)
+        self.supersteps += 1
+        self._open_superstep = None
+        return stats
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total_processed(self) -> int:
+        return sum(self.records_processed.values())
+
+    @property
+    def messages(self) -> int:
+        return self.records_shipped_remote
+
+    def reset(self):
+        self.records_processed.clear()
+        self.records_shipped_local = 0
+        self.records_shipped_remote = 0
+        self.solution_accesses = 0
+        self.solution_updates = 0
+        self.supersteps = 0
+        self.cache_hits = 0
+        self.cache_builds = 0
+        self.iteration_log.clear()
+        self._open_superstep = None
+
+    def snapshot(self) -> dict:
+        """A plain-dict view for reports and assertions."""
+        return {
+            "records_processed": dict(self.records_processed),
+            "total_processed": self.total_processed,
+            "records_shipped_local": self.records_shipped_local,
+            "records_shipped_remote": self.records_shipped_remote,
+            "solution_accesses": self.solution_accesses,
+            "solution_updates": self.solution_updates,
+            "supersteps": self.supersteps,
+            "cache_hits": self.cache_hits,
+            "cache_builds": self.cache_builds,
+        }

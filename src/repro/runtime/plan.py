@@ -1,0 +1,120 @@
+"""Physical execution plan: shipping and local strategies per operator.
+
+The optimizer (or the naive default planner) annotates every logical edge
+with a :class:`ShipStrategy` and every operator with a
+:class:`LocalStrategy`.  The executor interprets these annotations; it
+never makes strategy decisions itself, which keeps the optimizer's choices
+testable end to end (e.g. the two PageRank plans of Figure 4 are two
+different annotation sets over the same logical plan).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ShipKind(enum.Enum):
+    """How records travel from a producer to a consumer's input slot."""
+
+    FORWARD = "forward"              # stay in the producing partition
+    PARTITION_HASH = "partition_hash"  # hash-partition on key fields
+    BROADCAST = "broadcast"          # replicate to every partition
+    GATHER = "gather"                # collect into partition 0 (sinks)
+
+
+@dataclass(frozen=True)
+class ShipStrategy:
+    kind: ShipKind
+    key_fields: tuple[int, ...] | None = None
+
+    def __post_init__(self):
+        if self.kind is ShipKind.PARTITION_HASH and not self.key_fields:
+            raise ValueError("hash partitioning requires key fields")
+
+    def describe(self) -> str:
+        if self.kind is ShipKind.PARTITION_HASH:
+            return f"partition{list(self.key_fields)}"
+        return self.kind.value
+
+
+FORWARD = ShipStrategy(ShipKind.FORWARD)
+BROADCAST = ShipStrategy(ShipKind.BROADCAST)
+GATHER = ShipStrategy(ShipKind.GATHER)
+
+
+def partition_on(key_fields) -> ShipStrategy:
+    return ShipStrategy(ShipKind.PARTITION_HASH, tuple(key_fields))
+
+
+class LocalStrategy(enum.Enum):
+    """Per-partition algorithm implementing the operator."""
+
+    NONE = "none"                    # streaming record-at-a-time
+    HASH_BUILD_LEFT = "hash_build_left"
+    HASH_BUILD_RIGHT = "hash_build_right"
+    SORT_MERGE = "sort_merge"
+    HASH_AGGREGATE = "hash_aggregate"
+    SORT_AGGREGATE = "sort_aggregate"
+    SORT_COGROUP = "sort_cogroup"
+    NESTED_LOOP = "nested_loop"      # cross product
+    SOLUTION_PROBE = "solution_probe"    # stateful index probe (Sec. 5.3)
+    SOLUTION_GROUP = "solution_group"    # group workset, then probe index
+
+
+@dataclass
+class OperatorAnnotation:
+    """All physical choices for one logical operator."""
+
+    local: LocalStrategy = LocalStrategy.NONE
+    ship: dict[int, ShipStrategy] = field(default_factory=dict)
+    #: apply the combinable REDUCE UDF before shipping (Sec. 6.1 combiners)
+    combiner: bool = False
+    #: materialize this operator's output once and reuse across supersteps
+    #: (constant-data-path cache, Section 4.3)
+    cache_across_iterations: bool = False
+    #: this input edge must fully materialize before consumption (dam)
+    dams: set[int] = field(default_factory=set)
+
+
+@dataclass
+class ExecutionPlan:
+    """A logical plan plus every physical annotation needed to run it."""
+
+    logical_plan: object  # LogicalPlan
+    annotations: dict[int, OperatorAnnotation] = field(default_factory=dict)
+    #: resolved execution mode per delta-iteration node id
+    iteration_modes: dict[int, str] = field(default_factory=dict)
+    #: optimizer cost estimate, for tests and plan dumps
+    estimated_cost: float = 0.0
+
+    def annotation(self, node) -> OperatorAnnotation:
+        ann = self.annotations.get(node.id)
+        if ann is None:
+            ann = OperatorAnnotation()
+            self.annotations[node.id] = ann
+        return ann
+
+    def ship_strategy(self, node, input_index) -> ShipStrategy:
+        return self.annotation(node).ship.get(input_index, FORWARD)
+
+    def describe(self) -> str:
+        """A compact plan dump (one line per annotated operator)."""
+        lines = []
+        for node in self.logical_plan.nodes():
+            ann = self.annotations.get(node.id)
+            if ann is None:
+                continue
+            ships = ", ".join(
+                f"in{idx}={strategy.describe()}" for idx, strategy in sorted(ann.ship.items())
+            )
+            extras = []
+            if ann.combiner:
+                extras.append("combiner")
+            if ann.cache_across_iterations:
+                extras.append("cached")
+            if ann.dams:
+                extras.append(f"dam{sorted(ann.dams)}")
+            extra = (" [" + ", ".join(extras) + "]") if extras else ""
+            lines.append(f"{node.name}: {ann.local.value} ({ships}){extra}")
+        return "\n".join(lines)

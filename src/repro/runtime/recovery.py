@@ -1,0 +1,85 @@
+"""Failure injection and superstep checkpointing (Section 4.2).
+
+Iterative dataflows can log intermediate results for recovery like
+non-iterative ones, with one twist: a fresh log version per logged
+superstep.  This module provides that log plus a failure injector, so
+the recovery path is exercisable in tests and benchmarks:
+
+* :class:`CheckpointStore` snapshots an iteration's state (partial
+  solution / solution set + workset) every ``interval`` supersteps.
+* :class:`FailureInjector` raises :class:`SimulatedFailure` at a chosen
+  superstep, once.
+* The executor catches the failure, restores the latest snapshot, and
+  replays from there; the metrics record how many supersteps were
+  re-executed.
+
+Enable via ``env.checkpoint_interval`` and ``env.failure_injector``.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+
+class SimulatedFailure(Exception):
+    """An injected machine failure during a superstep."""
+
+    def __init__(self, superstep: int):
+        self.superstep = superstep
+        super().__init__(f"simulated failure in superstep {superstep}")
+
+
+class FailureInjector:
+    """Raises once when the iteration reaches ``fail_at_superstep``."""
+
+    def __init__(self, fail_at_superstep: int):
+        self.fail_at_superstep = fail_at_superstep
+        self.fired = False
+
+    def __call__(self, superstep: int):
+        if not self.fired and superstep == self.fail_at_superstep:
+            self.fired = True
+            raise SimulatedFailure(superstep)
+
+
+@dataclass
+class Checkpoint:
+    superstep: int
+    state: object
+    workset: object
+
+
+@dataclass
+class CheckpointStore:
+    """Keeps the latest snapshot; ``interval=k`` logs every k supersteps."""
+
+    interval: int
+    latest: Checkpoint | None = None
+    snapshots_taken: int = 0
+    recoveries: int = 0
+    supersteps_replayed: int = 0
+
+    def due(self, superstep: int) -> bool:
+        return self.interval > 0 and (superstep - 1) % self.interval == 0
+
+    def take(self, superstep: int, state, workset):
+        self.latest = Checkpoint(
+            superstep=superstep,
+            state=copy.deepcopy(state),
+            workset=copy.deepcopy(workset),
+        )
+        self.snapshots_taken += 1
+
+    def restore(self, failed_superstep: int) -> Checkpoint:
+        if self.latest is None:
+            raise RuntimeError(
+                "failure before the first checkpoint; cannot recover"
+            )
+        self.recoveries += 1
+        self.supersteps_replayed += failed_superstep - self.latest.superstep
+        return Checkpoint(
+            superstep=self.latest.superstep,
+            state=copy.deepcopy(self.latest.state),
+            workset=copy.deepcopy(self.latest.workset),
+        )

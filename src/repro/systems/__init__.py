@@ -1,0 +1,19 @@
+"""Baseline systems the paper compares against (Section 6).
+
+* :mod:`repro.systems.sparklike` — a Spark-(2012)-style engine: lazily
+  evaluated, immutable RDDs with lineage and in-memory caching.  Loops
+  are driver-side; every iteration materializes fresh datasets, which is
+  exactly the property that makes incremental algorithms expensive here.
+* :mod:`repro.systems.pregel` — a Pregel/Giraph-style vertex-centric BSP
+  engine with message combiners and vote-to-halt, the specialized
+  system whose sweet spot incremental iterations are shown to match.
+
+Both run on the same partition/channel substrate as the dataflow engine
+(:mod:`repro.runtime.channels`), so their logical work counters are
+directly comparable.
+"""
+
+from repro.systems.pregel import PregelMaster
+from repro.systems.sparklike import SparkLikeContext
+
+__all__ = ["PregelMaster", "SparkLikeContext"]

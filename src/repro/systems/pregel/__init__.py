@@ -1,0 +1,18 @@
+"""A Pregel/Giraph-style vertex-centric BSP engine (Section 6's Giraph).
+
+Programs are vertex compute functions executed in synchronized
+supersteps.  Vertices hold mutable state, exchange messages along edges,
+and vote to halt; a halted vertex is reactivated by incoming messages.
+Message combiners pre-aggregate per target before network transfer.
+
+Pregel is the specialized comparator of the paper: it natively exploits
+sparse computational dependencies (only message-receiving vertices
+compute), which is exactly what the dataflow engine's incremental
+iterations reproduce — the partial solution holds the vertex states, the
+workset holds the messages (Section 5.1).
+"""
+
+from repro.systems.pregel.master import PregelMaster
+from repro.systems.pregel.vertex import VertexContext
+
+__all__ = ["PregelMaster", "VertexContext"]

@@ -1,0 +1,77 @@
+"""The per-vertex API handed to compute functions."""
+
+from __future__ import annotations
+
+
+class VertexContext:
+    """View of one vertex during one superstep.
+
+    A compute function receives this context plus the incoming messages;
+    it reads/writes :attr:`state`, sends messages, and votes to halt.
+    One context object is reused across a partition's vertices per
+    superstep (Pregel-style object reuse to avoid allocation overhead).
+    """
+
+    __slots__ = ("vertex_id", "state", "superstep", "_graph", "_outbox",
+                 "_halted", "num_vertices", "_aggregating",
+                 "_aggregated_previous")
+
+    def __init__(self, graph, outbox, num_vertices, aggregating=None,
+                 aggregated_previous=None):
+        self._graph = graph
+        self._outbox = outbox
+        self.num_vertices = num_vertices
+        self.vertex_id = -1
+        self.state = None
+        self.superstep = 0
+        self._halted = False
+        self._aggregating = aggregating if aggregating is not None else {}
+        self._aggregated_previous = aggregated_previous or {}
+
+    def _reset(self, vertex_id, state, superstep):
+        self.vertex_id = vertex_id
+        self.state = state
+        self.superstep = superstep
+        self._halted = False
+
+    # ------------------------------------------------------------------
+    # aggregators (Pregel's global values)
+
+    def aggregate(self, name: str, value):
+        """Contribute ``value`` to the named global aggregator."""
+        self._aggregating.setdefault(name, []).append(value)
+
+    def get_aggregated(self, name: str):
+        """The aggregator's global value from the *previous* superstep."""
+        return self._aggregated_previous.get(name)
+
+    @property
+    def is_initial(self) -> bool:
+        """True in the very first superstep, when every vertex runs.
+
+        Portable vertex programs (runnable both here and on the dataflow
+        engine's vertex-centric adapter) should branch on this instead
+        of on :attr:`superstep`.
+        """
+        return self.superstep == 0
+
+    def neighbors(self):
+        """Out-edges of this vertex (numpy array of target ids)."""
+        return self._graph.neighbors(self.vertex_id)
+
+    @property
+    def num_neighbors(self) -> int:
+        return self._graph.degree(self.vertex_id)
+
+    def send_message(self, target: int, value):
+        """Queue ``value`` for ``target``'s next superstep."""
+        self._outbox.append((target, value))
+
+    def send_message_to_all_neighbors(self, value):
+        outbox = self._outbox
+        for target in self.neighbors().tolist():
+            outbox.append((target, value))
+
+    def vote_to_halt(self):
+        """Deactivate until a message arrives."""
+        self._halted = True

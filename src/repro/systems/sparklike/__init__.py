@@ -1,0 +1,15 @@
+"""A Spark-(2012)-style engine: immutable RDDs, lineage, caching.
+
+The model mirrors the system the paper benchmarks: datasets are
+partitioned immutable collections; transformations build a lazy lineage
+DAG; ``cache()`` pins partitions in memory; iterative programs are
+driver-side loops creating new RDDs per iteration.  There is no mutable
+state across iterations — the property that forces bulk execution of
+incremental algorithms (Section 6.2's "Spark Full" and the
+copy-everything cost of "Spark Sim. Incr.").
+"""
+
+from repro.systems.sparklike.context import SparkLikeContext
+from repro.systems.sparklike.rdd import RDD
+
+__all__ = ["RDD", "SparkLikeContext"]

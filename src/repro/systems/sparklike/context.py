@@ -1,0 +1,32 @@
+"""Driver context for the Spark-like engine."""
+
+from __future__ import annotations
+
+from repro.runtime import channels
+from repro.runtime.metrics import MetricsCollector
+from repro.systems.sparklike.rdd import RDD
+
+
+class SparkLikeContext:
+    """One driver session: fixes parallelism, owns metrics, makes RDDs."""
+
+    def __init__(self, parallelism: int = 4, metrics: MetricsCollector = None):
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        self.parallelism = parallelism
+        self.metrics = metrics or MetricsCollector()
+
+    def parallelize(self, records, name: str = "parallelize") -> RDD:
+        """Distribute an in-memory collection round-robin."""
+        parts = channels.round_robin(list(records), self.parallelism)
+        return RDD(self, parents=(), compute=lambda _inputs: parts, name=name)
+
+    # Driver-side superstep scoping, used by iterative programs so the
+    # harness can report per-iteration times/messages like Figure 8/11.
+    def begin_iteration(self, number: int):
+        self.metrics.begin_superstep(number)
+
+    def end_iteration(self, workset_size: int = 0, delta_size: int = 0):
+        return self.metrics.end_superstep(
+            workset_size=workset_size, delta_size=delta_size
+        )

@@ -1,0 +1,148 @@
+"""Connected Components: every variant against ground truth, plus the
+paper's worked examples (Figure 1, Table 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ExecutionEnvironment
+from repro.algorithms import connected_components as cc
+from repro.graphs import Graph, erdos_renyi, load_dataset
+from repro.systems.sparklike import SparkLikeContext
+
+
+@pytest.fixture(scope="module")
+def random_graph():
+    return erdos_renyi(150, 2.5, seed=13)
+
+
+REFERENCE_VARIANTS = [
+    cc.cc_fixpoint,
+    cc.cc_incremental_reference,
+    cc.cc_microstep_reference,
+]
+
+
+class TestReferenceTemplates:
+    @pytest.mark.parametrize("variant", REFERENCE_VARIANTS)
+    def test_matches_union_find(self, random_graph, variant):
+        assert variant(random_graph) == cc.cc_ground_truth(random_graph)
+
+    def test_figure1_trace(self, sample9):
+        """Figure 1's component evolution on the 9-vertex sample graph
+        (0-indexed): the triangle {0,1,2} finalizes in one superstep,
+        the straggler vid=3 needs a second, and the far corner of the
+        second component converges last."""
+        def step(state):
+            new = {}
+            for v in range(sample9.num_vertices):
+                neighbor_min = min(
+                    (state[x] for x in sample9.neighbors(v).tolist()),
+                    default=state[v],
+                )
+                new[v] = min(neighbor_min, state[v])
+            return new
+
+        s0 = {v: v for v in range(9)}
+        s1 = step(s0)
+        s2 = step(s1)
+        s3 = step(s2)
+        assert s1 == {0: 0, 1: 0, 2: 0, 3: 2, 4: 4, 5: 4, 6: 5, 7: 6, 8: 6}
+        assert s2 == {0: 0, 1: 0, 2: 0, 3: 0, 4: 4, 5: 4, 6: 4, 7: 5, 8: 5}
+        assert s3 == {0: 0, 1: 0, 2: 0, 3: 0, 4: 4, 5: 4, 6: 4, 7: 4, 8: 4}
+        assert s3 == step(s3)  # fixpoint after three steps
+
+
+class TestDataflowVariants:
+    def test_bulk(self, random_graph):
+        env = ExecutionEnvironment(4)
+        assert cc.cc_bulk(env, random_graph) == cc.cc_ground_truth(random_graph)
+        assert env.iteration_summaries[0].converged
+
+    @pytest.mark.parametrize("variant,mode", [
+        ("cogroup", None),
+        ("match", None),
+        ("match", "superstep"),
+        ("match", "async"),
+    ])
+    def test_incremental(self, random_graph, variant, mode):
+        env = ExecutionEnvironment(4)
+        got = cc.cc_incremental(env, random_graph, variant=variant, mode=mode)
+        assert got == cc.cc_ground_truth(random_graph)
+
+    def test_bulk_constant_iteration_work(self, sample9):
+        """Section 2.3: bulk CC performs constant work per superstep.
+
+        The first superstep additionally builds the cached edge table
+        (Fig. 8's longer first iteration); all later supersteps are
+        identical."""
+        env = ExecutionEnvironment(4)
+        cc.cc_bulk(env, sample9)
+        log = env.metrics.iteration_log
+        steady = [s.records_processed for s in log[1:]]
+        assert len(set(steady)) == 1
+        assert log[0].records_processed >= steady[0]
+
+    def test_incremental_workset_decays(self, sample9):
+        env = ExecutionEnvironment(4)
+        cc.cc_incremental(env, sample9, variant="cogroup")
+        sizes = [s.workset_size for s in env.metrics.iteration_log]
+        assert sizes[0] > sizes[-1] == 0
+
+
+class TestBaselineVariants:
+    def test_sparklike_bulk(self, random_graph):
+        ctx = SparkLikeContext(4)
+        assert cc.cc_sparklike(ctx, random_graph) == (
+            cc.cc_ground_truth(random_graph)
+        )
+
+    def test_sparklike_sim_incremental(self, random_graph):
+        ctx = SparkLikeContext(4)
+        got = cc.cc_sparklike_sim_incremental(ctx, random_graph)
+        assert got == cc.cc_ground_truth(random_graph)
+
+    def test_pregel(self, random_graph):
+        assert cc.cc_pregel(random_graph) == cc.cc_ground_truth(random_graph)
+
+    def test_sim_incremental_copies_unchanged_state(self, sample9):
+        """Fig. 11's point: the simulated variant still materializes all
+        |V| records every iteration, even once converged."""
+        ctx = SparkLikeContext(4)
+        cc.cc_sparklike_sim_incremental(ctx, sample9)
+        # the merge map runs over every vertex each iteration
+        per_iter = ctx.metrics.records_processed["map"]
+        iterations = len(ctx.metrics.iteration_log)
+        assert per_iter >= sample9.num_vertices * iterations
+
+
+class TestPropertyBased:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 24), st.integers(0, 24)),
+                    max_size=50))
+    def test_all_engines_agree(self, edges):
+        graph = Graph(25, edges)
+        truth = cc.cc_ground_truth(graph)
+        env = ExecutionEnvironment(3)
+        assert cc.cc_incremental(env, graph, "match") == truth
+        ctx = SparkLikeContext(3)
+        assert cc.cc_sparklike(ctx, graph, max_iterations=60) == truth
+        assert cc.cc_pregel(graph, parallelism=3) == truth
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)),
+                    max_size=40),
+           st.integers(min_value=1, max_value=6))
+    def test_parallelism_invariance(self, edges, parallelism):
+        graph = Graph(20, edges)
+        env = ExecutionEnvironment(parallelism)
+        got = cc.cc_incremental(env, graph, "cogroup")
+        assert got == cc.cc_ground_truth(graph)
+
+
+class TestOnNamedDatasets:
+    def test_foaf_incremental(self):
+        graph = load_dataset("foaf")
+        env = ExecutionEnvironment(4)
+        got = cc.cc_incremental(env, graph, "cogroup")
+        assert got == cc.cc_ground_truth(graph)

@@ -1,0 +1,80 @@
+"""Batch Gradient Descent as a bulk iteration."""
+
+import pytest
+
+from repro import ExecutionEnvironment
+from repro.algorithms import gradient_descent as gd
+
+TRUE_MODEL = (1.5, -2.0, 0.25)  # (w1, w2, bias)
+DIM = 2
+
+
+@pytest.fixture(scope="module")
+def points():
+    return gd.generate_regression_data(250, TRUE_MODEL, noise=0.02, seed=3)
+
+
+class TestReference:
+    def test_recovers_true_model(self, points):
+        model = gd.gradient_descent_reference(points, DIM, 0.5, 400)
+        assert all(
+            abs(got - true) < 0.05 for got, true in zip(model, TRUE_MODEL)
+        )
+
+    def test_loss_decreases(self, points):
+        short = gd.gradient_descent_reference(points, DIM, 0.5, 5)
+        long = gd.gradient_descent_reference(points, DIM, 0.5, 100)
+        assert gd.mean_squared_error(points, DIM, long) < (
+            gd.mean_squared_error(points, DIM, short)
+        )
+
+
+class TestBulkDataflow:
+    def test_matches_reference_exactly(self, points):
+        env = ExecutionEnvironment(4)
+        got = gd.gradient_descent_bulk(env, points, DIM, 0.5, 50)
+        expected = gd.gradient_descent_reference(points, DIM, 0.5, 50)
+        assert all(abs(a - b) < 1e-9 for a, b in zip(got, expected))
+
+    def test_single_iteration(self, points):
+        env = ExecutionEnvironment(4)
+        got = gd.gradient_descent_bulk(env, points, DIM, 0.1, 1)
+        expected = gd.gradient_descent_reference(points, DIM, 0.1, 1)
+        assert all(abs(a - b) < 1e-12 for a, b in zip(got, expected))
+
+    def test_epsilon_termination(self, points):
+        env = ExecutionEnvironment(4)
+        gd.gradient_descent_bulk(env, points, DIM, 0.5, 1000, epsilon=1e-5)
+        summary = env.iteration_summaries[0]
+        assert summary.converged
+        assert summary.supersteps < 1000
+
+    def test_training_set_is_cached_constant_path(self, points):
+        env = ExecutionEnvironment(4)
+        gd.gradient_descent_bulk(env, points, DIM, 0.5, 10)
+        # the point set ships once; later supersteps only move the model
+        assert env.metrics.cache_hits >= 8
+
+    def test_parallelism_invariance(self, points):
+        results = []
+        for parallelism in (1, 3, 5):
+            env = ExecutionEnvironment(parallelism)
+            results.append(
+                gd.gradient_descent_bulk(env, points, DIM, 0.5, 20)
+            )
+        for other in results[1:]:
+            assert all(
+                abs(a - b) < 1e-9 for a, b in zip(results[0], other)
+            )
+
+
+class TestDataGeneration:
+    def test_deterministic(self):
+        a = gd.generate_regression_data(50, TRUE_MODEL, seed=9)
+        b = gd.generate_regression_data(50, TRUE_MODEL, seed=9)
+        assert a == b
+
+    def test_schema(self):
+        pts = gd.generate_regression_data(10, TRUE_MODEL, seed=0)
+        assert len(pts) == 10
+        assert all(len(p) == 1 + DIM + 1 for p in pts)

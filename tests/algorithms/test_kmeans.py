@@ -1,0 +1,74 @@
+"""K-Means as a bulk iteration with a constant data path."""
+
+import pytest
+
+from repro import ExecutionEnvironment
+from repro.algorithms import kmeans
+
+
+@pytest.fixture(scope="module")
+def points():
+    return kmeans.generate_points(200, 3, seed=17)
+
+
+@pytest.fixture(scope="module")
+def centers0(points):
+    return [(c, x, y) for c, (_i, x, y) in enumerate(points[:3])]
+
+
+def assert_centers_close(a, b, tol=1e-9):
+    assert len(a) == len(b)
+    for (ca, xa, ya), (cb, xb, yb) in zip(sorted(a), sorted(b)):
+        assert ca == cb
+        assert abs(xa - xb) < tol and abs(ya - yb) < tol
+
+
+class TestCorrectness:
+    def test_matches_reference(self, points, centers0):
+        env = ExecutionEnvironment(4)
+        got = kmeans.kmeans_bulk(env, points, centers0, iterations=6)
+        expected = kmeans.kmeans_reference(points, centers0, iterations=6)
+        assert_centers_close(got, expected)
+
+    def test_single_iteration(self, points, centers0):
+        env = ExecutionEnvironment(4)
+        got = kmeans.kmeans_bulk(env, points, centers0, iterations=1)
+        expected = kmeans.kmeans_reference(points, centers0, iterations=1)
+        assert_centers_close(got, expected)
+
+    def test_epsilon_termination_converges(self, points, centers0):
+        env = ExecutionEnvironment(4)
+        kmeans.kmeans_bulk(env, points, centers0, iterations=200,
+                           epsilon=1e-9)
+        summary = env.iteration_summaries[0]
+        assert summary.converged
+        assert summary.supersteps < 200
+
+    def test_terminated_centers_are_stable(self, points, centers0):
+        env = ExecutionEnvironment(4)
+        got = kmeans.kmeans_bulk(env, points, centers0, iterations=200,
+                                 epsilon=1e-12)
+        # one more Lloyd step must not move the centers
+        again = kmeans.kmeans_reference(points, got, iterations=1)
+        assert_centers_close(got, again, tol=1e-6)
+
+
+class TestConstantPathCaching:
+    def test_points_cached_across_supersteps(self, points, centers0):
+        """The point set is loop-invariant; its shipped form must be
+        cached rather than re-broadcast every superstep (Section 4.3)."""
+        env = ExecutionEnvironment(4)
+        kmeans.kmeans_bulk(env, points, centers0, iterations=8)
+        assert env.metrics.cache_hits >= 6
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = kmeans.generate_points(50, 2, seed=3)
+        b = kmeans.generate_points(50, 2, seed=3)
+        assert a == b
+
+    def test_point_count_and_ids(self):
+        pts = kmeans.generate_points(37, 4, seed=0)
+        assert len(pts) == 37
+        assert [p[0] for p in pts] == list(range(37))

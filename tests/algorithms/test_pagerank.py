@@ -1,0 +1,120 @@
+"""PageRank: numeric agreement across engines and both Figure 4 plans."""
+
+import pytest
+
+from repro import ExecutionEnvironment
+from repro.algorithms import pagerank as pr
+from repro.graphs import erdos_renyi
+from repro.runtime.plan import ShipKind
+from repro.systems.sparklike import SparkLikeContext
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(200, 5.0, seed=21)
+
+
+@pytest.fixture(scope="module")
+def reference(graph):
+    return pr.pagerank_reference(graph, iterations=12)
+
+
+def assert_ranks_close(got, expected, tol=1e-9):
+    assert set(got) == set(expected)
+    worst = max(abs(got[k] - expected[k]) for k in expected)
+    assert worst < tol, f"max rank deviation {worst}"
+
+
+class TestInputs:
+    def test_transition_matrix_is_left_stochastic(self, graph):
+        from collections import defaultdict
+        columns = defaultdict(float)
+        for _tid, pid, p in pr.transition_tuples(graph):
+            columns[pid] += p
+        assert all(abs(total - 1.0) < 1e-9 for total in columns.values())
+
+    def test_initial_ranks_sum_to_one(self, graph):
+        assert abs(sum(r for _v, r in pr.initial_ranks(graph)) - 1.0) < 1e-9
+
+
+class TestBulkDataflow:
+    @pytest.mark.parametrize("plan", ["auto", "broadcast", "partition"])
+    def test_matches_reference(self, graph, reference, plan):
+        env = ExecutionEnvironment(4)
+        got = pr.pagerank_bulk(env, graph, iterations=12, plan=plan)
+        assert_ranks_close(got, reference)
+
+    def test_forced_plans_differ_physically(self, graph):
+        shipping = {}
+        for plan in ("broadcast", "partition"):
+            env = ExecutionEnvironment(4)
+            pr.pagerank_bulk(env, graph, iterations=3, plan=plan)
+            described = env.last_plan.describe()
+            shipping[plan] = described
+        assert "broadcast" in shipping["broadcast"]
+        assert shipping["broadcast"] != shipping["partition"]
+
+    def test_broadcast_plan_computes_new_ranks_locally(self, graph):
+        """Figure 4, left: because A is cached pre-partitioned on tid, the
+        join output is born in the aggregation's partition — the paper's
+        'computes the new ranks locally'.  The only remote traffic per
+        superstep is the vector broadcast itself, |p|·(P-1) records;
+        the partitioned plan additionally shuffles the combined
+        contributions on tid."""
+        parallelism = 4
+        n = graph.num_vertices
+        steady = {}
+        for plan in ("broadcast", "partition"):
+            env = ExecutionEnvironment(parallelism)
+            pr.pagerank_bulk(env, graph, iterations=5, plan=plan)
+            steady[plan] = env.metrics.iteration_log[2]  # warm superstep
+        assert steady["broadcast"].records_shipped_remote == (
+            n * (parallelism - 1)
+        )
+        # the partitioned plan's vector shuffle alone is n(P-1)/P; anything
+        # above that is the contribution shuffle the broadcast plan avoids
+        vector_only = n * (parallelism - 1) / parallelism
+        assert steady["partition"].records_shipped_remote > vector_only
+
+    def test_ranks_remain_a_distribution(self, graph):
+        env = ExecutionEnvironment(4)
+        got = pr.pagerank_bulk(env, graph, iterations=8)
+        assert abs(sum(got.values()) - 1.0) < 1e-6
+
+
+class TestBaselines:
+    def test_sparklike(self, graph, reference):
+        ctx = SparkLikeContext(4)
+        got = pr.pagerank_sparklike(ctx, graph, iterations=12)
+        assert_ranks_close(got, reference)
+
+    def test_pregel(self, graph, reference):
+        got = pr.pagerank_pregel(graph, iterations=12)
+        assert_ranks_close(got, reference)
+
+    def test_sparklike_iteration_times_logged(self, graph):
+        ctx = SparkLikeContext(4)
+        pr.pagerank_sparklike(ctx, graph, iterations=5)
+        assert len(ctx.metrics.iteration_log) == 5
+
+
+class TestAdaptive:
+    def test_converges_to_fixpoint(self, graph):
+        env = ExecutionEnvironment(4)
+        got = pr.pagerank_adaptive(env, graph, epsilon=1e-12)
+        expected = pr.pagerank_reference(graph, iterations=300)
+        assert_ranks_close(got, expected, tol=1e-7)
+
+    def test_workset_decays_with_convergence(self, graph):
+        env = ExecutionEnvironment(4)
+        pr.pagerank_adaptive(env, graph, epsilon=1e-10)
+        sizes = [s.workset_size for s in env.metrics.iteration_log]
+        assert sizes[0] > sizes[-1]
+
+    def test_larger_epsilon_stops_earlier(self, graph):
+        steps = {}
+        for eps in (1e-4, 1e-10):
+            env = ExecutionEnvironment(4)
+            pr.pagerank_adaptive(env, graph, epsilon=eps)
+            steps[eps] = env.iteration_summaries[0].supersteps
+        assert steps[1e-4] < steps[1e-10]

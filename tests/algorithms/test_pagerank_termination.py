@@ -1,0 +1,71 @@
+"""The Figure-3 termination criterion T for PageRank."""
+
+import pytest
+
+from repro import ExecutionEnvironment
+from repro.algorithms import pagerank as pr
+from repro.graphs import erdos_renyi
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(150, 5.0, seed=33)
+
+
+class TestEpsilonTermination:
+    def test_stops_before_trip_count(self, graph):
+        env = ExecutionEnvironment(4)
+        pr.pagerank_bulk(env, graph, iterations=200, epsilon=1e-6)
+        summary = env.iteration_summaries[0]
+        assert summary.converged
+        assert summary.supersteps < 200
+
+    def test_result_is_stationary(self, graph):
+        env = ExecutionEnvironment(4)
+        got = pr.pagerank_bulk(env, graph, iterations=200, epsilon=1e-10)
+        steps = env.iteration_summaries[0].supersteps
+        reference = pr.pagerank_reference(graph, steps)
+        worst = max(abs(got[k] - reference[k]) for k in reference)
+        assert worst < 1e-9
+
+    def test_tighter_epsilon_runs_longer(self, graph):
+        steps = {}
+        for eps in (1e-3, 1e-9):
+            env = ExecutionEnvironment(4)
+            pr.pagerank_bulk(env, graph, iterations=300, epsilon=eps)
+            steps[eps] = env.iteration_summaries[0].supersteps
+        assert steps[1e-3] < steps[1e-9]
+
+    def test_without_epsilon_runs_exactly_n_supersteps(self, graph):
+        env = ExecutionEnvironment(4)
+        pr.pagerank_bulk(env, graph, iterations=7)
+        summary = env.iteration_summaries[0]
+        assert summary.supersteps == 7
+
+    def test_pregel_aggregator_driven_termination(self, graph):
+        """The aggregator-based Pregel variant stops early like the
+        dataflow's Figure-3 criterion — and on the same rank vector."""
+        from repro.runtime.metrics import MetricsCollector
+        metrics = MetricsCollector()
+        got = pr.pagerank_pregel(graph, iterations=300, epsilon=1e-6,
+                                 metrics=metrics)
+        supersteps = len(metrics.iteration_log)
+        assert supersteps < 300
+        env = ExecutionEnvironment(4)
+        dataflow = pr.pagerank_bulk(env, graph, iterations=300,
+                                    epsilon=1e-6)
+        worst = max(abs(got[k] - dataflow[k]) for k in dataflow)
+        # both stop near the same fixpoint (their stopping rules differ
+        # by one superstep at most, bounded by epsilon per rank)
+        assert worst < 1e-4
+
+    def test_termination_works_under_forced_plans(self, graph):
+        for plan in ("broadcast", "partition"):
+            env = ExecutionEnvironment(4)
+            got = pr.pagerank_bulk(env, graph, iterations=300,
+                                   epsilon=1e-8, plan=plan)
+            assert env.iteration_summaries[0].converged, plan
+            steps = env.iteration_summaries[0].supersteps
+            reference = pr.pagerank_reference(graph, steps)
+            worst = max(abs(got[k] - reference[k]) for k in reference)
+            assert worst < 1e-9, plan

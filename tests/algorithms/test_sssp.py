@@ -1,0 +1,83 @@
+"""SSSP across engines and execution modes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ExecutionEnvironment
+from repro.algorithms import sssp
+from repro.graphs import Graph, erdos_renyi
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(150, 4.0, seed=5)
+
+
+def weight(src, dst):
+    return float((src * 7 + dst * 13) % 5 + 1)
+
+
+class TestReference:
+    def test_source_distance_zero(self, graph):
+        assert sssp.sssp_reference(graph, 3)[3] == 0.0
+
+    def test_unreachable_is_inf(self):
+        graph = Graph(3, [(0, 1)])
+        dist = sssp.sssp_reference(graph, 0)
+        assert dist[2] == float("inf")
+
+    def test_triangle_inequality(self, graph):
+        dist = sssp.sssp_reference(graph, 0, weight)
+        for src, dst, w in sssp.weighted_edges(graph, weight):
+            if dist[src] < float("inf"):
+                assert dist[dst] <= dist[src] + w + 1e-9
+
+
+class TestIncremental:
+    @pytest.mark.parametrize("mode", ["superstep", "microstep", "async"])
+    def test_unit_weights(self, graph, mode):
+        env = ExecutionEnvironment(4)
+        got = sssp.sssp_incremental(env, graph, 0, mode=mode)
+        assert got == sssp.sssp_reference(graph, 0)
+
+    @pytest.mark.parametrize("mode", ["superstep", "microstep"])
+    def test_weighted(self, graph, mode):
+        env = ExecutionEnvironment(4)
+        got = sssp.sssp_incremental(env, graph, 0, weight_fn=weight,
+                                    mode=mode)
+        assert got == sssp.sssp_reference(graph, 0, weight)
+
+    def test_supersteps_track_hop_radius(self):
+        path = Graph(12, [(i, i + 1) for i in range(11)])
+        env = ExecutionEnvironment(4)
+        sssp.sssp_incremental(env, path, 0, mode="superstep")
+        # relaxations spread one hop per superstep along a path
+        assert env.iteration_summaries[0].supersteps >= 11
+
+    def test_unreachable_vertices_stay_inf(self):
+        graph = Graph(4, [(0, 1)])
+        env = ExecutionEnvironment(2)
+        got = sssp.sssp_incremental(env, graph, 0)
+        assert got[2] == float("inf") and got[3] == float("inf")
+
+
+class TestPregel:
+    def test_matches_reference(self, graph):
+        assert sssp.sssp_pregel(graph, 0) == sssp.sssp_reference(graph, 0)
+
+    def test_weighted_matches_reference(self, graph):
+        got = sssp.sssp_pregel(graph, 0, weight_fn=weight)
+        assert got == sssp.sssp_reference(graph, 0, weight)
+
+
+class TestPropertyBased:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 14), st.integers(0, 14)),
+                    max_size=30))
+    def test_engines_agree_on_random_graphs(self, edges):
+        graph = Graph(15, edges)
+        expected = sssp.sssp_reference(graph, 0)
+        env = ExecutionEnvironment(3)
+        assert sssp.sssp_incremental(env, graph, 0, mode="async") == expected
+        assert sssp.sssp_pregel(graph, 0, parallelism=3) == expected

@@ -1,0 +1,86 @@
+"""Experiment result classes render correct reports from synthetic data
+(no expensive workloads — pure report/derivation logic)."""
+
+from repro.bench.experiments.fig7 import Fig7Result
+from repro.bench.experiments.fig9 import Fig9Result
+from repro.bench.experiments.fig10 import Fig10Result
+from repro.bench.experiments.fig12 import VariantSeries
+from repro.bench.experiments.runners import RunMeasurement
+from repro.runtime.metrics import IterationStats
+
+
+def measurement(system, dataset, seconds, iterations=5, messages=100,
+                per_iteration_ms=None):
+    stats = []
+    for i, ms in enumerate(per_iteration_ms or [10.0] * iterations):
+        s = IterationStats(superstep=i + 1, duration_s=ms / 1000.0)
+        s.workset_size = max(0, 100 - i * 20)
+        s.records_shipped_remote = max(0, 50 - i * 10)
+        stats.append(s)
+    return RunMeasurement(
+        system=system, dataset=dataset, seconds=seconds,
+        iterations=iterations, messages=messages,
+        records_processed=1000, per_iteration=stats,
+    )
+
+
+class TestFig7Report:
+    def test_contains_rows_and_spread(self):
+        result = Fig7Result([
+            measurement("Spark", "wiki", 2.0),
+            measurement("Giraph", "wiki", 1.0),
+        ])
+        report = result.report()
+        assert "Spark" in report and "Giraph" in report
+        assert "spread x2.00" in report
+        assert "fastest=Giraph" in report
+
+
+class TestFig9Report:
+    def test_speedup_summary(self):
+        result = Fig9Result([
+            measurement("Stratosphere Full", "wiki", 4.0),
+            measurement("Stratosphere Incr.", "wiki", 1.0),
+            measurement("Stratosphere Micro", "wiki", 2.0),
+        ])
+        report = result.report()
+        assert "incremental speedup over bulk x4.00" in report
+
+
+class TestFig10Derivations:
+    def test_extrapolation_and_speedup(self):
+        incremental = measurement("Stratosphere Incr.", "webbase", 2.0,
+                                  iterations=100)
+        bulk = measurement("Stratosphere Full", "webbase", 10.0,
+                           iterations=20)
+        result = Fig10Result(incremental, bulk)
+        # bulk: 0.5 s/iteration × 100 supersteps = 50 s; speedup 25
+        assert abs(result.bulk_extrapolated_seconds - 50.0) < 1e-9
+        assert abs(result.speedup - 25.0) < 1e-9
+        assert "x25.0" in result.report()
+
+
+class TestFig12Fits:
+    def test_slope_and_correlation(self):
+        series = VariantSeries(
+            system="x",
+            times_ms=[10.0, 20.0, 30.0],
+            messages=[1000, 2000, 3000],
+        )
+        # 10 ms per 1000 messages = 10 µs/message, perfectly correlated
+        assert abs(series.slope_us_per_message - 10.0) < 1e-6
+        assert abs(series.correlation - 1.0) < 1e-9
+
+    def test_degenerate_series_is_nan(self):
+        series = VariantSeries("x", [5.0, 5.0], [100, 100])
+        assert series.slope_us_per_message != series.slope_us_per_message
+        assert series.correlation != series.correlation
+
+    def test_intercept_does_not_bias_slope(self):
+        # constant 5 ms overhead on top of 2 µs/message
+        series = VariantSeries(
+            "x",
+            times_ms=[5 + 2.0, 5 + 4.0, 5 + 8.0],
+            messages=[1000, 2000, 4000],
+        )
+        assert abs(series.slope_us_per_message - 2.0) < 1e-6

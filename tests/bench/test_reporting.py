@@ -1,0 +1,65 @@
+"""Report rendering and the experiment CLI."""
+
+import pytest
+
+from repro.bench.reporting import (
+    format_quantity,
+    format_seconds,
+    render_table,
+)
+
+
+class TestFormatting:
+    def test_seconds_ranges(self):
+        assert format_seconds(0.0123) == "12.3 ms"
+        assert format_seconds(2.5) == "2.50 s"
+        assert format_seconds(150.0) == "150 s"
+        assert format_seconds(4000.0) == "4,000 s"
+
+    def test_quantities(self):
+        assert format_quantity(12) == "12"
+        assert format_quantity(123_456) == "123,456"
+        assert format_quantity(float("nan")) == "-"
+        assert format_quantity(0.5) == "0.5"
+        assert format_quantity("text") == "text"
+
+
+class TestRenderTable:
+    def test_alignment_and_structure(self):
+        table = render_table(
+            "Demo", ["name", "value"],
+            [["alpha", 1], ["beta-long", 23_456]],
+        )
+        lines = table.splitlines()
+        assert lines[0] == "Demo"
+        assert lines[1] == "===="
+        assert "name" in lines[2] and "value" in lines[2]
+        # numeric column right-aligned: shorter number indented
+        assert lines[4].rstrip().endswith("1")
+        assert lines[5].rstrip().endswith("23,456")
+        # all data rows equal width
+        assert len(set(len(line.rstrip("\n")) for line in lines[3:4])) == 1
+
+    def test_empty_rows(self):
+        table = render_table("Empty", ["a", "b"], [])
+        assert "a" in table and "b" in table
+
+
+class TestCli:
+    def test_list_option(self, capsys):
+        from repro.bench.__main__ import main
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out and "table2" in out
+
+    def test_unknown_experiment_rejected(self):
+        from repro.bench.__main__ import main
+        with pytest.raises(SystemExit):
+            main(["does-not-exist"])
+
+    def test_runs_a_cheap_experiment(self, capsys):
+        from repro.bench.__main__ import main
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "broadcast plan" in out
+        assert "finished in" in out

@@ -1,0 +1,36 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.common.errors import (
+    DataflowError,
+    InvalidPlanError,
+    MicrostepViolation,
+    NotConvergedError,
+    OptimizerError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_type", [
+        InvalidPlanError, OptimizerError, MicrostepViolation,
+        NotConvergedError,
+    ])
+    def test_all_derive_from_dataflow_error(self, exc_type):
+        assert issubclass(exc_type, DataflowError)
+
+    def test_catching_the_base_catches_everything(self):
+        with pytest.raises(DataflowError):
+            raise MicrostepViolation("group-at-a-time operator")
+
+
+class TestNotConverged:
+    def test_carries_iteration_count(self):
+        error = NotConvergedError(42)
+        assert error.iterations == 42
+        assert "42" in str(error)
+
+    def test_custom_message(self):
+        error = NotConvergedError(7, "custom text")
+        assert str(error) == "custom text"
+        assert error.iterations == 7

@@ -1,0 +1,68 @@
+"""Unit tests for key normalization and extraction."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.keys import KeyExtractor, normalize_key_fields
+
+
+class TestNormalizeKeyFields:
+    def test_single_int(self):
+        assert normalize_key_fields(0) == (0,)
+        assert normalize_key_fields(3) == (3,)
+
+    def test_tuple(self):
+        assert normalize_key_fields((1, 0)) == (1, 0)
+
+    def test_list(self):
+        assert normalize_key_fields([2, 4]) == (2, 4)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            normalize_key_fields(True)
+        with pytest.raises(TypeError):
+            normalize_key_fields((0, False))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            normalize_key_fields(())
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            normalize_key_fields(-1)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            normalize_key_fields((1, 1))
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            normalize_key_fields("a")
+        with pytest.raises(TypeError):
+            normalize_key_fields((0, "b"))
+
+
+class TestKeyExtractor:
+    def test_single_field_returns_bare_value(self):
+        extract = KeyExtractor(1)
+        assert extract((10, 20, 30)) == 20
+
+    def test_composite_returns_tuple(self):
+        extract = KeyExtractor((2, 0))
+        assert extract((10, 20, 30)) == (30, 10)
+
+    def test_arity(self):
+        assert KeyExtractor(0).arity == 1
+        assert KeyExtractor((0, 1, 2)).arity == 3
+
+    def test_equality_and_hash(self):
+        assert KeyExtractor(0) == KeyExtractor((0,))
+        assert KeyExtractor(0) != KeyExtractor(1)
+        assert hash(KeyExtractor((1, 2))) == hash(KeyExtractor([1, 2]))
+
+    @given(st.lists(st.integers(), min_size=3, max_size=3))
+    def test_extraction_matches_indexing(self, values):
+        record = tuple(values)
+        assert KeyExtractor(0)(record) == record[0]
+        assert KeyExtractor((0, 2))(record) == (record[0], record[2])

@@ -1,0 +1,65 @@
+"""Tests for the CPO helpers of Section 2.1."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.ordering import (
+    ComponentOrder,
+    PartialOrder,
+    is_chain_descending,
+)
+
+
+class TestComponentOrder:
+    def setup_method(self):
+        self.order = ComponentOrder()
+
+    def test_reflexive(self):
+        s = {0: 1, 1: 2}
+        assert self.order.precedes(s, s)
+
+    def test_pointwise_dominance(self):
+        earlier = {0: 5, 1: 7}
+        later = {0: 3, 1: 7}
+        assert self.order.precedes(later, earlier)
+        assert not self.order.precedes(earlier, later)
+
+    def test_incomparable_states(self):
+        a = {0: 1, 1: 9}
+        b = {0: 9, 1: 1}
+        assert not self.order.comparable(a, b)
+
+    def test_different_domains_never_precede(self):
+        assert not self.order.precedes({0: 1}, {1: 1})
+
+    def test_strictly_precedes(self):
+        assert self.order.strictly_precedes({0: 1}, {0: 2})
+        assert not self.order.strictly_precedes({0: 1}, {0: 1})
+
+    @given(st.dictionaries(st.integers(0, 5), st.integers(0, 10),
+                           min_size=1, max_size=6))
+    def test_bottom_element(self, state):
+        bottom = {k: 0 for k in state}
+        assert self.order.precedes(bottom, state)
+
+
+class TestChainChecking:
+    def test_descending_chain(self):
+        order = ComponentOrder()
+        chain = [{0: 5}, {0: 3}, {0: 1}, {0: 1}]
+        assert is_chain_descending(order, chain)
+
+    def test_violating_chain(self):
+        order = ComponentOrder()
+        chain = [{0: 3}, {0: 5}]
+        assert not is_chain_descending(order, chain)
+
+    def test_trivial_chains(self):
+        order = ComponentOrder()
+        assert is_chain_descending(order, [])
+        assert is_chain_descending(order, [{0: 1}])
+
+    def test_abstract_order_requires_precedes(self):
+        import pytest
+        with pytest.raises(NotImplementedError):
+            PartialOrder().precedes(1, 2)

@@ -1,0 +1,38 @@
+"""Shared fixtures: small graphs and environments used across the suite."""
+
+import pytest
+
+from repro import ExecutionEnvironment
+from repro.graphs import Graph, erdos_renyi
+
+
+@pytest.fixture
+def env():
+    """A 4-way optimized environment (the default configuration)."""
+    return ExecutionEnvironment(parallelism=4)
+
+
+@pytest.fixture
+def env_naive():
+    """A 4-way environment using the rule-based (naive) planner."""
+    return ExecutionEnvironment(parallelism=4, optimize=False)
+
+
+@pytest.fixture
+def sample9():
+    """The 9-vertex, two-component example graph of Figure 1 (0-indexed)."""
+    edges = [(0, 1), (1, 2), (0, 2), (2, 3), (4, 5), (5, 6), (6, 7),
+             (7, 8), (6, 8)]
+    return Graph(9, edges, name="sample9")
+
+
+@pytest.fixture
+def small_random():
+    """A 120-vertex sparse random graph with several components."""
+    return erdos_renyi(120, 2.5, seed=42)
+
+
+@pytest.fixture
+def path_graph():
+    """A 10-vertex path: the worst case for propagation depth."""
+    return Graph(10, [(i, i + 1) for i in range(9)], name="path10")

@@ -1,0 +1,64 @@
+"""Aggregation convenience operators built on combinable Reduce."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ExecutionEnvironment
+
+RECORDS = [
+    ("a", 1, 10.0), ("a", 2, 3.0), ("b", 7, 5.5),
+    ("b", 1, 4.5), ("a", 4, -2.0),
+]
+
+
+@pytest.fixture
+def env():
+    return ExecutionEnvironment(3)
+
+
+class TestSugar:
+    def test_sum_by_key(self, env):
+        out = env.from_iterable(RECORDS).sum_by_key(0, 1).collect()
+        assert sorted((r[0], r[1]) for r in out) == [("a", 7), ("b", 8)]
+
+    def test_min_by_key_returns_whole_record(self, env):
+        out = env.from_iterable(RECORDS).min_by_key(0, 2).collect()
+        assert sorted(out) == [("a", 4, -2.0), ("b", 1, 4.5)]
+
+    def test_max_by_key(self, env):
+        out = env.from_iterable(RECORDS).max_by_key(0, 1).collect()
+        assert sorted(out) == [("a", 4, -2.0), ("b", 7, 5.5)]
+
+    def test_count_by_key_single_field(self, env):
+        out = env.from_iterable(RECORDS).count_by_key(0).collect()
+        assert sorted(out) == [("a", 3), ("b", 2)]
+
+    def test_count_by_composite_key(self, env):
+        data = env.from_iterable(
+            [("x", 1, "p"), ("x", 1, "q"), ("x", 2, "r")]
+        )
+        out = data.count_by_key((0, 1)).collect()
+        assert sorted(out) == [("x", 1, 2), ("x", 2, 1)]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(-50, 50)),
+                    max_size=40))
+    def test_sum_matches_python(self, records):
+        env = ExecutionEnvironment(4)
+        expected = {}
+        for k, v in records:
+            expected[k] = expected.get(k, 0) + v
+        out = env.from_iterable(records).sum_by_key(0, 1).collect()
+        assert {k: v for k, v in out} == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 4), st.integers(-9, 9)),
+                    min_size=1, max_size=30))
+    def test_min_max_bracket_the_data(self, records):
+        env = ExecutionEnvironment(3)
+        data = env.from_iterable(records)
+        lows = {k: v for k, v in data.min_by_key(0, 1).collect()}
+        highs = {k: v for k, v in data.max_by_key(0, 1).collect()}
+        for k, v in records:
+            assert lows[k] <= v <= highs[k]

@@ -1,0 +1,52 @@
+"""PACT contract classification predicates."""
+
+from repro.dataflow.contracts import (
+    BINARY_CONTRACTS,
+    Contract,
+    is_binary,
+    is_group_at_a_time,
+    is_keyed,
+    is_record_at_a_time,
+)
+
+
+class TestClassification:
+    def test_record_at_a_time(self):
+        for contract in (Contract.MAP, Contract.FLAT_MAP, Contract.FILTER,
+                         Contract.MATCH, Contract.CROSS, Contract.UNION,
+                         Contract.SOLUTION_JOIN):
+            assert is_record_at_a_time(contract), contract
+
+    def test_group_at_a_time(self):
+        for contract in (Contract.REDUCE, Contract.REDUCE_GROUP,
+                         Contract.COGROUP, Contract.INNER_COGROUP,
+                         Contract.SOLUTION_COGROUP):
+            assert is_group_at_a_time(contract), contract
+
+    def test_classes_are_disjoint(self):
+        for contract in Contract:
+            assert not (
+                is_record_at_a_time(contract)
+                and is_group_at_a_time(contract)
+            ), contract
+
+    def test_binary_contracts(self):
+        assert is_binary(Contract.MATCH)
+        assert is_binary(Contract.UNION)
+        assert not is_binary(Contract.MAP)
+        assert not is_binary(Contract.REDUCE)
+        assert Contract.SOLUTION_JOIN in BINARY_CONTRACTS
+
+    def test_keyed_contracts(self):
+        assert is_keyed(Contract.REDUCE)
+        assert is_keyed(Contract.MATCH)
+        assert not is_keyed(Contract.MAP)
+        assert not is_keyed(Contract.CROSS)  # cross pairs everything
+
+    def test_pseudo_contracts_are_neither(self):
+        for contract in (Contract.SOURCE, Contract.SINK,
+                         Contract.BULK_ITERATION, Contract.DELTA_ITERATION,
+                         Contract.PARTIAL_SOLUTION, Contract.WORKSET,
+                         Contract.SOLUTION_SET):
+            assert not is_record_at_a_time(contract)
+            assert not is_group_at_a_time(contract)

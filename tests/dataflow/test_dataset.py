@@ -1,0 +1,84 @@
+"""Fluent-API surface: naming, hints, and authoring-error handling."""
+
+import pytest
+
+from repro import ExecutionEnvironment
+from repro.common.errors import InvalidPlanError
+from repro.dataflow.contracts import Contract
+
+
+@pytest.fixture
+def env():
+    return ExecutionEnvironment(2)
+
+
+class TestHandles:
+    def test_name_sets_operator_label(self, env):
+        data = env.from_iterable([(1,)]).map(lambda r: r).name("my_map")
+        assert data.node.name == "my_map"
+
+    def test_with_estimated_size(self, env):
+        data = env.from_iterable([(1,)]).with_estimated_size(500)
+        assert data.node.estimated_size == 500.0
+
+    def test_with_forwarded_fields(self, env):
+        data = env.from_iterable([(1, 2)]).map(lambda r: r) \
+            .with_forwarded_fields({0: 1, 1: 0})
+        assert data.node.forwarded_fields[0] == {0: 1, 1: 0}
+
+    def test_node_and_env_accessors(self, env):
+        data = env.from_iterable([(1,)])
+        assert data.env is env
+        assert data.node.contract is Contract.SOURCE
+
+
+class TestAuthoringErrors:
+    def test_join_with_non_dataset(self, env):
+        data = env.from_iterable([(1,)])
+        with pytest.raises(TypeError):
+            data.join([(1,)], 0, 0, lambda l, r: l)
+
+    def test_union_with_non_dataset(self, env):
+        data = env.from_iterable([(1,)])
+        with pytest.raises(TypeError):
+            data.union("not a dataset")
+
+    def test_bad_key_spec(self, env):
+        data = env.from_iterable([(1, 2)])
+        with pytest.raises((TypeError, ValueError)):
+            data.reduce_by_key("a", lambda x, y: x)
+        with pytest.raises(ValueError):
+            data.reduce_by_key((), lambda x, y: x)
+
+    def test_join_key_arity_mismatch_caught_at_validation(self, env):
+        left = env.from_iterable([(1, 2)])
+        right = env.from_iterable([(1, 2)])
+        joined = left.join(right, (0, 1), 0, lambda l, r: l)
+        with pytest.raises(InvalidPlanError):
+            joined.collect()
+
+
+class TestSolutionSetRules:
+    def _iteration(self, env):
+        s0 = env.from_iterable([(0, 0)])
+        w0 = env.from_iterable([(0, 0)])
+        return env.iterate_delta(s0, w0, 0, max_iterations=2)
+
+    def test_solution_cogroup_key_checked(self, env):
+        it = self._iteration(env)
+        with pytest.raises(InvalidPlanError):
+            it.workset.cogroup(it.solution_set, 0, 1,
+                               lambda k, a, b: [])
+
+    def test_solution_join_annotates_iteration(self, env):
+        it = self._iteration(env)
+        joined = it.workset.join(it.solution_set, 0, 0, lambda c, s: None)
+        assert joined.node.contract is Contract.SOLUTION_JOIN
+        assert joined.node.enclosing_iteration is it._node
+
+    def test_placeholder_outside_iteration_rejected(self, env):
+        it = self._iteration(env)
+        # using the workset placeholder as a plain sink input without
+        # closing the iteration must fail validation
+        with pytest.raises(InvalidPlanError):
+            it.workset.collect()

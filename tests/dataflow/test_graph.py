@@ -1,0 +1,146 @@
+"""Logical plan structure: validation, iteration bodies, path analysis."""
+
+import pytest
+
+from repro.common.errors import InvalidPlanError
+from repro.dataflow.contracts import Contract
+from repro.dataflow.graph import (
+    BulkIterationNode,
+    DeltaIterationNode,
+    LogicalNode,
+    LogicalPlan,
+    dynamic_path_nodes,
+    iteration_body_nodes,
+    topological_order,
+)
+
+
+def source(name="src"):
+    return LogicalNode(Contract.SOURCE, data=[(1,)], name=name)
+
+
+class TestLogicalNode:
+    def test_key_normalization(self):
+        node = LogicalNode(Contract.REDUCE, [source()], key_fields=[0])
+        assert node.key_fields == ((0,),)
+
+    def test_source_knows_its_size(self):
+        node = LogicalNode(Contract.SOURCE, data=[(1,), (2,)])
+        assert node.estimated_size == 2.0
+
+    def test_forwarded_fields_accumulate(self):
+        node = LogicalNode(Contract.MAP, [source()])
+        node.with_forwarded_fields(0, {0: 0})
+        node.with_forwarded_fields(0, {1: 2})
+        assert node.forwarded_fields[0] == {0: 0, 1: 2}
+
+
+class TestValidation:
+    def test_match_needs_two_inputs(self):
+        bad = LogicalNode(Contract.MATCH, [source()], key_fields=[(0,)])
+        sink = LogicalNode(Contract.SINK, [bad])
+        with pytest.raises(InvalidPlanError):
+            LogicalPlan([sink]).validate()
+
+    def test_match_key_arity_mismatch(self):
+        bad = LogicalNode(
+            Contract.MATCH, [source(), source()],
+            key_fields=[(0,), (0, 1)],
+        )
+        sink = LogicalNode(Contract.SINK, [bad])
+        with pytest.raises(InvalidPlanError):
+            LogicalPlan([sink]).validate()
+
+    def test_unclosed_iteration_rejected(self):
+        iteration = BulkIterationNode(source(), max_iterations=3)
+        sink = LogicalNode(Contract.SINK, [iteration])
+        with pytest.raises(InvalidPlanError):
+            LogicalPlan([sink]).validate()
+
+    def test_plan_needs_sinks(self):
+        with pytest.raises(InvalidPlanError):
+            LogicalPlan([])
+
+    def test_max_iterations_must_be_positive(self):
+        with pytest.raises(InvalidPlanError):
+            BulkIterationNode(source(), max_iterations=0)
+        with pytest.raises(InvalidPlanError):
+            DeltaIterationNode(source(), source(), 0, max_iterations=0)
+
+    def test_unknown_delta_mode_rejected(self):
+        it = DeltaIterationNode(source(), source(), 0, max_iterations=5)
+        with pytest.raises(InvalidPlanError):
+            it.close(source(), source(), mode="bogus")
+
+
+class TestTopologicalOrder:
+    def test_producers_before_consumers(self):
+        a = source("a")
+        b = LogicalNode(Contract.MAP, [a], name="b")
+        c = LogicalNode(Contract.MAP, [b], name="c")
+        d = LogicalNode(Contract.UNION, [a, c], name="d")
+        order = [n.name for n in topological_order([d])]
+        assert order.index("a") < order.index("b") < order.index("c")
+        assert order.index("c") < order.index("d")
+
+    def test_diamond_visits_once(self):
+        a = source("a")
+        left = LogicalNode(Contract.MAP, [a], name="l")
+        right = LogicalNode(Contract.MAP, [a], name="r")
+        top = LogicalNode(Contract.UNION, [left, right], name="t")
+        order = topological_order([top])
+        assert len(order) == 4
+
+
+class TestIterationStructure:
+    def _closed_bulk(self):
+        initial = source("initial")
+        constant = source("constant")
+        iteration = BulkIterationNode(initial, max_iterations=5)
+        step1 = LogicalNode(Contract.MAP, [iteration.placeholder], name="step1")
+        joined = LogicalNode(
+            Contract.MATCH, [step1, constant],
+            key_fields=[(0,), (0,)], name="joined",
+        )
+        iteration.close(joined)
+        return iteration, {"step1": step1, "joined": joined,
+                           "constant": constant, "initial": initial}
+
+    def test_body_includes_constant_path_sources(self):
+        iteration, nodes = self._closed_bulk()
+        body_names = {n.name for n in iteration_body_nodes(iteration)}
+        assert "constant" in body_names
+        assert "joined" in body_names
+        assert "initial" not in body_names  # outer input excluded
+
+    def test_dynamic_path_excludes_constant_source(self):
+        iteration, nodes = self._closed_bulk()
+        dynamic_names = {n.name for n in dynamic_path_nodes(iteration)}
+        assert "step1" in dynamic_names
+        assert "joined" in dynamic_names
+        assert "constant" not in dynamic_names
+
+    def test_delta_iteration_dynamic_paths(self):
+        solution0, workset0 = source("s0"), source("w0")
+        edges = source("edges")
+        it = DeltaIterationNode(solution0, workset0, 0, max_iterations=9)
+        delta = LogicalNode(
+            Contract.SOLUTION_JOIN,
+            [it.workset_placeholder, it.solution_placeholder],
+            key_fields=[(0,), (0,)], name="delta",
+        )
+        delta.enclosing_iteration = it
+        next_ws = LogicalNode(
+            Contract.MATCH, [delta, edges],
+            key_fields=[(0,), (0,)], name="next_ws",
+        )
+        it.close(delta, next_ws)
+        dynamic = {n.name for n in dynamic_path_nodes(it)}
+        assert "delta" in dynamic and "next_ws" in dynamic
+        assert "edges" not in dynamic
+
+    def test_plan_nodes_reach_into_bodies(self):
+        iteration, nodes = self._closed_bulk()
+        sink = LogicalNode(Contract.SINK, [iteration])
+        names = {n.name for n in LogicalPlan([sink]).nodes()}
+        assert {"step1", "joined", "constant", "initial"} <= names

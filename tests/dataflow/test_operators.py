@@ -1,0 +1,185 @@
+"""End-to-end semantics of every operator through the full stack
+(fluent API → optimizer → executor), under both planners."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ExecutionEnvironment
+
+
+def both_envs():
+    return [ExecutionEnvironment(4), ExecutionEnvironment(4, optimize=False)]
+
+
+@pytest.fixture(params=["optimized", "naive"])
+def any_env(request):
+    return ExecutionEnvironment(4, optimize=request.param == "optimized")
+
+
+class TestUnaryOperators:
+    def test_map(self, any_env):
+        data = any_env.from_iterable([(i,) for i in range(10)])
+        assert sorted(data.map(lambda r: (r[0] + 1,)).collect()) == [
+            (i + 1,) for i in range(10)
+        ]
+
+    def test_flat_map(self, any_env):
+        data = any_env.from_iterable([(2,), (0,), (3,)])
+        out = data.flat_map(lambda r: [(r[0],)] * r[0]).collect()
+        assert sorted(out) == [(2,), (2,), (3,), (3,), (3,)]
+
+    def test_filter(self, any_env):
+        data = any_env.from_iterable([(i,) for i in range(10)])
+        out = data.filter(lambda r: r[0] % 3 == 0).collect()
+        assert sorted(out) == [(0,), (3,), (6,), (9,)]
+
+    def test_reduce_by_key(self, any_env):
+        data = any_env.from_iterable([(i % 3, 1) for i in range(12)])
+        out = data.reduce_by_key(0, lambda a, b: (a[0], a[1] + b[1])).collect()
+        assert sorted(out) == [(0, 4), (1, 4), (2, 4)]
+
+    def test_reduce_group(self, any_env):
+        data = any_env.from_iterable([(i % 2, i) for i in range(6)])
+        out = data.reduce_group(
+            0, lambda key, group: [(key, sorted(r[1] for r in group))]
+        ).collect()
+        assert sorted(out) == [(0, [0, 2, 4]), (1, [1, 3, 5])]
+
+    def test_distinct_by_key(self, any_env):
+        data = any_env.from_iterable([(1, "a"), (1, "b"), (2, "c")])
+        out = data.distinct(key_fields=0).collect()
+        assert len(out) == 2
+        assert {r[0] for r in out} == {1, 2}
+
+    def test_composite_keys(self, any_env):
+        data = any_env.from_iterable(
+            [(1, "x", 10), (1, "x", 5), (1, "y", 2)]
+        )
+        out = data.reduce_by_key(
+            (0, 1), lambda a, b: (a[0], a[1], a[2] + b[2])
+        ).collect()
+        assert sorted(out) == [(1, "x", 15), (1, "y", 2)]
+
+
+class TestBinaryOperators:
+    def test_join(self, any_env):
+        left = any_env.from_iterable([(1, "a"), (2, "b"), (2, "bb")])
+        right = any_env.from_iterable([(2, "x"), (3, "y")])
+        out = left.join(right, 0, 0, lambda l, r: (l[1], r[1])).collect()
+        assert sorted(out) == [("b", "x"), ("bb", "x")]
+
+    def test_join_flat(self, any_env):
+        left = any_env.from_iterable([(1, 2)])
+        right = any_env.from_iterable([(1, 3)])
+        out = left.join(
+            right, 0, 0, lambda l, r: [(l[1],), (r[1],)], flat=True
+        ).collect()
+        assert sorted(out) == [(2,), (3,)]
+
+    def test_join_on_different_fields(self, any_env):
+        left = any_env.from_iterable([("a", 1), ("b", 2)])
+        right = any_env.from_iterable([(10, 1), (20, 2)])
+        out = left.join(right, 1, 1, lambda l, r: (l[0], r[0])).collect()
+        assert sorted(out) == [("a", 10), ("b", 20)]
+
+    def test_cogroup_outer(self, any_env):
+        left = any_env.from_iterable([(1, "a"), (2, "b")])
+        right = any_env.from_iterable([(2, "x"), (3, "y")])
+        out = left.cogroup(
+            right, 0, 0,
+            lambda key, ls, rs: [(key, len(ls), len(rs))],
+        ).collect()
+        assert sorted(out) == [(1, 1, 0), (2, 1, 1), (3, 0, 1)]
+
+    def test_cogroup_inner(self, any_env):
+        left = any_env.from_iterable([(1, "a"), (2, "b")])
+        right = any_env.from_iterable([(2, "x"), (3, "y")])
+        out = left.cogroup(
+            right, 0, 0,
+            lambda key, ls, rs: [(key,)], inner=True,
+        ).collect()
+        assert out == [(2,)]
+
+    def test_cross(self, any_env):
+        left = any_env.from_iterable([(1,), (2,)])
+        right = any_env.from_iterable([(10,), (20,)])
+        out = left.cross(right, lambda a, b: (a[0], b[0])).collect()
+        assert sorted(out) == [(1, 10), (1, 20), (2, 10), (2, 20)]
+
+    def test_union(self, any_env):
+        left = any_env.from_iterable([(1,)])
+        right = any_env.from_iterable([(1,), (2,)])
+        assert sorted(left.union(right).collect()) == [(1,), (1,), (2,)]
+
+
+class TestEnvironmentApi:
+    def test_generate_sequence(self, any_env):
+        out = any_env.generate_sequence(5).collect()
+        assert sorted(out) == [(i,) for i in range(5)]
+
+    def test_named_sinks_execute_together(self):
+        env = ExecutionEnvironment(2)
+        data = env.from_iterable([(1,), (2,)])
+        data.map(lambda r: (r[0] * 2,)).output(name="doubled")
+        data.filter(lambda r: r[0] > 1).output(name="filtered")
+        results = env.execute()
+        assert sorted(results["doubled"]) == [(2,), (4,)]
+        assert results["filtered"] == [(2,)]
+
+    def test_execute_without_sinks_fails(self):
+        from repro.common.errors import InvalidPlanError
+        env = ExecutionEnvironment(2)
+        with pytest.raises(InvalidPlanError):
+            env.execute()
+
+    def test_cross_environment_mixing_rejected(self):
+        from repro.common.errors import InvalidPlanError
+        env_a, env_b = ExecutionEnvironment(2), ExecutionEnvironment(2)
+        left = env_a.from_iterable([(1,)])
+        right = env_b.from_iterable([(1,)])
+        with pytest.raises(InvalidPlanError):
+            left.union(right)
+
+    def test_explain_returns_plan_text(self):
+        env = ExecutionEnvironment(2)
+        data = env.from_iterable([(1, 2)])
+        text = env.explain(
+            data.reduce_by_key(0, lambda a, b: a)
+        )
+        assert "partition" in text or "forward" in text
+
+    def test_parallelism_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionEnvironment(0)
+
+
+class TestPlannerEquivalence:
+    """The optimizer must never change operator semantics."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(-10, 10)),
+                    max_size=40))
+    def test_reduce_same_under_both_planners(self, records):
+        results = []
+        for env in both_envs():
+            data = env.from_iterable(records)
+            out = data.reduce_by_key(
+                0, lambda a, b: (a[0], a[1] + b[1])
+            ).collect()
+            results.append(sorted(out))
+        assert results[0] == results[1]
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.tuples(st.integers(0, 4), st.integers()), max_size=25),
+        st.lists(st.tuples(st.integers(0, 4), st.integers()), max_size=25),
+    )
+    def test_join_same_under_both_planners(self, left, right):
+        results = []
+        for env in both_envs():
+            l = env.from_iterable(left)
+            r = env.from_iterable(right)
+            out = l.join(r, 0, 0, lambda a, b: (a[0], a[1], b[1])).collect()
+            results.append(sorted(out))
+        assert results[0] == results[1]

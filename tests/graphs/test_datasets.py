@@ -1,0 +1,56 @@
+"""The named dataset registry standing in for Table 2."""
+
+import pytest
+
+from repro.graphs import dataset_names, load_dataset
+from repro.graphs.datasets import PAPER_PROPERTIES
+
+
+class TestRegistry:
+    def test_all_names_load(self):
+        for name in dataset_names():
+            graph = load_dataset(name)
+            assert graph.num_vertices > 0
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("nonexistent")
+
+    def test_memoized(self):
+        assert load_dataset("wikipedia") is load_dataset("wikipedia")
+
+    def test_scale_doubles(self):
+        base = load_dataset("foaf", scale=0)
+        scaled = load_dataset("foaf", scale=1)
+        assert scaled.num_vertices == 2 * base.num_vertices
+
+    def test_sample9_matches_figure1(self):
+        g = load_dataset("sample9")
+        assert g.num_vertices == 9
+        # two components: {0..3} and {4..8}
+        from repro.graphs.stats import union_find_components
+        labels = union_find_components(g).tolist()
+        assert labels == [0, 0, 0, 0, 4, 4, 4, 4, 4]
+
+
+class TestTable2Roles:
+    def test_degree_ordering_matches_paper(self):
+        """Hollywood ≫ Twitter > Webbase ≈ Wikipedia in average degree."""
+        deg = {
+            name: load_dataset(name).avg_degree
+            for name in ("wikipedia", "webbase", "hollywood", "twitter")
+        }
+        assert deg["hollywood"] > deg["twitter"] > deg["wikipedia"]
+        assert deg["hollywood"] > 3 * deg["twitter"]
+
+    def test_webbase_has_huge_diameter(self):
+        from repro.graphs.stats import estimate_diameter
+        webbase = load_dataset("webbase")
+        wikipedia = load_dataset("wikipedia")
+        assert estimate_diameter(webbase, probes=1) > (
+            20 * max(1, estimate_diameter(wikipedia, probes=1))
+        )
+
+    def test_paper_properties_recorded(self):
+        assert PAPER_PROPERTIES["twitter"][1] == 41_652_230
+        assert len(PAPER_PROPERTIES) == 4

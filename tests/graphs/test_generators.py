@@ -1,0 +1,79 @@
+"""Generators hit their structural targets and are seed-deterministic."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    chained_communities,
+    erdos_renyi,
+    foaf_like,
+    overlapping_cliques,
+    preferential_attachment,
+    rmat,
+)
+from repro.graphs.stats import estimate_diameter, union_find_components
+
+
+ALL_GENERATORS = [
+    lambda seed: erdos_renyi(500, 4.0, seed=seed),
+    lambda seed: preferential_attachment(300, 3, seed=seed),
+    lambda seed: rmat(9, 8.0, seed=seed),
+    lambda seed: chained_communities(10, 30, seed=seed),
+    lambda seed: overlapping_cliques(200, 20, seed=seed),
+    lambda seed: foaf_like(400, seed=seed),
+]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("make", ALL_GENERATORS)
+    def test_same_seed_same_graph(self, make):
+        a, b = make(7), make(7)
+        assert a.num_edges == b.num_edges
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.indptr, b.indptr)
+
+    def test_different_seed_different_graph(self):
+        a = erdos_renyi(500, 4.0, seed=1)
+        b = erdos_renyi(500, 4.0, seed=2)
+        assert not np.array_equal(a.indices, b.indices)
+
+
+class TestStructuralTargets:
+    def test_erdos_renyi_degree(self):
+        g = erdos_renyi(2000, 8.0, seed=0)
+        assert 6.0 < g.avg_degree <= 8.0  # dedup loses a little
+
+    def test_preferential_attachment_power_law_head(self):
+        g = preferential_attachment(1000, 2, seed=0)
+        degrees = np.sort(g.degrees())[::-1]
+        # hubs far above the median degree
+        assert degrees[0] > 5 * np.median(degrees)
+
+    def test_rmat_vertex_count_is_power_of_two(self):
+        g = rmat(8, 4.0, seed=0)
+        assert g.num_vertices == 256
+
+    def test_rmat_skewed_degrees(self):
+        g = rmat(11, 16.0, seed=0)
+        degrees = g.degrees()
+        assert degrees.max() > 4 * degrees.mean()
+
+    def test_chained_communities_high_diameter(self):
+        g = chained_communities(40, 25, seed=0)
+        assert estimate_diameter(g, probes=2) > 40
+        labels = union_find_components(g)
+        assert len(np.unique(labels)) == 1  # one connected component
+
+    def test_overlapping_cliques_dense(self):
+        g = overlapping_cliques(300, 30, cliques_per_vertex=3.0, seed=0)
+        assert g.avg_degree > 40
+
+    def test_foaf_has_straggler_tail(self):
+        g = foaf_like(1000, seed=0)
+        # the tail chain gives the graph a diameter far beyond an
+        # equivalent pure power-law graph
+        assert estimate_diameter(g, probes=2) >= 5
+
+    def test_preferential_attachment_validates_args(self):
+        with pytest.raises(ValueError):
+            preferential_attachment(10, 0)

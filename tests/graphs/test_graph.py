@@ -1,0 +1,66 @@
+"""Graph data structure: CSR construction and views."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph
+
+
+class TestConstruction:
+    def test_symmetrization(self):
+        g = Graph(3, [(0, 1)])
+        assert sorted(g.neighbors(0).tolist()) == [1]
+        assert sorted(g.neighbors(1).tolist()) == [0]
+        assert g.num_edges == 2
+
+    def test_directed_storage(self):
+        g = Graph(3, [(0, 1)], symmetrize=False)
+        assert g.neighbors(0).tolist() == [1]
+        assert g.neighbors(1).tolist() == []
+
+    def test_self_loops_dropped(self):
+        g = Graph(2, [(0, 0), (0, 1)])
+        assert g.num_edges == 2  # only the symmetrized 0-1 edge
+
+    def test_duplicates_collapsed(self):
+        g = Graph(2, [(0, 1), (0, 1), (1, 0)])
+        assert g.num_edges == 2
+
+    def test_empty_graph(self):
+        g = Graph(4, [])
+        assert g.num_edges == 0
+        assert g.avg_degree == 0.0
+        assert g.neighbors(2).tolist() == []
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(2, [(0, 5)])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(2, np.array([[0, 1, 2]]))
+
+
+class TestViews:
+    def test_degrees(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.degrees().tolist() == [3, 1, 1, 1]
+        assert g.degree(0) == 3
+        assert g.max_degree_check() if hasattr(g, "max_degree_check") else True
+
+    def test_avg_degree_matches_table2_convention(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert g.avg_degree == 4 / 4  # stored entries / vertices
+
+    def test_edge_tuples_complete_and_symmetric(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        tuples = set(g.edge_tuples())
+        assert tuples == {(0, 1), (1, 0), (1, 2), (2, 1)}
+
+    def test_vertex_tuples(self):
+        g = Graph(3, [])
+        assert g.vertex_tuples() == [(0,), (1,), (2,)]
+
+    def test_repr(self):
+        g = Graph(3, [(0, 1)], name="tiny")
+        assert "tiny" in repr(g)

@@ -1,0 +1,56 @@
+"""Edge-list round-tripping."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, erdos_renyi
+from repro.graphs.io import read_edge_list, write_edge_list
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_adjacency(self, tmp_path):
+        original = erdos_renyi(100, 4.0, seed=1)
+        path = tmp_path / "graph.txt"
+        write_edge_list(original, str(path))
+        loaded = read_edge_list(str(path))
+        assert loaded.num_vertices == original.num_vertices
+        assert np.array_equal(loaded.indptr, original.indptr)
+        assert np.array_equal(loaded.indices, original.indices)
+
+    def test_header_carries_vertex_count(self, tmp_path):
+        graph = Graph(10, [(0, 1)])  # vertices 2..9 are isolated
+        path = tmp_path / "g.txt"
+        write_edge_list(graph, str(path))
+        loaded = read_edge_list(str(path))
+        assert loaded.num_vertices == 10
+
+    def test_name_from_filename(self, tmp_path):
+        graph = Graph(3, [(0, 1)])
+        path = tmp_path / "my_graph.txt"
+        write_edge_list(graph, str(path))
+        assert read_edge_list(str(path)).name == "my_graph"
+
+    def test_explicit_vertex_count_wins(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        loaded = read_edge_list(str(path), num_vertices=7)
+        assert loaded.num_vertices == 7
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# a comment\n\n0 1\n# another\n1 2\n")
+        loaded = read_edge_list(str(path))
+        assert loaded.num_vertices == 3
+        assert loaded.num_edges == 4  # symmetrized
+
+    def test_directed_load(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        loaded = read_edge_list(str(path), symmetrize=False)
+        assert loaded.neighbors(1).size == 0
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        loaded = read_edge_list(str(path))
+        assert loaded.num_vertices == 0

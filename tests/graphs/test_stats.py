@@ -1,0 +1,79 @@
+"""Graph statistics against networkx ground truth."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph, erdos_renyi
+from repro.graphs.stats import (
+    bfs_eccentricity,
+    compute_stats,
+    estimate_diameter,
+    union_find_components,
+)
+
+
+def to_networkx(graph):
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_vertices))
+    g.add_edges_from(graph.edge_tuples())
+    return g
+
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 29), st.integers(0, 29)), max_size=60
+)
+
+
+class TestComponents:
+    @settings(max_examples=40, deadline=None)
+    @given(edge_lists)
+    def test_matches_networkx(self, edges):
+        graph = Graph(30, edges)
+        labels = union_find_components(graph)
+        nx_components = list(nx.connected_components(to_networkx(graph)))
+        # same partition of the vertex set
+        ours = {}
+        for v in range(30):
+            ours.setdefault(int(labels[v]), set()).add(v)
+        assert sorted(map(sorted, ours.values())) == sorted(
+            map(sorted, nx_components)
+        )
+
+    def test_labels_are_component_minima(self):
+        graph = Graph(5, [(3, 4), (1, 2)])
+        labels = union_find_components(graph)
+        assert labels.tolist() == [0, 1, 1, 3, 3]
+
+
+class TestDiameter:
+    def test_path_graph_exact(self):
+        graph = Graph(10, [(i, i + 1) for i in range(9)])
+        assert estimate_diameter(graph, probes=2) == 9
+
+    def test_eccentricity(self):
+        graph = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert bfs_eccentricity(graph, 0) == 4
+        assert bfs_eccentricity(graph, 2) == 2
+
+    def test_lower_bound_property(self):
+        graph = erdos_renyi(200, 4.0, seed=1)
+        estimate = estimate_diameter(graph, probes=2)
+        nx_graph = to_networkx(graph)
+        largest = max(nx.connected_components(nx_graph), key=len)
+        true_diameter = nx.diameter(nx_graph.subgraph(largest))
+        assert estimate <= true_diameter
+
+
+class TestComputeStats:
+    def test_full_report(self):
+        graph = Graph(6, [(0, 1), (1, 2), (3, 4)], name="demo")
+        stats = compute_stats(graph)
+        assert stats.name == "demo"
+        assert stats.num_vertices == 6
+        assert stats.num_edges == 6
+        assert stats.num_components == 3  # {0,1,2}, {3,4}, {5}
+        assert stats.largest_component == 3
+        assert stats.max_degree == 2
+        assert stats.avg_degree == 1.0

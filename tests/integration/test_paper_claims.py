@@ -1,0 +1,115 @@
+"""Qualitative paper claims, checked as fast integration tests.
+
+The full quantitative reproductions live under ``benchmarks/``; these
+tests pin the same *shapes* on small inputs so regressions surface in
+the normal test run.
+"""
+
+import pytest
+
+from repro import ExecutionEnvironment
+from repro.algorithms import connected_components as cc
+from repro.algorithms import pagerank as pr
+from repro.graphs import erdos_renyi, foaf_like
+from repro.systems.sparklike import SparkLikeContext
+
+
+@pytest.fixture(scope="module")
+def foaf():
+    return foaf_like(1200, seed=5)
+
+
+class TestSection23PerformanceImplications:
+    """Section 2.3: bulk work is constant; incremental work decays."""
+
+    def test_bulk_work_constant_incremental_decays(self, foaf):
+        env_bulk = ExecutionEnvironment(4)
+        cc.cc_bulk(env_bulk, foaf)
+        bulk_steady = [
+            s.records_processed for s in env_bulk.metrics.iteration_log[1:]
+        ]
+        assert max(bulk_steady) == min(bulk_steady)
+
+        env_incr = ExecutionEnvironment(4)
+        cc.cc_incremental(env_incr, foaf, "cogroup")
+        incr_work = [
+            s.records_processed for s in env_incr.metrics.iteration_log
+        ]
+        assert incr_work[-2] < incr_work[0] / 50
+
+    def test_progress_tracks_workset(self, foaf):
+        """Figure 2: 'actual progress closely follows the size of the
+        working set'."""
+        env = ExecutionEnvironment(4)
+        cc.cc_incremental(env, foaf, "cogroup")
+        for stats in env.metrics.iteration_log:
+            assert stats.delta_size <= stats.solution_accesses or (
+                stats.delta_size == 0
+            )
+
+
+class TestSection51DeltaSemantics:
+    """The solution set carries state; unchanged records are never copied."""
+
+    def test_unchanged_records_not_touched(self, foaf):
+        env = ExecutionEnvironment(4)
+        cc.cc_incremental(env, foaf, "cogroup")
+        late = env.metrics.iteration_log[-2]
+        # near convergence only a handful of records are inspected, far
+        # fewer than |V| — the mutable-state advantage over Spark
+        assert late.solution_accesses < foaf.num_vertices / 20
+
+    def test_spark_sim_incremental_copies_everything(self, foaf):
+        ctx = SparkLikeContext(4)
+        cc.cc_sparklike_sim_incremental(ctx, foaf)
+        # every iteration materializes >= |V| records (the merge map)
+        iterations = len(ctx.metrics.iteration_log)
+        assert ctx.metrics.records_processed["map"] >= (
+            foaf.num_vertices * iterations
+        )
+
+
+class TestSection43Optimization:
+    """Constant-path caching and iteration-weighted plan choice."""
+
+    def test_constant_path_cached(self):
+        graph = erdos_renyi(300, 5.0, seed=2)
+        env = ExecutionEnvironment(4)
+        pr.pagerank_bulk(env, graph, iterations=8)
+        assert env.metrics.cache_hits >= 6
+
+    def test_first_superstep_pays_constant_path(self):
+        graph = erdos_renyi(300, 5.0, seed=2)
+        env = ExecutionEnvironment(4)
+        pr.pagerank_bulk(env, graph, iterations=8)
+        log = env.metrics.iteration_log
+        steady = [s.records_shipped_remote for s in log[1:]]
+        # the first superstep ships the matrix; later ones must not
+        assert log[0].records_shipped_remote > max(steady)
+
+
+class TestSection6Comparison:
+    """The headline result at test scale: incremental beats bulk."""
+
+    def test_incremental_processes_less_total_work_than_bulk(self, foaf):
+        env_bulk = ExecutionEnvironment(4)
+        cc.cc_bulk(env_bulk, foaf)
+        env_incr = ExecutionEnvironment(4)
+        cc.cc_incremental(env_incr, foaf, "cogroup")
+        assert (env_incr.metrics.total_processed
+                < env_bulk.metrics.total_processed)
+
+    def test_pregel_and_delta_touch_similar_state(self, foaf):
+        """Section 5.1: every Pregel program maps onto a delta iteration
+        with equal sparseness — compare total vertex-state updates."""
+        from repro.runtime.metrics import MetricsCollector
+        pregel_metrics = MetricsCollector()
+        cc.cc_pregel(foaf, metrics=pregel_metrics)
+        pregel_updates = pregel_metrics.records_processed["vertex_compute"]
+
+        env = ExecutionEnvironment(4)
+        cc.cc_incremental(env, foaf, "cogroup")
+        delta_inspections = env.metrics.solution_accesses
+        # same order of magnitude — neither engine touches the full
+        # vertex set per superstep
+        assert delta_inspections < 20 * pregel_updates

@@ -1,0 +1,102 @@
+"""Optimizer semantic fuzzing: random logical plans, random data.
+
+Hypothesis composes random operator pipelines (maps, filters, unions,
+reductions, joins) over random inputs and checks that the cost-based
+optimizer and the naive planner produce the same bag of records for
+every plan, at every cluster width.  This is the strongest guarantee a
+plan enumerator can offer: whatever strategies it picks, semantics are
+untouched.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ExecutionEnvironment
+
+# ----------------------------------------------------------------------
+# a tiny plan language the fuzzer composes: each step transforms a
+# DataSet of (int, int) records into another one
+
+KEY_RANGE = 6
+
+
+def _apply_step(env, dataset, aux, step):
+    kind = step[0]
+    if kind == "map_add":
+        delta = step[1]
+        return dataset.map(lambda r, d=delta: (r[0], r[1] + d))
+    if kind == "map_rekey":
+        mod = step[1]
+        return dataset.map(lambda r, m=mod: (r[0] % m, r[1]))
+    if kind == "filter_threshold":
+        threshold = step[1]
+        return dataset.filter(lambda r, t=threshold: r[1] >= t)
+    if kind == "reduce_sum":
+        return dataset.reduce_by_key(0, lambda a, b: (a[0], a[1] + b[1]))
+    if kind == "reduce_min":
+        return dataset.reduce_by_key(
+            0, lambda a, b: a if a[1] <= b[1] else b
+        )
+    if kind == "union_aux":
+        return dataset.union(aux)
+    if kind == "join_aux":
+        return dataset.join(
+            aux, 0, 0, lambda l, r: (l[0], l[1] * 31 + r[1])
+        )
+    if kind == "cogroup_aux":
+        return dataset.cogroup(
+            aux, 0, 0,
+            lambda key, ls, rs: [(key, len(ls) * 100 + len(rs))],
+        )
+    raise AssertionError(kind)
+
+
+steps = st.one_of(
+    st.tuples(st.just("map_add"), st.integers(-5, 5)),
+    st.tuples(st.just("map_rekey"), st.integers(1, KEY_RANGE)),
+    st.tuples(st.just("filter_threshold"), st.integers(-10, 10)),
+    st.tuples(st.just("reduce_sum")),
+    st.tuples(st.just("reduce_min")),
+    st.tuples(st.just("union_aux")),
+    st.tuples(st.just("join_aux")),
+    st.tuples(st.just("cogroup_aux")),
+)
+
+records = st.lists(
+    st.tuples(st.integers(0, KEY_RANGE - 1), st.integers(-20, 20)),
+    max_size=25,
+)
+
+
+def run_pipeline(optimize, parallelism, base, extra, pipeline):
+    env = ExecutionEnvironment(parallelism, optimize=optimize)
+    dataset = env.from_iterable(base)
+    aux = env.from_iterable(extra)
+    for step in pipeline:
+        dataset = _apply_step(env, dataset, aux, step)
+    return sorted(dataset.collect())
+
+
+class TestPlannerEquivalenceFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(records, records, st.lists(steps, min_size=1, max_size=5))
+    def test_optimized_equals_naive(self, base, extra, pipeline):
+        optimized = run_pipeline(True, 4, base, extra, pipeline)
+        naive = run_pipeline(False, 4, base, extra, pipeline)
+        assert optimized == naive
+
+    @settings(max_examples=30, deadline=None)
+    @given(records, records, st.lists(steps, min_size=1, max_size=4),
+           st.integers(min_value=1, max_value=6))
+    def test_result_independent_of_parallelism(self, base, extra,
+                                               pipeline, parallelism):
+        wide = run_pipeline(True, parallelism, base, extra, pipeline)
+        narrow = run_pipeline(True, 1, base, extra, pipeline)
+        assert wide == narrow
+
+    @settings(max_examples=25, deadline=None)
+    @given(records, records, st.lists(steps, min_size=1, max_size=4))
+    def test_repeatable(self, base, extra, pipeline):
+        first = run_pipeline(True, 4, base, extra, pipeline)
+        second = run_pipeline(True, 4, base, extra, pipeline)
+        assert first == second

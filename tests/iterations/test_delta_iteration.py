@@ -1,0 +1,162 @@
+"""Delta (workset) iterations through the executor (Section 5)."""
+
+import pytest
+
+from repro import ExecutionEnvironment
+
+FIG1_EDGES_DIRECTED = [(0, 1), (1, 2), (0, 2), (2, 3), (4, 5), (5, 6),
+                       (6, 7), (7, 8), (6, 8)]
+FIG1_EDGES = FIG1_EDGES_DIRECTED + [(b, a) for a, b in FIG1_EDGES_DIRECTED]
+FIG1_EXPECTED = [(0, 0), (1, 0), (2, 0), (3, 0),
+                 (4, 4), (5, 4), (6, 4), (7, 4), (8, 4)]
+
+
+def build_cc(env, mode, variant="match"):
+    vertices = env.from_iterable([(v, v) for v in range(9)])
+    edges = env.from_iterable(FIG1_EDGES)
+    workset = env.from_iterable([(b, a) for a, b in FIG1_EDGES])
+    it = env.iterate_delta(vertices, workset, 0, max_iterations=50)
+    if variant == "match":
+        delta = it.workset.join(
+            it.solution_set, 0, 0,
+            lambda c, s: (s[0], c[1]) if c[1] < s[1] else None,
+        ).with_forwarded_fields({0: 0})
+    else:
+        def min_candidate(vid, cands, stored):
+            best = min(c[1] for c in cands)
+            if best < stored[0][1]:
+                yield (vid, best)
+        delta = it.workset.cogroup(it.solution_set, 0, 0, min_candidate)
+    next_ws = delta.join(edges, 0, 0, lambda d, e: (e[1], d[1]))
+    return it.close(
+        delta, next_ws,
+        should_replace=lambda new, old: new[1] < old[1], mode=mode,
+    )
+
+
+class TestModes:
+    @pytest.mark.parametrize("mode", ["superstep", "microstep", "async"])
+    def test_cc_converges_in_every_mode(self, mode):
+        env = ExecutionEnvironment(4)
+        result = build_cc(env, mode)
+        assert sorted(result.collect()) == FIG1_EXPECTED
+        assert env.iteration_summaries[0].converged
+
+    def test_cogroup_variant_supersteps(self):
+        env = ExecutionEnvironment(4)
+        result = build_cc(env, "superstep", variant="cogroup")
+        assert sorted(result.collect()) == FIG1_EXPECTED
+
+    def test_auto_picks_microstep_for_match(self):
+        env = ExecutionEnvironment(4)
+        result = build_cc(env, "auto")
+        result.collect()
+        node_id = result.node.id
+        assert env.last_plan.iteration_modes[node_id] == "microstep"
+
+    def test_auto_picks_superstep_for_cogroup(self):
+        env = ExecutionEnvironment(4)
+        result = build_cc(env, "auto", variant="cogroup")
+        result.collect()
+        assert env.last_plan.iteration_modes[result.node.id] == "superstep"
+
+
+class TestSemantics:
+    def test_empty_initial_workset_returns_solution_unchanged(self, env):
+        vertices = env.from_iterable([(v, v) for v in range(5)])
+        workset = env.from_iterable([])
+        it = env.iterate_delta(vertices, workset, 0, max_iterations=10)
+        delta = it.workset.join(
+            it.solution_set, 0, 0, lambda c, s: None
+        ).with_forwarded_fields({0: 0})
+        next_ws = delta.map(lambda r: r).with_forwarded_fields({0: 0})
+        result = it.close(delta, next_ws)
+        assert sorted(result.collect()) == [(v, v) for v in range(5)]
+        assert env.iteration_summaries[0].converged
+
+    def test_comparator_blocks_regressive_updates(self, env):
+        vertices = env.from_iterable([(0, 5)])
+        workset = env.from_iterable([(0, 9), (0, 3)])
+        it = env.iterate_delta(vertices, workset, 0, max_iterations=5)
+        # pass candidates straight through as deltas
+        delta = it.workset.join(
+            it.solution_set, 0, 0, lambda c, s: (c[0], c[1])
+        ).with_forwarded_fields({0: 0})
+        next_ws = delta.filter(lambda r: False)
+        result = it.close(
+            delta, next_ws, should_replace=lambda n, o: n[1] < o[1],
+            mode="superstep",
+        )
+        assert result.collect() == [(0, 3)]
+
+    def test_delta_can_insert_new_keys(self, env):
+        vertices = env.from_iterable([(0, 0)])
+        workset = env.from_iterable([(0, 0)])
+        it = env.iterate_delta(vertices, workset, 0, max_iterations=3)
+        # each superstep inserts key+1
+        delta = it.workset.join(
+            it.solution_set, 0, 0, lambda c, s: (c[0] + 1, c[1])
+        )
+        next_ws = delta.filter(lambda r: r[0] < 3)
+        result = it.close(delta, next_ws, mode="superstep")
+        assert sorted(result.collect()) == [(0, 0), (1, 0), (2, 0), (3, 0)]
+
+    def test_workset_sees_filtered_delta(self, env):
+        """Section 5.1: records rejected by the comparator are discarded
+        from D before the next workset is computed."""
+        observed = []
+        vertices = env.from_iterable([(0, 1)])
+        workset = env.from_iterable([(0, 5)])  # regressive candidate
+        it = env.iterate_delta(vertices, workset, 0, max_iterations=3)
+        delta = it.workset.join(
+            it.solution_set, 0, 0, lambda c, s: (c[0], c[1])
+        ).with_forwarded_fields({0: 0})
+
+        def spy(record):
+            observed.append(record)
+            return record
+
+        next_ws = delta.map(spy).filter(lambda r: False)
+        it.close(
+            delta, next_ws, should_replace=lambda n, o: n[1] < o[1],
+            mode="superstep",
+        ).collect()
+        assert observed == []  # the rejected delta never reached δ
+
+    def test_solution_set_must_be_right_side(self, env):
+        from repro.common.errors import InvalidPlanError
+        vertices = env.from_iterable([(0, 0)])
+        workset = env.from_iterable([(0, 0)])
+        it = env.iterate_delta(vertices, workset, 0, max_iterations=3)
+        with pytest.raises(InvalidPlanError):
+            it.solution_set.join(it.workset, 0, 0, lambda a, b: a)
+
+    def test_solution_key_mismatch_rejected(self, env):
+        from repro.common.errors import InvalidPlanError
+        vertices = env.from_iterable([(0, 0)])
+        workset = env.from_iterable([(0, 0)])
+        it = env.iterate_delta(vertices, workset, 0, max_iterations=3)
+        with pytest.raises(InvalidPlanError):
+            it.workset.join(it.solution_set, 0, 1, lambda a, b: a)
+
+
+class TestMetricsShapes:
+    def test_workset_shrinks_on_fig1_graph(self):
+        env = ExecutionEnvironment(4)
+        build_cc(env, "superstep").collect()
+        sizes = [s.workset_size for s in env.metrics.iteration_log]
+        assert sizes[-1] == 0
+        assert sizes[0] > sizes[-2] >= 0
+
+    def test_local_updates_ship_nothing_remote_for_delta(self):
+        """The Match variant keeps k(s) constant, so applying the delta
+        crosses no partition boundary; microstep execution must reflect
+        that locality in its solution updates."""
+        env = ExecutionEnvironment(4)
+        build_cc(env, "microstep").collect()
+        assert env.metrics.solution_updates > 0
+
+    def test_solution_accesses_counted(self):
+        env = ExecutionEnvironment(4)
+        build_cc(env, "superstep").collect()
+        assert env.metrics.solution_accesses > 0

@@ -1,0 +1,141 @@
+"""The Table 1 iteration templates and their convergence conditions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import NotConvergedError
+from repro.common.ordering import ComponentOrder
+from repro.iterations.fixpoint import (
+    fixpoint_iterate,
+    incremental_iterate,
+    microstep_iterate,
+)
+
+
+class TestFixpointTemplate:
+    def test_reaches_fixpoint(self):
+        # integer halving reaches 0
+        result = fixpoint_iterate(lambda s: s // 2, 40)
+        assert result.solution == 0
+        assert result.converged
+
+    def test_iteration_count(self):
+        result = fixpoint_iterate(lambda s: max(s - 1, 0), 3)
+        # 3 -> 2 -> 1 -> 0 -> 0: four applications, fixpoint at the fourth
+        assert result.iterations == 4
+
+    def test_epsilon_termination(self):
+        result = fixpoint_iterate(
+            lambda s: s / 2.0, 1.0,
+            equals=lambda a, b: abs(a - b) < 1e-3,
+        )
+        assert result.solution < 1e-2
+
+    def test_raises_without_convergence(self):
+        with pytest.raises(NotConvergedError):
+            fixpoint_iterate(lambda s: s + 1, 0, max_iterations=10)
+
+    def test_cpo_violation_detected(self):
+        order = ComponentOrder()
+        # a step that *increases* a component id violates the order
+        def bad_step(state):
+            return {0: state[0] + 1}
+        with pytest.raises(ValueError):
+            fixpoint_iterate(bad_step, {0: 0}, order=order, max_iterations=5)
+
+    def test_cpo_conforming_step_passes(self):
+        order = ComponentOrder()
+        result = fixpoint_iterate(
+            lambda s: {0: max(s[0] - 1, 0)}, {0: 3}, order=order
+        )
+        assert result.solution == {0: 0}
+
+    def test_trace_records_kleene_chain(self):
+        result = fixpoint_iterate(lambda s: s // 2, 8, trace=True)
+        assert result.chain == [8, 4, 2, 1, 0, 0]
+
+
+class TestIncrementalTemplate:
+    def test_empty_workset_terminates_immediately(self):
+        result = incremental_iterate(
+            lambda s, w: w, lambda s, w: s, {"x": 1}, []
+        )
+        assert result.iterations == 0
+        assert result.solution == {"x": 1}
+
+    def test_workset_sizes_recorded(self):
+        # propagate a decrement three times
+        def delta(state, workset):
+            return [v - 1 for v in workset if v - 1 > 0]
+
+        def update(state, workset):
+            return state + len(workset)
+
+        result = incremental_iterate(delta, update, 0, [3])
+        assert result.workset_sizes == [1, 1, 1]
+        assert result.solution == 3
+
+    def test_delta_sees_pre_update_state(self):
+        observed = []
+
+        def delta(state, workset):
+            observed.append(state)
+            return []
+
+        def update(state, workset):
+            return state + 1
+
+        incremental_iterate(delta, update, 0, [None])
+        assert observed == [0]
+
+    def test_raises_without_convergence(self):
+        with pytest.raises(NotConvergedError):
+            incremental_iterate(
+                lambda s, w: w, lambda s, w: s, 0, [1], max_iterations=5
+            )
+
+
+class TestMicrostepTemplate:
+    def test_immediate_updates_visible(self):
+        # each element adds its value once; duplicates are suppressed by
+        # the update function returning changed=False
+        def update(state, element):
+            if element in state:
+                return state, False
+            state.add(element)
+            return state, True
+
+        def delta(state, element):
+            return [element + 1] if element < 3 else []
+
+        result = microstep_iterate(delta, update, set(), [0])
+        assert result.solution == {0, 1, 2, 3}
+
+    def test_step_budget(self):
+        def update(state, element):
+            return state, True
+
+        def delta(state, element):
+            return [element]  # livelock
+
+        with pytest.raises(NotConvergedError):
+            microstep_iterate(delta, update, None, [1], max_steps=50)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=20))
+    def test_fifo_is_deterministic(self, seeds):
+        def update(state, element):
+            if element in state:
+                return state, False
+            state.add(element)
+            return state, True
+
+        def delta(state, element):
+            return [element - 1] if element > 0 else []
+
+        a = microstep_iterate(delta, update, set(), list(seeds)).solution
+        b = microstep_iterate(delta, update, set(), list(seeds)).solution
+        assert a == b == set(range(max(seeds) + 1)) & (
+            set().union(*(set(range(s + 1)) for s in seeds))
+        )

@@ -1,0 +1,158 @@
+"""Microstep pipeline compilation: every record-at-a-time stage shape.
+
+The compiled per-element pipelines (Section 5.2 / Figure 6) must agree
+with superstep execution for every operator the analysis admits: Map,
+FlatMap, Filter, Match against a constant table, Cross against a
+constant side, and flat solution joins.
+"""
+
+import pytest
+
+from repro import ExecutionEnvironment
+
+
+def run_modes(build, modes=("superstep", "microstep", "async")):
+    """Run the same delta-iteration builder under several modes."""
+    results = {}
+    for mode in modes:
+        env = ExecutionEnvironment(3)
+        results[mode] = sorted(build(env, mode))
+    baseline = results[modes[0]]
+    for mode in modes[1:]:
+        assert results[mode] == baseline, mode
+    return baseline
+
+
+class TestStageShapes:
+    def test_map_stage_on_workset_chain(self):
+        """workset -> map -> solution join -> delta."""
+        def build(env, mode):
+            solution = env.from_iterable([(v, 100) for v in range(6)])
+            workset = env.from_iterable([(v, v) for v in range(6)])
+            it = env.iterate_delta(solution, workset, 0, max_iterations=9)
+            shifted = it.workset.map(
+                lambda w: (w[0], w[1] * 2)
+            ).with_forwarded_fields({0: 0})
+            delta = shifted.join(
+                it.solution_set, 0, 0,
+                lambda c, s: (s[0], c[1]) if c[1] < s[1] else None,
+            ).with_forwarded_fields({0: 0})
+            next_ws = delta.filter(lambda d: False)
+            out = it.close(delta, next_ws,
+                           should_replace=lambda n, o: n[1] < o[1],
+                           mode=mode)
+            return out.collect()
+
+        result = run_modes(build)
+        assert result == [(v, v * 2) for v in range(6)]
+
+    def test_flat_map_stage_expands_workset(self):
+        """delta -> flat_map -> next workset (one element fans out)."""
+        def build(env, mode):
+            solution = env.from_iterable([(v, 0) for v in range(8)])
+            workset = env.from_iterable([(0, 1)])
+            it = env.iterate_delta(solution, workset, 0, max_iterations=20)
+            delta = it.workset.join(
+                it.solution_set, 0, 0,
+                lambda c, s: (s[0], c[1]) if s[1] == 0 else None,
+            ).with_forwarded_fields({0: 0})
+            next_ws = delta.flat_map(
+                lambda d: [
+                    (d[0] * 2 + 1, 1), (d[0] * 2 + 2, 1),
+                ] if d[0] * 2 + 2 < 8 else []
+            )
+            out = it.close(delta, next_ws, mode=mode)
+            return out.collect()
+
+        result = run_modes(build)
+        # a binary-tree marking: vertices 0..6 get marked, 7 stays 0
+        marked = {v for v, flag in result if flag == 1}
+        assert marked == {0, 1, 2, 3, 4, 5, 6}
+
+    def test_filter_stage_on_workset_chain(self):
+        def build(env, mode):
+            solution = env.from_iterable([(v, 0) for v in range(10)])
+            workset = env.from_iterable([(v, v % 2) for v in range(10)])
+            it = env.iterate_delta(solution, workset, 0, max_iterations=5)
+            evens = it.workset.filter(lambda w: w[1] == 0)
+            delta = evens.join(
+                it.solution_set, 0, 0, lambda c, s: (s[0], 1)
+            ).with_forwarded_fields({0: 0})
+            next_ws = delta.filter(lambda d: False)
+            return it.close(delta, next_ws, mode=mode).collect()
+
+        result = run_modes(build)
+        assert sorted(v for v, flag in result if flag) == [0, 2, 4, 6, 8]
+
+    def test_constant_match_on_delta_chain_with_flat_udf(self):
+        """delta -> flat Match against a constant table -> workset."""
+        def build(env, mode):
+            table = env.from_iterable(
+                [(v, v + 1), (v, v + 2)] for v in range(0)
+            )
+            edges = env.from_iterable(
+                [(v, v + 1) for v in range(7)]
+            )
+            solution = env.from_iterable([(v, 0) for v in range(8)])
+            workset = env.from_iterable([(0, 1)])
+            it = env.iterate_delta(solution, workset, 0, max_iterations=20)
+            delta = it.workset.join(
+                it.solution_set, 0, 0,
+                lambda c, s: (s[0], 1) if s[1] == 0 else None,
+            ).with_forwarded_fields({0: 0})
+            next_ws = delta.join(
+                edges, 0, 0,
+                lambda d, e: [(e[1], 1), (e[1], 1)],  # duplicates on purpose
+                flat=True,
+            )
+            return it.close(delta, next_ws, mode=mode).collect()
+
+        result = run_modes(build)
+        assert sorted(v for v, flag in result if flag) == list(range(8))
+
+    def test_cross_stage_against_constant_side(self):
+        """delta -> Cross with a tiny constant set -> workset."""
+        def build(env, mode):
+            offsets = env.from_iterable([(1,), (2,)])
+            solution = env.from_iterable([(v, 0) for v in range(9)])
+            workset = env.from_iterable([(0, 1)])
+            it = env.iterate_delta(solution, workset, 0, max_iterations=30)
+            delta = it.workset.join(
+                it.solution_set, 0, 0,
+                lambda c, s: (s[0], 1) if s[1] == 0 else None,
+            ).with_forwarded_fields({0: 0})
+            next_ws = delta.cross(
+                offsets,
+                lambda d, o: (d[0] + o[0], 1) if d[0] + o[0] < 9 else None,
+            )
+            return it.close(delta, next_ws, mode=mode).collect()
+
+        result = run_modes(build)
+        assert all(flag == 1 for _v, flag in result)
+
+    def test_chained_stages(self):
+        """map -> filter -> solution join -> map -> match, all per record."""
+        def build(env, mode):
+            edges = env.from_iterable([(v, v + 1) for v in range(9)])
+            solution = env.from_iterable([(v, -1) for v in range(10)])
+            workset = env.from_iterable([(0, 0)])
+            it = env.iterate_delta(solution, workset, 0, max_iterations=30)
+            prepared = (
+                it.workset.map(lambda w: (w[0], w[1] + 1))
+                .with_forwarded_fields({0: 0})
+                .filter(lambda w: w[1] <= 10)
+            )
+            joined = prepared.join(
+                it.solution_set, 0, 0,
+                lambda c, s: (s[0], c[1]) if s[1] < 0 else None,
+            ).with_forwarded_fields({0: 0})
+            delta = joined.map(
+                lambda d: (d[0], d[1] * 10)
+            ).with_forwarded_fields({0: 0})
+            next_ws = delta.join(
+                edges, 0, 0, lambda d, e: (e[1], d[1] // 10)
+            )
+            return it.close(delta, next_ws, mode=mode).collect()
+
+        result = run_modes(build)
+        assert sorted(result) == [(v, (v + 1) * 10) for v in range(10)]

@@ -1,0 +1,82 @@
+"""Termination detection for synchronous and asynchronous execution."""
+
+import pytest
+
+from repro.iterations.termination import (
+    AsyncTerminationDetector,
+    EmptyWorksetVote,
+)
+
+
+class TestEmptyWorksetVote:
+    def test_all_zero_terminates(self):
+        vote = EmptyWorksetVote(3)
+        for p in range(3):
+            vote.vote(p, 0)
+        assert vote.complete
+        assert vote.decide()
+
+    def test_any_nonzero_continues(self):
+        vote = EmptyWorksetVote(3)
+        vote.vote(0, 0)
+        vote.vote(1, 5)
+        vote.vote(2, 0)
+        assert not vote.decide()
+
+    def test_incomplete_vote_cannot_decide(self):
+        vote = EmptyWorksetVote(2)
+        vote.vote(0, 0)
+        assert not vote.complete
+        with pytest.raises(RuntimeError):
+            vote.decide()
+
+    def test_partition_range_checked(self):
+        vote = EmptyWorksetVote(2)
+        with pytest.raises(ValueError):
+            vote.vote(2, 0)
+
+    def test_reset(self):
+        vote = EmptyWorksetVote(1)
+        vote.vote(0, 0)
+        vote.reset()
+        assert not vote.complete
+
+
+class TestAsyncTermination:
+    def test_initially_terminated(self):
+        detector = AsyncTerminationDetector(2)
+        assert detector.terminated
+
+    def test_in_flight_blocks_termination(self):
+        detector = AsyncTerminationDetector(2)
+        detector.sent(3)
+        assert detector.in_flight == 3
+        assert not detector.terminated
+        detector.acked(3)
+        assert detector.terminated
+
+    def test_busy_partition_blocks_termination(self):
+        detector = AsyncTerminationDetector(2)
+        detector.set_idle(0, False)
+        assert not detector.terminated
+        detector.set_idle(0, True)
+        assert detector.terminated
+
+    def test_over_acknowledgement_rejected(self):
+        detector = AsyncTerminationDetector(1)
+        detector.sent(1)
+        detector.acked(1)
+        with pytest.raises(RuntimeError):
+            detector.acked(1)
+
+    def test_interleaved_send_ack(self):
+        detector = AsyncTerminationDetector(2)
+        detector.sent(1)
+        detector.set_idle(1, False)
+        detector.acked(1)          # ack arrives while partition 1 is busy
+        assert not detector.terminated
+        detector.sent(2)           # busy partition generates more work
+        detector.set_idle(1, True)
+        assert not detector.terminated
+        detector.acked(2)
+        assert detector.terminated

@@ -1,0 +1,115 @@
+"""Dam placement rules of Section 4.2 on representative plans."""
+
+from repro import ExecutionEnvironment
+from repro.optimizer.dams import analyze_dams, materializing_inputs
+from repro.dataflow.contracts import Contract
+from repro.dataflow.graph import LogicalNode, LogicalPlan
+from repro.optimizer import optimize_plan
+from repro.runtime.plan import LocalStrategy
+
+
+def compile_for(env, dataset):
+    sink = LogicalNode(Contract.SINK, [dataset.node])
+    return optimize_plan(LogicalPlan([sink]).validate(), env)
+
+
+def pagerank_like(env, with_termination):
+    """The Figure 3 shape: join(I, A) -> reduce -> O, with optional T."""
+    ranks = env.from_iterable([(i, 1.0) for i in range(50)], name="p")
+    matrix = env.from_iterable(
+        [(i % 50, (i * 7) % 50, 0.1) for i in range(600)], name="A"
+    )
+    it = env.iterate_bulk(ranks, max_iterations=10)
+    joined = it.partial_solution.join(
+        matrix, 0, 1, lambda r, a: (a[0], r[1] * a[2])
+    ).with_forwarded_fields({0: 0}, input_index=1)
+    new = joined.reduce_by_key(0, lambda a, b: (a[0], a[1] + b[1]))
+    termination = None
+    if with_termination:
+        termination = new.join(
+            it.partial_solution, 0, 0,
+            lambda n, o: (n[0],) if abs(n[1] - o[1]) > 1e-6 else None,
+        )
+    return it.close(new, termination=termination), it._node
+
+
+class TestMaterializingInputs:
+    def test_hash_join_builds_one_side(self, env):
+        left = env.from_iterable([(1, 1)])
+        right = env.from_iterable([(1, 2)])
+        node = left.join(right, 0, 0, lambda l, r: l).node
+        assert materializing_inputs(node, LocalStrategy.HASH_BUILD_LEFT) == (0,)
+        assert materializing_inputs(node, LocalStrategy.HASH_BUILD_RIGHT) == (1,)
+        assert materializing_inputs(node, LocalStrategy.SORT_MERGE) == (0, 1)
+
+    def test_streaming_operators_materialize_nothing(self, env):
+        node = env.from_iterable([(1,)]).map(lambda r: r).node
+        assert materializing_inputs(node, LocalStrategy.NONE) == ()
+
+    def test_grouping_always_materializes(self, env):
+        node = env.from_iterable([(1, 1)]).reduce_group(
+            0, lambda k, g: g
+        ).node
+        assert materializing_inputs(node, LocalStrategy.NONE) == (0,)
+
+
+class TestPlacementRules:
+    def test_pagerank_with_termination_needs_no_output_dam_if_join_builds_i(self):
+        """When the join materializes the partial solution (builds its
+        hash table from I), that materialization point serves as the dam."""
+        env = ExecutionEnvironment(4)
+        result, iteration = pagerank_like(env, with_termination=True)
+        exec_plan = compile_for(env, result)
+        # force every consumer of I to build its table over I
+        join_node = iteration.body_output.inputs[0]
+        exec_plan.annotation(join_node).local = LocalStrategy.HASH_BUILD_LEFT
+        exec_plan.annotation(iteration.termination).local = (
+            LocalStrategy.HASH_BUILD_RIGHT  # input 1 is the placeholder
+        )
+        report = analyze_dams(iteration, exec_plan)
+        assert not report.output_dam
+
+    def test_pagerank_with_termination_and_streamed_i_needs_output_dam(self):
+        env = ExecutionEnvironment(4)
+        result, iteration = pagerank_like(env, with_termination=True)
+        exec_plan = compile_for(env, result)
+        join_node = iteration.body_output.inputs[0]
+        # the join builds over A and *streams* the partial solution
+        exec_plan.annotation(join_node).local = LocalStrategy.HASH_BUILD_RIGHT
+        report = analyze_dams(iteration, exec_plan)
+        assert report.output_dam
+        assert 0 in exec_plan.annotation(iteration.body_output).dams
+
+    def test_no_termination_means_no_output_dam(self):
+        env = ExecutionEnvironment(4)
+        result, iteration = pagerank_like(env, with_termination=False)
+        exec_plan = compile_for(env, result)
+        report = analyze_dams(iteration, exec_plan)
+        assert not report.output_dam
+
+    def test_feedback_dam_for_fully_pipelined_body(self):
+        """A body of pure streaming operators has no materialization
+        point: the feedback channel itself must dam (Rule 2)."""
+        env = ExecutionEnvironment(4)
+        init = env.from_iterable([(0,)])
+        it = env.iterate_bulk(init, max_iterations=3)
+        body = it.partial_solution.map(lambda r: (r[0] + 1,)) \
+            .filter(lambda r: True)
+        result = it.close(body)
+        exec_plan = compile_for(env, result)
+        report = analyze_dams(it._node, exec_plan)
+        assert report.num_materializing == 0
+        assert report.feedback_dam
+
+    def test_two_materialization_points_release_feedback_dam(self):
+        env = ExecutionEnvironment(4)
+        result, iteration = pagerank_like(env, with_termination=False)
+        exec_plan = compile_for(env, result)
+        join_node = iteration.body_output.inputs[0]
+        exec_plan.annotation(join_node).local = LocalStrategy.HASH_BUILD_LEFT
+        exec_plan.annotation(iteration.body_output).local = (
+            LocalStrategy.HASH_AGGREGATE
+        )
+        report = analyze_dams(iteration, exec_plan)
+        assert report.num_materializing >= 2
+        assert not report.feedback_dam

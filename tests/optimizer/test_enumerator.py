@@ -1,0 +1,163 @@
+"""Cost-based plan choices: the optimizer must pick sensible strategies
+and never change semantics."""
+
+import pytest
+
+from repro import ExecutionEnvironment
+from repro.optimizer import optimize_plan
+from repro.optimizer.costs import CostWeights
+from repro.runtime.plan import LocalStrategy, ShipKind
+
+
+def compiled_annotation(env, dataset, node):
+    """Compile the plan for ``dataset`` and return ``node``'s annotation."""
+    from repro.dataflow.graph import LogicalNode, LogicalPlan
+    from repro.dataflow.contracts import Contract
+    sink = LogicalNode(Contract.SINK, [dataset.node])
+    exec_plan = optimize_plan(LogicalPlan([sink]).validate(), env)
+    return exec_plan.annotations[node.id], exec_plan
+
+
+class TestJoinStrategyChoice:
+    def test_tiny_side_gets_broadcast(self):
+        env = ExecutionEnvironment(4)
+        tiny = env.from_iterable([(i, i) for i in range(3)])
+        big = env.from_iterable([(i % 3, i) for i in range(5000)])
+        joined = tiny.join(big, 0, 0, lambda l, r: r)
+        ann, _plan = compiled_annotation(env, joined, joined.node)
+        ships = {idx: s.kind for idx, s in ann.ship.items()}
+        assert ships[0] is ShipKind.BROADCAST
+        assert ships[1] is not ShipKind.BROADCAST
+
+    def test_equal_sides_get_repartitioned(self):
+        env = ExecutionEnvironment(4)
+        left = env.from_iterable([(i, i) for i in range(3000)])
+        right = env.from_iterable([(i, i * 2) for i in range(3000)])
+        joined = left.join(right, 0, 0, lambda l, r: l)
+        ann, _plan = compiled_annotation(env, joined, joined.node)
+        kinds = {s.kind for s in ann.ship.values()}
+        assert kinds == {ShipKind.PARTITION_HASH}
+
+    def test_join_after_reduce_reuses_partitioning(self):
+        env = ExecutionEnvironment(4)
+        left = (
+            env.from_iterable([(i % 100, i) for i in range(3000)])
+            .reduce_by_key(0, lambda a, b: a)
+            .with_forwarded_fields({0: 0, 1: 1})
+        )
+        right = env.from_iterable([(i, i) for i in range(3000)])
+        joined = left.join(right, 0, 0, lambda l, r: l)
+        ann, _plan = compiled_annotation(env, joined, joined.node)
+        # the reduced side is already hash-partitioned on the join key
+        assert ann.ship[0].kind is ShipKind.FORWARD
+
+    def test_build_side_is_smaller_side(self):
+        env = ExecutionEnvironment(4)
+        small = env.from_iterable([(i, i) for i in range(2000)])
+        large = env.from_iterable([(i % 2000, i) for i in range(20000)])
+        joined = small.join(large, 0, 0, lambda l, r: l)
+        ann, _plan = compiled_annotation(env, joined, joined.node)
+        assert ann.local in (
+            LocalStrategy.HASH_BUILD_LEFT, LocalStrategy.SORT_MERGE,
+        )
+
+
+class TestReduceChoice:
+    def test_shuffled_reduce_uses_combiner(self):
+        env = ExecutionEnvironment(4)
+        data = env.from_iterable([(i % 5, 1) for i in range(1000)])
+        reduced = data.reduce_by_key(0, lambda a, b: (a[0], a[1] + b[1]))
+        ann, _plan = compiled_annotation(env, reduced, reduced.node)
+        if ann.ship[0].kind is ShipKind.PARTITION_HASH:
+            assert ann.combiner
+
+    def test_pre_partitioned_reduce_stays_local(self):
+        env = ExecutionEnvironment(4)
+        data = env.from_iterable([(i % 5, 1) for i in range(1000)])
+        once = data.reduce_by_key(0, lambda a, b: (a[0], a[1] + b[1]))
+        once.with_forwarded_fields({0: 0, 1: 1})
+        twice = once.reduce_by_key(0, lambda a, b: (a[0], max(a[1], b[1])))
+        ann, _plan = compiled_annotation(env, twice, twice.node)
+        assert ann.ship[0].kind is ShipKind.FORWARD
+
+
+class TestCrossChoice:
+    def test_smaller_side_broadcast(self):
+        env = ExecutionEnvironment(4)
+        small = env.from_iterable([(i,) for i in range(5)])
+        large = env.from_iterable([(i,) for i in range(1000)])
+        crossed = large.cross(small, lambda a, b: (a[0], b[0]))
+        ann, _plan = compiled_annotation(env, crossed, crossed.node)
+        assert ann.ship[1].kind is ShipKind.BROADCAST
+        assert ann.ship[0].kind is ShipKind.FORWARD
+
+
+class TestIterationCosting:
+    def _pagerank_like(self, env, vector_size, matrix_size):
+        ranks = env.from_iterable(
+            [(i, 1.0) for i in range(vector_size)], name="p"
+        )
+        matrix = env.from_iterable(
+            [(i % vector_size, i % vector_size, 0.1)
+             for i in range(matrix_size)],
+            name="A",
+        )
+        it = env.iterate_bulk(ranks, max_iterations=20)
+        joined = it.partial_solution.join(
+            matrix, 0, 1, lambda r, a: (a[0], r[1] * a[2])
+        ).with_forwarded_fields({0: 0}, input_index=1)
+        new = joined.reduce_by_key(0, lambda a, b: (a[0], a[1] + b[1]))
+        new.with_forwarded_fields({0: 0, 1: 1})
+        result = it.close(new)
+        return result, joined.node
+
+    def test_small_vector_broadcast_plan(self):
+        """Figure 4, left: with a small rank vector the optimizer should
+        broadcast it and leave the big matrix in place."""
+        env = ExecutionEnvironment(4)
+        result, join_node = self._pagerank_like(env, 20, 40000)
+        from repro.dataflow.graph import LogicalNode, LogicalPlan
+        from repro.dataflow.contracts import Contract
+        sink = LogicalNode(Contract.SINK, [result.node])
+        exec_plan = optimize_plan(LogicalPlan([sink]).validate(), env)
+        ann = exec_plan.annotations[join_node.id]
+        assert ann.ship[0].kind is ShipKind.BROADCAST
+
+    def test_large_vector_partition_plan(self):
+        """Figure 4, right: with a large rank vector broadcasting is too
+        expensive; both sides are partitioned."""
+        env = ExecutionEnvironment(4)
+        result, join_node = self._pagerank_like(env, 40000, 80000)
+        from repro.dataflow.graph import LogicalNode, LogicalPlan
+        from repro.dataflow.contracts import Contract
+        sink = LogicalNode(Contract.SINK, [result.node])
+        exec_plan = optimize_plan(LogicalPlan([sink]).validate(), env)
+        ann = exec_plan.annotations[join_node.id]
+        assert ann.ship[0].kind is ShipKind.PARTITION_HASH
+        assert ann.ship[1].kind is ShipKind.PARTITION_HASH
+
+
+class TestPlanCost:
+    def test_estimated_cost_positive_and_monotone(self):
+        costs = []
+        for size in (100, 10000):
+            env = ExecutionEnvironment(4)
+            data = env.from_iterable([(i % 10, i) for i in range(size)])
+            reduced = data.reduce_by_key(0, lambda a, b: a)
+            from repro.dataflow.graph import LogicalNode, LogicalPlan
+            from repro.dataflow.contracts import Contract
+            sink = LogicalNode(Contract.SINK, [reduced.node])
+            exec_plan = optimize_plan(LogicalPlan([sink]).validate(), env)
+            costs.append(exec_plan.estimated_cost)
+        assert 0 < costs[0] < costs[1]
+
+    def test_cost_weights_change_choices(self):
+        """With free networking, broadcasting loses its penalty."""
+        free_net = CostWeights(network=0.0)
+        env = ExecutionEnvironment(4, cost_weights=free_net)
+        left = env.from_iterable([(i, i) for i in range(1000)])
+        right = env.from_iterable([(i, i) for i in range(1000)])
+        joined = left.join(right, 0, 0, lambda l, r: l)
+        ann, _plan = compiled_annotation(env, joined, joined.node)
+        # no crash and some consistent choice is made
+        assert ann.local is not LocalStrategy.NONE

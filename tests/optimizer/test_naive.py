@@ -1,0 +1,98 @@
+"""The rule-based fallback planner."""
+
+import pytest
+
+from repro import ExecutionEnvironment
+from repro.dataflow.contracts import Contract
+from repro.dataflow.graph import LogicalNode, LogicalPlan
+from repro.optimizer.naive import naive_plan
+from repro.runtime.plan import LocalStrategy, ShipKind
+
+
+def plan_for(env, dataset):
+    sink = LogicalNode(Contract.SINK, [dataset.node])
+    return naive_plan(LogicalPlan([sink]).validate(), env.parallelism), sink
+
+
+@pytest.fixture
+def env():
+    return ExecutionEnvironment(4, optimize=False)
+
+
+class TestDefaultStrategies:
+    def test_join_partitions_both_sides(self, env):
+        left = env.from_iterable([(1, 2)])
+        right = env.from_iterable([(1, 3)])
+        joined = left.join(right, 0, 0, lambda l, r: l)
+        plan, _sink = plan_for(env, joined)
+        ann = plan.annotations[joined.node.id]
+        assert ann.ship[0].kind is ShipKind.PARTITION_HASH
+        assert ann.ship[1].kind is ShipKind.PARTITION_HASH
+        assert ann.local is LocalStrategy.HASH_BUILD_RIGHT
+
+    def test_reduce_gets_combiner(self, env):
+        data = env.from_iterable([(1, 2)])
+        reduced = data.reduce_by_key(0, lambda a, b: a)
+        plan, _sink = plan_for(env, reduced)
+        ann = plan.annotations[reduced.node.id]
+        assert ann.combiner
+        assert ann.local is LocalStrategy.HASH_AGGREGATE
+
+    def test_reduce_group_has_no_combiner(self, env):
+        data = env.from_iterable([(1, 2)])
+        grouped = data.reduce_group(0, lambda k, g: g)
+        plan, _sink = plan_for(env, grouped)
+        assert not plan.annotations[grouped.node.id].combiner
+
+    def test_cross_broadcasts_right(self, env):
+        left = env.from_iterable([(1,)])
+        right = env.from_iterable([(2,)])
+        crossed = left.cross(right, lambda a, b: a)
+        plan, _sink = plan_for(env, crossed)
+        ann = plan.annotations[crossed.node.id]
+        assert ann.ship[1].kind is ShipKind.BROADCAST
+
+    def test_sink_gathers(self, env):
+        data = env.from_iterable([(1,)])
+        plan, sink = plan_for(env, data)
+        assert plan.annotations[sink.id].ship[0].kind is ShipKind.GATHER
+
+    def test_map_forwards(self, env):
+        data = env.from_iterable([(1,)]).map(lambda r: r)
+        plan, _sink = plan_for(env, data)
+        assert plan.annotations[data.node.id].ship[0].kind is ShipKind.FORWARD
+
+    def test_iteration_bodies_annotated(self, env):
+        init = env.from_iterable([(0, 0)])
+        table = env.from_iterable([(0, 1)])
+        it = env.iterate_bulk(init, max_iterations=2)
+        body = it.partial_solution.join(table, 0, 0, lambda a, b: a)
+        result = it.close(body)
+        plan, _sink = plan_for(env, result)
+        assert body.node.id in plan.annotations
+
+    def test_delta_modes_resolved(self, env):
+        s0 = env.from_iterable([(0, 0)])
+        w0 = env.from_iterable([(0, 1)])
+        it = env.iterate_delta(s0, w0, 0, max_iterations=2)
+        delta = it.workset.join(
+            it.solution_set, 0, 0, lambda c, s: None
+        ).with_forwarded_fields({0: 0})
+        next_ws = delta.map(lambda r: r).with_forwarded_fields({0: 0})
+        result = it.close(delta, next_ws, mode="auto")
+        plan, _sink = plan_for(env, result)
+        assert plan.iteration_modes[result.node.id] == "microstep"
+
+
+class TestEndToEnd:
+    def test_naive_environment_runs_everything(self):
+        """optimize=False must execute all workloads correctly."""
+        from repro.algorithms import connected_components as cc
+        from repro.graphs import erdos_renyi
+        graph = erdos_renyi(60, 3.0, seed=1)
+        env = ExecutionEnvironment(4, optimize=False)
+        assert cc.cc_incremental(env, graph, "match") == (
+            cc.cc_ground_truth(graph)
+        )
+        env = ExecutionEnvironment(4, optimize=False)
+        assert cc.cc_bulk(env, graph) == cc.cc_ground_truth(graph)

@@ -1,0 +1,116 @@
+"""Physical property satisfaction and interesting-property propagation."""
+
+from repro import ExecutionEnvironment
+from repro.dataflow.contracts import Contract
+from repro.dataflow.graph import LogicalNode
+from repro.optimizer.properties import (
+    NO_PROPS,
+    PhysicalProps,
+    REPLICATED,
+    map_fields_backward,
+    map_fields_forward,
+    propagate_interesting_properties,
+    props_through,
+)
+
+
+class TestPhysicalProps:
+    def test_partitioning_subset_satisfies(self):
+        props = PhysicalProps(partitioned_on=(0,))
+        assert props.satisfies_partitioning((0,))
+        assert props.satisfies_partitioning((0, 1))  # subset colocates
+
+    def test_partitioning_superset_does_not_satisfy(self):
+        props = PhysicalProps(partitioned_on=(0, 1))
+        assert not props.satisfies_partitioning((0,))
+
+    def test_replicated_satisfies_everything(self):
+        assert REPLICATED.satisfies_partitioning((3,))
+
+    def test_no_props_satisfies_nothing(self):
+        assert not NO_PROPS.satisfies_partitioning((0,))
+
+    def test_sort_prefix(self):
+        props = PhysicalProps(sorted_on=(0, 1))
+        assert props.satisfies_sort((0,))
+        assert props.satisfies_sort((0, 1))
+        assert not props.satisfies_sort((1,))
+
+
+class TestFieldMapping:
+    def _mapped_node(self):
+        src = LogicalNode(Contract.SOURCE, data=[])
+        node = LogicalNode(Contract.MAP, [src])
+        node.with_forwarded_fields(0, {0: 1, 2: 0})
+        return node
+
+    def test_forward(self):
+        node = self._mapped_node()
+        assert map_fields_forward(node, 0, (0,)) == (1,)
+        assert map_fields_forward(node, 0, (0, 2)) == (1, 0)
+        assert map_fields_forward(node, 0, (1,)) is None  # undeclared
+
+    def test_backward(self):
+        node = self._mapped_node()
+        assert map_fields_backward(node, 0, (1,)) == (0,)
+        assert map_fields_backward(node, 0, (3,)) is None
+
+    def test_filter_forwards_everything(self):
+        src = LogicalNode(Contract.SOURCE, data=[])
+        node = LogicalNode(Contract.FILTER, [src])
+        assert map_fields_forward(node, 0, (0, 5)) == (0, 5)
+        assert map_fields_backward(node, 0, (2,)) == (2,)
+
+    def test_props_through_partitioning(self):
+        node = self._mapped_node()
+        props = props_through(
+            node, 0, PhysicalProps(partitioned_on=(0,))
+        )
+        assert props.partitioned_on == (1,)
+
+    def test_props_through_drops_undeclared(self):
+        node = self._mapped_node()
+        props = props_through(
+            node, 0, PhysicalProps(partitioned_on=(1,))
+        )
+        assert props.partitioned_on is None
+
+
+class TestInterestingProperties:
+    def test_reduce_announces_partitioning_to_producer(self, env):
+        data = env.from_iterable([(0, 1)])
+        mapped = data.map(lambda r: r).with_forwarded_fields({0: 0, 1: 1})
+        reduced = mapped.reduce_by_key(0, lambda a, b: a)
+        nodes = [data.node, mapped.node, reduced.node]
+        interesting = propagate_interesting_properties(nodes)
+        assert (0,) in interesting[mapped.node.id]
+        # inherited through the map's forwarded fields down to the source
+        assert (0,) in interesting[data.node.id]
+
+    def test_join_announces_both_sides(self, env):
+        left = env.from_iterable([(0, 1)])
+        right = env.from_iterable([(0, 2)])
+        joined = left.join(right, 0, 1, lambda l, r: l)
+        nodes = [left.node, right.node, joined.node]
+        interesting = propagate_interesting_properties(nodes)
+        assert (0,) in interesting[left.node.id]
+        assert (1,) in interesting[right.node.id]
+
+    def test_feedback_pass_reaches_body_output(self, env):
+        """The two-pass iteration trick: IPs arriving at the placeholder
+        are re-seeded on the body output (Section 4.3)."""
+        init = env.from_iterable([(0, 1)])
+        it = env.iterate_bulk(init, max_iterations=3)
+        ps = it.partial_solution
+        reduced = ps.reduce_by_key(0, lambda a, b: a)
+        out = reduced.map(lambda r: r).with_forwarded_fields({0: 0, 1: 1})
+        it.close(out)
+        from repro.dataflow.graph import iteration_body_nodes
+        body = iteration_body_nodes(it._node)
+        interesting = propagate_interesting_properties(
+            body, feedback=(ps.node, out.node)
+        )
+        # the reduce wants (0,) at the placeholder; the feedback pass must
+        # propagate that interest onto the body output and through the map
+        assert (0,) in interesting[out.node.id]
+        assert (0,) in interesting[reduced.node.id]

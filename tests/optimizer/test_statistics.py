@@ -1,0 +1,76 @@
+"""Cardinality estimation rules."""
+
+from repro import ExecutionEnvironment
+from repro.optimizer.statistics import Statistics
+
+
+def make(env=None):
+    return (env or ExecutionEnvironment(2)), Statistics()
+
+
+class TestEstimates:
+    def test_source_exact(self):
+        env, stats = make()
+        data = env.from_iterable([(i,) for i in range(7)])
+        assert stats.size(data.node) == 7.0
+
+    def test_map_preserves(self):
+        env, stats = make()
+        data = env.from_iterable([(i,) for i in range(10)])
+        assert stats.size(data.map(lambda r: r).node) == 10.0
+
+    def test_filter_halves(self):
+        env, stats = make()
+        data = env.from_iterable([(i,) for i in range(10)])
+        assert stats.size(data.filter(lambda r: True).node) == 5.0
+
+    def test_flat_map_expands(self):
+        env, stats = make()
+        data = env.from_iterable([(i,) for i in range(10)])
+        assert stats.size(data.flat_map(lambda r: [r]).node) == 20.0
+
+    def test_reduce_compresses(self):
+        env, stats = make()
+        data = env.from_iterable([(i % 2, i) for i in range(10)])
+        node = data.reduce_by_key(0, lambda a, b: a).node
+        assert stats.size(node) == 5.0
+
+    def test_union_adds(self):
+        env, stats = make()
+        a = env.from_iterable([(1,)] * 4)
+        b = env.from_iterable([(2,)] * 6)
+        assert stats.size(a.union(b).node) == 10.0
+
+    def test_cross_multiplies(self):
+        env, stats = make()
+        a = env.from_iterable([(1,)] * 4)
+        b = env.from_iterable([(2,)] * 6)
+        assert stats.size(a.cross(b, lambda x, y: x).node) == 24.0
+
+    def test_join_fk_assumption(self):
+        env, stats = make()
+        a = env.from_iterable([(i, 1) for i in range(100)])
+        b = env.from_iterable([(i, 2) for i in range(10)])
+        node = a.join(b, 0, 0, lambda l, r: l).node
+        assert stats.size(node) == 100.0
+
+    def test_user_hint_wins(self):
+        env, stats = make()
+        data = env.from_iterable([(i,) for i in range(10)])
+        hinted = data.flat_map(lambda r: [r]).with_estimated_size(999)
+        assert stats.size(hinted.node) == 999.0
+
+    def test_memoization(self):
+        env, stats = make()
+        data = env.from_iterable([(i,) for i in range(10)])
+        node = data.map(lambda r: r).node
+        assert stats.size(node) == stats.size(node)
+
+    def test_placeholder_sizes(self):
+        env = ExecutionEnvironment(2)
+        init = env.from_iterable([(i,) for i in range(10)])
+        it = env.iterate_bulk(init, max_iterations=2)
+        stats = Statistics(
+            placeholder_sizes={it.partial_solution.node.id: 42.0}
+        )
+        assert stats.size(it.partial_solution.node) == 42.0

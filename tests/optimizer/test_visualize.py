@@ -1,0 +1,74 @@
+"""DOT rendering of plans."""
+
+from repro import ExecutionEnvironment
+from repro.dataflow.contracts import Contract
+from repro.dataflow.graph import LogicalNode, LogicalPlan
+from repro.optimizer import optimize_plan
+from repro.optimizer.visualize import plan_to_dot
+
+
+def compiled(env, dataset):
+    sink = LogicalNode(Contract.SINK, [dataset.node])
+    plan = LogicalPlan([sink]).validate()
+    return plan, optimize_plan(plan, env)
+
+
+class TestDot:
+    def test_plain_plan_structure(self):
+        env = ExecutionEnvironment(2)
+        data = env.from_iterable([(1, 2)], name="numbers")
+        reduced = data.reduce_by_key(0, lambda a, b: a, name="dedupe")
+        plan, exec_plan = compiled(env, reduced)
+        dot = plan_to_dot(plan)
+        assert dot.startswith("digraph plan {")
+        assert dot.rstrip().endswith("}")
+        assert "numbers" in dot
+        assert "dedupe" in dot
+        assert "->" in dot
+
+    def test_annotations_appear_on_nodes_and_edges(self):
+        env = ExecutionEnvironment(4)
+        left = env.from_iterable([(i, i) for i in range(50)])
+        right = env.from_iterable([(i, i) for i in range(50)])
+        joined = left.join(right, 0, 0, lambda l, r: l, name="the_join")
+        plan, exec_plan = compiled(env, joined)
+        dot = plan_to_dot(plan, exec_plan)
+        assert "hash_build" in dot          # local strategy on the node
+        assert "partition[0]" in dot        # ship strategy on the edge
+
+    def test_iteration_body_rendered_as_cluster(self):
+        env = ExecutionEnvironment(2)
+        init = env.from_iterable([(0,)], name="init")
+        it = env.iterate_bulk(init, max_iterations=3, name="loop")
+        body = it.partial_solution.map(lambda r: (r[0] + 1,), name="step")
+        result = it.close(body)
+        plan, exec_plan = compiled(env, result)
+        dot = plan_to_dot(plan, exec_plan)
+        assert "subgraph cluster_" in dot
+        assert "loop body" in dot
+        assert "step" in dot
+        assert "partial_solution" in dot
+
+    def test_quotes_escaped(self):
+        env = ExecutionEnvironment(2)
+        data = env.from_iterable([(1,)]).map(
+            lambda r: r
+        ).name('weird "name"')
+        plan, exec_plan = compiled(env, data)
+        dot = plan_to_dot(plan, exec_plan)
+        assert '\\"name\\"' in dot
+
+    def test_dot_is_parseable_shape(self):
+        """Every non-brace line is a node, edge, or attribute statement."""
+        env = ExecutionEnvironment(2)
+        data = env.from_iterable([(1, 2)])
+        out = data.reduce_by_key(0, lambda a, b: a)
+        plan, exec_plan = compiled(env, out)
+        for line in plan_to_dot(plan, exec_plan).splitlines()[1:-1]:
+            stripped = line.strip()
+            if not stripped or stripped in ("}",):
+                continue
+            assert (
+                stripped.endswith(";")
+                or stripped.endswith("{")
+            ), line

@@ -1,0 +1,119 @@
+"""Shipping channel semantics and network accounting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.hashing import partition_index
+from repro.runtime import channels
+from repro.runtime.metrics import MetricsCollector
+from repro.runtime.plan import (
+    BROADCAST,
+    FORWARD,
+    GATHER,
+    ShipKind,
+    ShipStrategy,
+    partition_on,
+)
+
+RECORDS = [(i, i * 10) for i in range(20)]
+
+
+def spread(records, parallelism=4):
+    return channels.round_robin(records, parallelism)
+
+
+class TestForward:
+    def test_identity(self):
+        parts = spread(RECORDS)
+        out = channels.ship(parts, FORWARD, 4)
+        assert out == parts
+
+    def test_counts_all_local(self):
+        metrics = MetricsCollector()
+        channels.ship(spread(RECORDS), FORWARD, 4, metrics)
+        assert metrics.records_shipped_local == len(RECORDS)
+        assert metrics.records_shipped_remote == 0
+
+    def test_rejects_partition_count_change(self):
+        with pytest.raises(ValueError):
+            channels.ship(spread(RECORDS, 2), FORWARD, 4)
+
+    def test_output_is_a_copy(self):
+        parts = spread(RECORDS)
+        out = channels.ship(parts, FORWARD, 4)
+        out[0].append(("extra",))
+        assert len(parts[0]) == len(RECORDS) // 4
+
+
+class TestHashPartition:
+    def test_routes_by_key(self):
+        out = channels.ship(spread(RECORDS), partition_on((0,)), 4)
+        for p, part in enumerate(out):
+            for record in part:
+                assert partition_index(record[0], 4) == p
+
+    def test_preserves_multiset(self):
+        out = channels.ship(spread(RECORDS), partition_on((0,)), 4)
+        assert sorted(channels.merge(out)) == sorted(RECORDS)
+
+    def test_local_plus_remote_equals_total(self):
+        metrics = MetricsCollector()
+        channels.ship(spread(RECORDS), partition_on((1,)), 4, metrics)
+        total = metrics.records_shipped_local + metrics.records_shipped_remote
+        assert total == len(RECORDS)
+
+    def test_requires_key_fields(self):
+        with pytest.raises(ValueError):
+            ShipStrategy(ShipKind.PARTITION_HASH)
+
+    @given(st.lists(st.tuples(st.integers(), st.integers()), max_size=50),
+           st.integers(min_value=1, max_value=8))
+    def test_never_loses_records(self, records, parallelism):
+        parts = channels.round_robin(records, parallelism)
+        out = channels.ship(parts, partition_on((0,)), parallelism)
+        assert sorted(channels.merge(out)) == sorted(records)
+
+
+class TestBroadcast:
+    def test_every_partition_gets_everything(self):
+        out = channels.ship(spread(RECORDS), BROADCAST, 4)
+        for part in out:
+            assert sorted(part) == sorted(RECORDS)
+
+    def test_network_cost(self):
+        metrics = MetricsCollector()
+        channels.ship(spread(RECORDS), BROADCAST, 4, metrics)
+        assert metrics.records_shipped_remote == len(RECORDS) * 3
+        assert metrics.records_shipped_local == len(RECORDS)
+
+
+class TestGather:
+    def test_everything_in_partition_zero(self):
+        out = channels.ship(spread(RECORDS), GATHER, 4)
+        assert sorted(out[0]) == sorted(RECORDS)
+        assert all(not part for part in out[1:])
+
+    def test_cost_excludes_partition_zero(self):
+        metrics = MetricsCollector()
+        parts = spread(RECORDS)
+        channels.ship(parts, GATHER, 4, metrics)
+        assert metrics.records_shipped_local == len(parts[0])
+        assert metrics.records_shipped_remote == (
+            len(RECORDS) - len(parts[0])
+        )
+
+
+class TestLoaders:
+    def test_round_robin_balance(self):
+        parts = channels.round_robin(RECORDS, 4)
+        assert all(len(p) == 5 for p in parts)
+
+    def test_partition_records_routing(self):
+        parts = channels.partition_records(RECORDS, (0,), 4)
+        for p, part in enumerate(parts):
+            for record in part:
+                assert partition_index(record[0], 4) == p
+
+    def test_merge_flattens(self):
+        assert channels.merge([[1, 2], [], [3]]) == [1, 2, 3]

@@ -1,0 +1,138 @@
+"""Executor behaviour: memoization, strategy interpretation, accounting."""
+
+import pytest
+
+from repro import ExecutionEnvironment
+from repro.common.errors import InvalidPlanError
+from repro.runtime.plan import (
+    BROADCAST,
+    FORWARD,
+    LocalStrategy,
+    partition_on,
+)
+
+
+class TestMemoization:
+    def test_shared_subplan_evaluated_once(self, env):
+        calls = []
+        base = env.from_iterable([(i, i) for i in range(8)]).map(
+            lambda r: calls.append(r) or r, name="tracked"
+        )
+        left = base.filter(lambda r: r[0] % 2 == 0)
+        right = base.filter(lambda r: r[0] % 2 == 1)
+        out = left.union(right).collect()
+        assert len(out) == 8
+        assert len(calls) == 8  # not 16
+
+    def test_multiple_sinks_share_computation(self):
+        env = ExecutionEnvironment(2)
+        calls = []
+        base = env.from_iterable([(1,), (2,)]).map(
+            lambda r: calls.append(r) or r
+        )
+        base.map(lambda r: (r[0] * 10,)).output(name="a")
+        base.map(lambda r: (r[0] * 100,)).output(name="b")
+        results = env.execute()
+        assert len(calls) == 2
+        assert sorted(results["a"]) == [(10,), (20,)]
+        assert sorted(results["b"]) == [(100,), (200,)]
+
+
+class TestStrategyInterpretation:
+    def _join(self, env):
+        left = env.from_iterable([(i, "l") for i in range(12)])
+        right = env.from_iterable([(i, "r") for i in range(12)])
+        return left.join(right, 0, 0, lambda l, r: (l[0], l[1], r[1]))
+
+    @pytest.mark.parametrize("ships,local", [
+        ({0: partition_on((0,)), 1: partition_on((0,))},
+         LocalStrategy.HASH_BUILD_LEFT),
+        ({0: partition_on((0,)), 1: partition_on((0,))},
+         LocalStrategy.HASH_BUILD_RIGHT),
+        ({0: partition_on((0,)), 1: partition_on((0,))},
+         LocalStrategy.SORT_MERGE),
+        ({0: BROADCAST, 1: FORWARD}, LocalStrategy.HASH_BUILD_LEFT),
+        ({0: FORWARD, 1: BROADCAST}, LocalStrategy.HASH_BUILD_RIGHT),
+    ])
+    def test_every_join_configuration_is_correct(self, ships, local):
+        env = ExecutionEnvironment(4)
+        joined = self._join(env)
+        env.plan_overrides[joined.node.id] = {"ship": ships, "local": local}
+        out = sorted(joined.collect())
+        assert out == [(i, "l", "r") for i in range(12)]
+
+    def test_plan_override_changes_physical_plan(self):
+        env = ExecutionEnvironment(4)
+        joined = self._join(env)
+        env.plan_overrides[joined.node.id] = {
+            "ship": {0: BROADCAST, 1: FORWARD},
+            "local": LocalStrategy.HASH_BUILD_LEFT,
+        }
+        joined.collect()
+        described = env.last_plan.describe()
+        assert "broadcast" in described
+
+    def test_combiner_reduces_shipped_volume(self):
+        # keys chosen so records do NOT start in their target partitions
+        records = [((i * 7) % 13, 1) for i in range(390)]
+        expected = sorted(
+            (k, sum(1 for key, _one in records if key == k))
+            for k in set(k for k, _one in records)
+        )
+
+        def run(combiner):
+            env = ExecutionEnvironment(4)
+            data = env.from_iterable(records)
+            reduced = data.reduce_by_key(
+                0, lambda a, b: (a[0], a[1] + b[1])
+            )
+            env.plan_overrides[reduced.node.id] = {"combiner": combiner}
+            out = sorted(reduced.collect())
+            return out, env.metrics.records_shipped_remote
+
+        no_combiner, heavy_shipped = run(False)
+        with_combiner, light_shipped = run(True)
+        assert no_combiner == with_combiner == expected
+        assert light_shipped < heavy_shipped / 4
+
+
+class TestErrorHandling:
+    def test_source_without_data(self, env):
+        from repro.dataflow.contracts import Contract
+        from repro.dataflow.graph import LogicalNode
+        from repro.dataflow.dataset import DataSet
+        node = LogicalNode(Contract.SOURCE, name="empty_source")
+        with pytest.raises(InvalidPlanError):
+            DataSet(env, node).collect()
+
+    def test_udf_exception_propagates(self, env):
+        data = env.from_iterable([(1,)])
+        with pytest.raises(ZeroDivisionError):
+            data.map(lambda r: (r[0] / 0,)).collect()
+
+
+class TestSinkBehaviour:
+    def test_collect_preserves_multiset(self, env):
+        records = [(i % 3, i) for i in range(20)]
+        out = env.from_iterable(records).collect()
+        assert sorted(out) == sorted(records)
+
+    def test_gather_accounted_as_shipping(self):
+        env = ExecutionEnvironment(4)
+        env.from_iterable([(i,) for i in range(40)]).collect()
+        shipped = (env.metrics.records_shipped_local
+                   + env.metrics.records_shipped_remote)
+        assert shipped == 40
+
+
+class TestIterationSummaries:
+    def test_summaries_reset_per_run(self):
+        env = ExecutionEnvironment(2)
+        init = env.from_iterable([(0,)])
+        it = env.iterate_bulk(init, max_iterations=2)
+        it.close(it.partial_solution.map(lambda r: (r[0] + 1,))).collect()
+        assert len(env.iteration_summaries) == 1
+        # a second run produces a fresh executor with fresh summaries
+        data = env.from_iterable([(1,)])
+        data.collect()
+        assert env.iteration_summaries == []

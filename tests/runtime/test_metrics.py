@@ -1,0 +1,70 @@
+"""Metric collector accounting and superstep scoping."""
+
+from repro.runtime.metrics import IterationStats, MetricsCollector
+
+
+class TestCounters:
+    def test_processed_per_operator(self):
+        metrics = MetricsCollector()
+        metrics.add_processed("join", 10)
+        metrics.add_processed("join", 5)
+        metrics.add_processed("map", 3)
+        assert metrics.records_processed["join"] == 15
+        assert metrics.total_processed == 18
+
+    def test_shipped_split(self):
+        metrics = MetricsCollector()
+        metrics.add_shipped(local=7, remote=3)
+        assert metrics.records_shipped_local == 7
+        assert metrics.messages == 3
+
+    def test_solution_counters(self):
+        metrics = MetricsCollector()
+        metrics.add_solution_access(4)
+        metrics.add_solution_update(2)
+        snap = metrics.snapshot()
+        assert snap["solution_accesses"] == 4
+        assert snap["solution_updates"] == 2
+
+    def test_reset(self):
+        metrics = MetricsCollector()
+        metrics.add_processed("x", 1)
+        metrics.add_shipped(1, 1)
+        metrics.begin_superstep(1)
+        metrics.end_superstep()
+        metrics.reset()
+        assert metrics.total_processed == 0
+        assert metrics.supersteps == 0
+        assert metrics.iteration_log == []
+
+
+class TestSuperstepScoping:
+    def test_counters_attach_to_open_superstep(self):
+        metrics = MetricsCollector()
+        metrics.add_shipped(local=5, remote=5)  # outside any superstep
+        metrics.begin_superstep(1)
+        metrics.add_shipped(local=1, remote=2)
+        metrics.add_processed("op", 4)
+        metrics.add_solution_access(3)
+        stats = metrics.end_superstep(workset_size=9, delta_size=2)
+        assert isinstance(stats, IterationStats)
+        assert stats.records_shipped_remote == 2
+        assert stats.records_processed == 4
+        assert stats.solution_accesses == 3
+        assert stats.workset_size == 9
+        assert stats.delta_size == 2
+        assert stats.messages == 2
+        assert stats.duration_s >= 0.0
+
+    def test_log_accumulates_in_order(self):
+        metrics = MetricsCollector()
+        for step in (1, 2, 3):
+            metrics.begin_superstep(step)
+            metrics.end_superstep()
+        assert [s.superstep for s in metrics.iteration_log] == [1, 2, 3]
+        assert metrics.supersteps == 3
+
+    def test_end_without_begin_is_noop(self):
+        metrics = MetricsCollector()
+        assert metrics.end_superstep() is None
+        assert metrics.iteration_log == []

@@ -1,0 +1,76 @@
+"""Physical plan descriptors: strategies, annotations, describe()."""
+
+import pytest
+
+from repro import ExecutionEnvironment
+from repro.runtime.plan import (
+    BROADCAST,
+    ExecutionPlan,
+    FORWARD,
+    GATHER,
+    LocalStrategy,
+    OperatorAnnotation,
+    ShipKind,
+    ShipStrategy,
+    partition_on,
+)
+
+
+class TestShipStrategy:
+    def test_partition_requires_keys(self):
+        with pytest.raises(ValueError):
+            ShipStrategy(ShipKind.PARTITION_HASH)
+        with pytest.raises(ValueError):
+            ShipStrategy(ShipKind.PARTITION_HASH, ())
+
+    def test_describe(self):
+        assert FORWARD.describe() == "forward"
+        assert BROADCAST.describe() == "broadcast"
+        assert GATHER.describe() == "gather"
+        assert partition_on((1, 0)).describe() == "partition[1, 0]"
+
+    def test_frozen_and_hashable(self):
+        assert partition_on((0,)) == partition_on((0,))
+        assert len({FORWARD, FORWARD, BROADCAST}) == 2
+        with pytest.raises(AttributeError):
+            FORWARD.kind = ShipKind.BROADCAST
+
+
+class TestExecutionPlan:
+    def _plan(self):
+        env = ExecutionEnvironment(2, optimize=False)
+        data = env.from_iterable([(1, 2)], name="src")
+        reduced = data.reduce_by_key(0, lambda a, b: a, name="agg")
+        from repro.dataflow.contracts import Contract
+        from repro.dataflow.graph import LogicalNode, LogicalPlan
+        sink = LogicalNode(Contract.SINK, [reduced.node])
+        return ExecutionPlan(LogicalPlan([sink])), reduced.node
+
+    def test_annotation_created_on_demand(self):
+        plan, node = self._plan()
+        ann = plan.annotation(node)
+        assert isinstance(ann, OperatorAnnotation)
+        assert plan.annotation(node) is ann  # same object back
+
+    def test_ship_strategy_defaults_to_forward(self):
+        plan, node = self._plan()
+        assert plan.ship_strategy(node, 0) is FORWARD
+
+    def test_describe_lists_annotated_operators(self):
+        plan, node = self._plan()
+        ann = plan.annotation(node)
+        ann.local = LocalStrategy.SORT_AGGREGATE
+        ann.ship[0] = partition_on((0,))
+        ann.combiner = True
+        ann.dams.add(0)
+        text = plan.describe()
+        assert "agg" in text
+        assert "sort_aggregate" in text
+        assert "partition[0]" in text
+        assert "combiner" in text
+        assert "dam[0]" in text
+
+    def test_cached_flag_in_describe(self):
+        plan, node = self._plan()
+        plan.annotation(node).cache_across_iterations = True
+        assert "cached" in plan.describe()

@@ -1,0 +1,99 @@
+"""Pregel global aggregators: contribution, merging, superstep visibility."""
+
+import operator
+
+from repro.graphs import Graph
+from repro.systems.pregel import PregelMaster
+
+
+def ring(n=6):
+    return Graph(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+class TestAggregation:
+    def test_sum_aggregator_collects_all_contributions(self):
+        observed = {}
+
+        def compute(ctx, messages):
+            if ctx.superstep == 0:
+                ctx.aggregate("total", ctx.vertex_id)
+                ctx.send_message(ctx.vertex_id, 1)  # stay alive one round
+            elif ctx.superstep == 1 and ctx.vertex_id == 0:
+                observed["total"] = ctx.get_aggregated("total")
+            ctx.vote_to_halt()
+
+        master = PregelMaster(
+            ring(), compute, initial_state=lambda v: None,
+            aggregators={"total": (0, operator.add)},
+        )
+        master.run()
+        assert observed["total"] == sum(range(6))
+
+    def test_aggregated_value_visible_next_superstep_only(self):
+        reads = []
+
+        def compute(ctx, messages):
+            if ctx.vertex_id == 0:
+                reads.append((ctx.superstep, ctx.get_aggregated("max")))
+            ctx.aggregate("max", ctx.superstep * 10 + ctx.vertex_id)
+            if ctx.superstep < 2:
+                ctx.send_message(ctx.vertex_id, 1)
+            ctx.vote_to_halt()
+
+        master = PregelMaster(
+            ring(), compute, initial_state=lambda v: None,
+            aggregators={"max": (-1, max)},
+        )
+        master.run()
+        # superstep 0 sees no value; superstep s sees superstep s-1's max
+        assert reads[0] == (0, None)
+        assert reads[1] == (1, 5)    # max vertex id at superstep 0
+        assert reads[2] == (2, 15)   # 10 + max vertex id
+
+    def test_master_exposes_final_values(self):
+        def compute(ctx, messages):
+            ctx.aggregate("count", 1)
+            ctx.vote_to_halt()
+
+        master = PregelMaster(
+            ring(4), compute, initial_state=lambda v: None,
+            aggregators={"count": (0, operator.add)},
+        )
+        master.run()
+        assert master.aggregated_values["count"] == 4
+
+    def test_unregistered_aggregator_contributions_ignored(self):
+        def compute(ctx, messages):
+            ctx.aggregate("ghost", 1)  # no such registered aggregator
+            ctx.vote_to_halt()
+
+        master = PregelMaster(ring(3), compute, initial_state=lambda v: None)
+        master.run()
+        assert master.aggregated_values == {}
+
+
+class TestAggregatorDrivenTermination:
+    def test_convergence_via_change_counter(self):
+        """The classic pattern: count label changes globally; vertices
+        halt for good once the previous superstep changed nothing."""
+        graph = Graph(5, [(i, i + 1) for i in range(4)])
+
+        def compute(ctx, messages):
+            if ctx.superstep > 0 and ctx.get_aggregated("changes") == 0:
+                ctx.vote_to_halt()
+                return
+            best = min(messages, default=ctx.state)
+            if best < ctx.state:
+                ctx.state = best
+                ctx.aggregate("changes", 1)
+            if ctx.superstep == 0:
+                ctx.aggregate("changes", 1)  # force a second superstep
+            ctx.send_message_to_all_neighbors(ctx.state)
+
+        master = PregelMaster(
+            graph, compute, initial_state=lambda v: v, combiner=min,
+            aggregators={"changes": (0, operator.add)},
+        )
+        result = master.run(max_supersteps=50)
+        assert master.converged
+        assert all(result[v] == 0 for v in range(5))

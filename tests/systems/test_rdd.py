@@ -1,0 +1,169 @@
+"""The Spark-like RDD engine: transformation semantics, laziness, caching."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.systems.sparklike import SparkLikeContext
+
+
+@pytest.fixture
+def ctx():
+    return SparkLikeContext(parallelism=4)
+
+
+class TestBasics:
+    def test_parallelize_collect_roundtrip(self, ctx):
+        data = [(i, i) for i in range(10)]
+        assert sorted(ctx.parallelize(data).collect()) == data
+
+    def test_map_filter_flat_map(self, ctx):
+        rdd = ctx.parallelize([(i, i) for i in range(6)])
+        out = (
+            rdd.map(lambda kv: (kv[0], kv[1] * 2))
+            .filter(lambda kv: kv[1] > 4)
+            .flat_map(lambda kv: [kv, kv])
+            .collect()
+        )
+        assert sorted(out) == [(3, 6), (3, 6), (4, 8), (4, 8), (5, 10), (5, 10)]
+
+    def test_map_values(self, ctx):
+        rdd = ctx.parallelize([(1, 2), (3, 4)])
+        assert sorted(rdd.map_values(lambda v: v + 1).collect()) == [
+            (1, 3), (3, 5)
+        ]
+
+    def test_union(self, ctx):
+        a = ctx.parallelize([(1, 1)])
+        b = ctx.parallelize([(1, 1), (2, 2)])
+        assert sorted(a.union(b).collect()) == [(1, 1), (1, 1), (2, 2)]
+
+    def test_count_and_is_empty(self, ctx):
+        assert ctx.parallelize([]).is_empty()
+        assert ctx.parallelize([(1, 1)]).count() == 1
+
+    def test_distinct(self, ctx):
+        rdd = ctx.parallelize([(1, "a"), (1, "a"), (2, "b")])
+        assert sorted(rdd.distinct().collect()) == [(1, "a"), (2, "b")]
+
+
+class TestWideTransformations:
+    def test_reduce_by_key(self, ctx):
+        rdd = ctx.parallelize([(i % 3, 1) for i in range(9)])
+        assert sorted(rdd.reduce_by_key(lambda a, b: a + b).collect()) == [
+            (0, 3), (1, 3), (2, 3)
+        ]
+
+    def test_group_by_key(self, ctx):
+        rdd = ctx.parallelize([(1, "a"), (1, "b"), (2, "c")])
+        out = dict(rdd.group_by_key().collect())
+        assert sorted(out[1]) == ["a", "b"]
+        assert out[2] == ["c"]
+
+    def test_join(self, ctx):
+        left = ctx.parallelize([(1, "a"), (2, "b")])
+        right = ctx.parallelize([(2, "x"), (2, "y"), (3, "z")])
+        out = left.join(right).collect()
+        assert sorted(out) == [(2, ("b", "x")), (2, ("b", "y"))]
+
+    def test_cogroup(self, ctx):
+        left = ctx.parallelize([(1, "a")])
+        right = ctx.parallelize([(2, "x")])
+        out = dict(ctx_collect_to_dict(left.cogroup(right).collect()))
+        assert out[1] == (["a"], [])
+        assert out[2] == ([], ["x"])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers()), max_size=30))
+    def test_reduce_matches_python_groupby(self, records):
+        ctx = SparkLikeContext(4)
+        expected = {}
+        for k, v in records:
+            expected[k] = expected.get(k, 0) + v
+        got = dict(
+            ctx.parallelize(records).reduce_by_key(lambda a, b: a + b).collect()
+        )
+        assert got == expected
+
+
+def ctx_collect_to_dict(pairs):
+    return {k: v for k, v in pairs}
+
+
+class TestLazinessAndCaching:
+    def test_transformations_are_lazy(self, ctx):
+        calls = []
+        rdd = ctx.parallelize([(1, 1)]).map(
+            lambda kv: calls.append(kv) or kv
+        )
+        assert calls == []  # nothing ran yet
+        rdd.collect()
+        assert calls == [(1, 1)]
+
+    def test_uncached_recomputes(self, ctx):
+        calls = []
+        rdd = ctx.parallelize([(1, 1)]).map(
+            lambda kv: calls.append(kv) or kv
+        )
+        rdd.collect()
+        rdd.collect()
+        assert len(calls) == 2
+
+    def test_cached_computes_once(self, ctx):
+        calls = []
+        rdd = ctx.parallelize([(1, 1)]).map(
+            lambda kv: calls.append(kv) or kv
+        ).cache()
+        rdd.collect()
+        rdd.collect()
+        assert len(calls) == 1
+        assert ctx.metrics.cache_hits >= 1
+
+    def test_unpersist_releases(self, ctx):
+        calls = []
+        rdd = ctx.parallelize([(1, 1)]).map(
+            lambda kv: calls.append(kv) or kv
+        ).cache()
+        rdd.collect()
+        rdd.unpersist()
+        rdd.collect()
+        assert len(calls) == 2
+
+    def test_long_lineage_is_linear_not_exponential(self, ctx):
+        """A chain of k wide ops must evaluate each parent exactly once
+        per action — the classic lineage-evaluation trap."""
+        calls = []
+        rdd = ctx.parallelize([(i % 4, 1) for i in range(16)])
+        for _ in range(12):
+            rdd = rdd.map(lambda kv: calls.append(1) or kv,
+                          preserves_partitioning=True)
+            rdd = rdd.reduce_by_key(lambda a, b: a + b)
+        rdd.collect()
+        # 16 records into the first map, 4 into each of the next 11
+        assert len(calls) == 16 + 11 * 4
+
+
+class TestShuffleAccounting:
+    def test_join_ships_records(self, ctx):
+        left = ctx.parallelize([(i, i) for i in range(20)])
+        right = ctx.parallelize([(i, i) for i in range(20)])
+        left.join(right).collect()
+        shipped = (ctx.metrics.records_shipped_local
+                   + ctx.metrics.records_shipped_remote)
+        assert shipped == 40
+
+    def test_co_partitioned_join_skips_shuffle(self, ctx):
+        left = ctx.parallelize([(i, 1) for i in range(20)]).reduce_by_key(
+            lambda a, b: a + b
+        )
+        left.collect()
+        before = ctx.metrics.records_shipped_remote
+        # joining two already-partitioned RDDs must not reshuffle them
+        right = ctx.parallelize([(i, 1) for i in range(20)]).reduce_by_key(
+            lambda a, b: a + b
+        )
+        left.join(right).collect()
+        after = ctx.metrics.records_shipped_remote
+        # only the right RDD's own shuffle moved records remotely; the
+        # join itself added none beyond the two reduce shuffles
+        assert after - before <= 20
