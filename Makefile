@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test verify-invariants bench
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Differential audit gate: run CC and PageRank on every engine over
+# seeded random graphs with invariant checking forced on, and assert
+# cross-engine result equality plus counter-invariant compliance.
+verify-invariants:
+	$(PYTHON) -m pytest -m verify_invariants -q
+
+bench:
+	$(PYTHON) -m repro.bench all

@@ -20,11 +20,14 @@ import time
 
 
 def _registry():
+    from repro.bench import audit
     from repro.bench.experiments import (
         extensions, fig2, fig4, fig7, fig8, fig9, fig10, fig11, fig12,
         table1, table2,
     )
     return {
+        "audit": ("Differential audit — engines agree, invariants hold",
+                  audit.run),
         "table1": ("Table 1 — iteration templates", table1.run),
         "table2": ("Table 2 — dataset properties", table2.run),
         "fig2": ("Figure 2 — CC effective work (FOAF)", fig2.run),

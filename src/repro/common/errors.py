@@ -28,6 +28,19 @@ class MicrostepViolation(DataflowError):
     """
 
 
+class InvariantViolation(DataflowError):
+    """A runtime conservation law was broken (see repro.runtime.invariants).
+
+    Raised by the opt-in invariant checker when the logical counters that
+    carry the paper's comparisons stop obeying their defining laws: a
+    shipping channel loses or fabricates records, local + remote shipped
+    counts disagree with the channel input size, hash-shipped records land
+    off their owning partition, superstep begin/end calls are unbalanced,
+    or a solution-set delta application changes the set's size by anything
+    other than accepted-minus-replaced records.
+    """
+
+
 class NotConvergedError(DataflowError):
     """An iteration reached its superstep budget without converging."""
 

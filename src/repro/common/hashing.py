@@ -18,6 +18,24 @@ def stable_hash(value) -> int:
     Integers partition by value (keeping assignments stable and
     testable); strings and bytes use CRC32; tuples combine their
     elements.  Anything else falls back to ``hash``.
+
+    **Collision semantics for mixed-type keys.**  Numeric keys that
+    compare equal hash equal, exactly as Python's ``hash`` does for
+    dict keys: ``stable_hash(True) == stable_hash(1) ==
+    stable_hash(1.0)`` (bools are ints by value, and the float branch
+    delegates to ``hash``, which equals the int hash for whole
+    numbers).  This coincidence is *required*, not incidental — the
+    solution-set index stores records in plain dicts keyed by the key
+    value, so a partitioner that separated ``1`` from ``1.0`` would
+    route a delta record to a partition whose dict would still treat
+    the two as the same key, corrupting the ∪̇ accounting.  The
+    invariant ``a == b  ⇒  stable_hash(a) == stable_hash(b)`` (for
+    hashable keys) keeps partition routing and dict equality aligned.
+    Corollary: keys of *distinct* value but different types (``1`` vs
+    ``"1"``) may or may not collide; benchmarks must not rely on
+    cross-type separation, only on same-value agreement.  The exact
+    assignments benchmarks depend on are pinned by regression tests in
+    ``tests/common/test_hashing.py``.
     """
     if isinstance(value, bool):
         return int(value)

@@ -83,14 +83,22 @@ class ExecutionEnvironment:
     """Entry point for authoring and running dataflow programs."""
 
     def __init__(self, parallelism: int = 4, optimize: bool = True,
-                 cost_weights=None):
+                 cost_weights=None, config=None):
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
         self.parallelism = parallelism
         self.optimize = optimize
         self.cost_weights = cost_weights
+        from repro.runtime.config import RuntimeConfig
         from repro.runtime.metrics import MetricsCollector
+        #: runtime switches; ``config.check_invariants`` (on by default
+        #: under pytest) attaches the conservation-law audit layer of
+        #: :mod:`repro.runtime.invariants` to this session's metrics
+        self.config = config or RuntimeConfig()
         self.metrics = MetricsCollector()
+        if self.config.check_invariants:
+            from repro.runtime.invariants import attach_checker
+            attach_checker(self.metrics)
         self._sinks: list[LogicalNode] = []
         self.last_executor = None
         self.last_plan = None

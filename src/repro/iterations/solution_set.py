@@ -58,6 +58,11 @@ class SolutionSetIndex:
         """Partition-local point lookup; counts a solution-set access."""
         if self.metrics is not None:
             self.metrics.add_solution_access()
+            checker = self.metrics.invariants
+            if checker is not None:
+                checker.check_solution_lookup(
+                    partition, key_value, self.parallelism
+                )
         return self._partitions[partition].get(key_value)
 
     def lookup_global(self, key_value):
@@ -83,9 +88,16 @@ class SolutionSetIndex:
         ``None`` means the comparator rejected the update (the stored
         record already supersedes it), so the record contributes neither
         to the solution nor — per Section 5.1 — to the reported delta.
+
+        Every application probes the index exactly once, and that probe
+        counts as a solution-set access — including comparator-rejected
+        updates, which inspect the stored record without changing it
+        (the Figure 2/9 'vertices inspected' series depends on this).
         """
         k = self.key(record)
         part = self._partitions[partition_index(k, self.parallelism)]
+        if self.metrics is not None:
+            self.metrics.add_solution_access()
         old = part.get(k)
         if old is not None and self.should_replace is not None:
             if not self.should_replace(record, old):
@@ -96,12 +108,42 @@ class SolutionSetIndex:
         return record
 
     def apply_delta(self, records) -> list:
-        """Apply a batch of delta records; returns the accepted records."""
+        """Apply a batch of delta records; returns the accepted records.
+
+        Under invariant checking, the batch is audited: ``|S|`` must move
+        by exactly accepted-minus-replaced records, and every probed
+        record must have been counted as a solution access.
+        """
+        checker = (
+            self.metrics.invariants if self.metrics is not None else None
+        )
+        if checker is not None:
+            size_before = len(self)
+            accesses_before = self.metrics.solution_accesses
         applied = []
+        replaced = 0
         for record in records:
+            if checker is not None and self.contains(self.key(record)):
+                existing = True
+            else:
+                existing = False
             accepted = self.apply_record(record)
             if accepted is not None:
                 applied.append(accepted)
+                if existing:
+                    replaced += 1
+        if checker is not None:
+            checker.check_delta_application(
+                "apply_delta",
+                size_before,
+                len(self),
+                accepted=len(applied),
+                replaced=replaced,
+                probed=len(records),
+                accesses_counted=(
+                    self.metrics.solution_accesses - accesses_before
+                ),
+            )
         return applied
 
     # ------------------------------------------------------------------

@@ -7,16 +7,23 @@ paper reasons about (partitioning vs broadcasting, constant-path caching,
 workset traffic) is observable even though everything runs in one process.
 """
 
+from repro.common.errors import InvariantViolation
+from repro.runtime.config import RuntimeConfig
 from repro.runtime.executor import Executor
+from repro.runtime.invariants import InvariantChecker, attach_checker
 from repro.runtime.metrics import IterationStats, MetricsCollector
 from repro.runtime.plan import ExecutionPlan, LocalStrategy, ShipKind, ShipStrategy
 
 __all__ = [
     "ExecutionPlan",
     "Executor",
+    "InvariantChecker",
+    "InvariantViolation",
     "IterationStats",
     "LocalStrategy",
     "MetricsCollector",
+    "RuntimeConfig",
     "ShipKind",
     "ShipStrategy",
+    "attach_checker",
 ]

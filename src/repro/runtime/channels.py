@@ -6,13 +6,30 @@ tuple records.  Shipping a dataset re-routes records according to a
 counted as local (stays in its partition) or remote (crosses a partition
 boundary — a "network message" in the paper's terms).
 
+**Partition-count contract.**  Every ship requires exactly
+``parallelism`` input partitions and produces exactly ``parallelism``
+output partitions.  Datasets at rest always hold one partition per
+worker (the loaders below guarantee it), so partition index *i* means
+"worker *i*" on both sides of a channel — which is what makes
+``target == source_index`` a valid locality test.  Shipping a dataset
+whose partition count disagrees with the cluster width is an error, not
+a silent re-interpretation: before this contract was enforced, the hash
+and gather channels mislabelled local vs remote counts whenever the two
+partitionings diverged.
+
 Hashing is deterministic across processes so that plans, tests, and
 benchmarks are reproducible.
+
+When the shipping metrics collector carries an
+:class:`~repro.runtime.invariants.InvariantChecker`, every ship is
+audited after the fact: conservation (records out equal records in),
+placement (hash-shipped records land on ``partition_index(key)``), and
+the local/remote split recomputed independently per record.
 """
 
 from __future__ import annotations
 
-from repro.common.hashing import partition_index, stable_hash
+from repro.common.hashing import partition_index
 from repro.common.keys import KeyExtractor
 from repro.runtime.plan import ShipKind
 
@@ -24,38 +41,53 @@ def empty_partitions(parallelism: int) -> list[list]:
 def ship(partitions, strategy, parallelism, metrics=None):
     """Move ``partitions`` according to ``strategy``; returns new partitions.
 
-    The input partition count may differ from ``parallelism`` only for
-    FORWARD when they already agree; partition-changing strategies always
-    produce exactly ``parallelism`` output partitions.
+    Enforces the partition-count contract above: ``partitions`` must hold
+    exactly ``parallelism`` entries for every strategy.  Local/remote
+    accounting is recorded on ``metrics`` and, when an invariant checker
+    is attached, audited against a per-record recomputation.
     """
-    kind = strategy.kind
-    if kind is ShipKind.FORWARD:
-        return _ship_forward(partitions, parallelism, metrics)
-    if kind is ShipKind.PARTITION_HASH:
-        return _ship_hash(partitions, strategy.key_fields, parallelism, metrics)
-    if kind is ShipKind.BROADCAST:
-        return _ship_broadcast(partitions, parallelism, metrics)
-    if kind is ShipKind.GATHER:
-        return _ship_gather(partitions, parallelism, metrics)
-    raise ValueError(f"unknown ship kind {kind}")
-
-
-def _ship_forward(partitions, parallelism, metrics):
     if len(partitions) != parallelism:
         raise ValueError(
-            f"forward shipping cannot change the partition count "
-            f"({len(partitions)} -> {parallelism})"
+            f"{strategy.kind.value} shipping requires exactly "
+            f"{parallelism} input partitions, got {len(partitions)}: "
+            "datasets at rest hold one partition per worker "
+            "(the partition-count contract)"
         )
+    kind = strategy.kind
+    if kind is ShipKind.FORWARD:
+        out, local, remote = _ship_forward(partitions)
+    elif kind is ShipKind.PARTITION_HASH:
+        out, local, remote = _ship_hash(
+            partitions, strategy.key_fields, parallelism
+        )
+    elif kind is ShipKind.BROADCAST:
+        out, local, remote = _ship_broadcast(partitions, parallelism)
+    elif kind is ShipKind.GATHER:
+        out, local, remote = _ship_gather(partitions, parallelism)
+    else:
+        raise ValueError(f"unknown ship kind {kind}")
     if metrics is not None:
-        metrics.add_shipped(local=sum(len(p) for p in partitions), remote=0)
-    return [list(p) for p in partitions]
+        metrics.add_shipped(local=local, remote=remote)
+        checker = metrics.invariants
+        if checker is not None:
+            checker.check_ship(
+                strategy, partitions, out, parallelism, local, remote
+            )
+    return out
 
 
-def _ship_hash(partitions, key_fields, parallelism, metrics):
+def _ship_forward(partitions):
+    total = sum(len(p) for p in partitions)
+    return [list(p) for p in partitions], total, 0
+
+
+def _ship_hash(partitions, key_fields, parallelism):
     extract = KeyExtractor(key_fields)
     out = empty_partitions(parallelism)
     local = 0
     remote = 0
+    # source_index and target index refer to the same partitioning: the
+    # contract in ship() guarantees len(partitions) == parallelism
     for source_index, part in enumerate(partitions):
         for record in part:
             target = partition_index(extract(record), parallelism)
@@ -64,28 +96,21 @@ def _ship_hash(partitions, key_fields, parallelism, metrics):
                 local += 1
             else:
                 remote += 1
-    if metrics is not None:
-        metrics.add_shipped(local=local, remote=remote)
-    return out
+    return out, local, remote
 
-def _ship_broadcast(partitions, parallelism, metrics):
+
+def _ship_broadcast(partitions, parallelism):
     all_records = [record for part in partitions for record in part]
-    if metrics is not None:
-        metrics.add_shipped(
-            local=len(all_records),
-            remote=len(all_records) * (parallelism - 1),
-        )
-    return [list(all_records) for _ in range(parallelism)]
+    out = [list(all_records) for _ in range(parallelism)]
+    return out, len(all_records), len(all_records) * (parallelism - 1)
 
 
-def _ship_gather(partitions, parallelism, metrics):
+def _ship_gather(partitions, parallelism):
     local = len(partitions[0]) if partitions else 0
     remote = sum(len(p) for p in partitions[1:])
-    if metrics is not None:
-        metrics.add_shipped(local=local, remote=remote)
     out = empty_partitions(parallelism)
     out[0] = [record for part in partitions for record in part]
-    return out
+    return out, local, remote
 
 
 def merge(partitions) -> list:

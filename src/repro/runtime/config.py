@@ -1,0 +1,52 @@
+"""Runtime configuration flags shared by all engines.
+
+The simulated dataflow engine, the Spark-like engine, and the Pregel-like
+engine all accept a :class:`RuntimeConfig`.  Today it carries one flag:
+``check_invariants``, which attaches the debug-mode audit layer of
+:mod:`repro.runtime.invariants` to the engine's metric collector.
+
+Invariant checking defaults to **on under pytest** (so the entire test
+suite dogfoods the conservation laws) and off otherwise (benchmark runs
+measure the unchecked hot path).  The ``REPRO_CHECK_INVARIANTS``
+environment variable overrides both defaults: any of ``1/true/yes/on``
+forces checking on, ``0/false/no/off`` forces it off.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass, field
+
+_TRUTHY = ("1", "true", "yes", "on")
+_FALSY = ("0", "false", "no", "off", "")
+
+
+def invariant_checking_default() -> bool:
+    """True when invariant checks should be active by default."""
+    override = os.environ.get("REPRO_CHECK_INVARIANTS")
+    if override is not None:
+        value = override.strip().lower()
+        if value in _TRUTHY:
+            return True
+        if value in _FALSY:
+            return False
+        raise ValueError(
+            f"REPRO_CHECK_INVARIANTS must be one of {_TRUTHY + _FALSY}, "
+            f"got {override!r}"
+        )
+    return "pytest" in sys.modules
+
+
+@dataclass
+class RuntimeConfig:
+    """Per-session runtime switches.
+
+    ``check_invariants`` — attach an
+    :class:`~repro.runtime.invariants.InvariantChecker` to the session's
+    :class:`~repro.runtime.metrics.MetricsCollector`, auditing every
+    channel ship, driver call, superstep barrier, and solution-set delta
+    application against its conservation law.
+    """
+
+    check_invariants: bool = field(default_factory=invariant_checking_default)

@@ -240,7 +240,23 @@ def apply_combiner(node, partitions, metrics):
 
 
 def run_driver(node, local_strategy, inputs, metrics):
-    """Run one operator on one partition's inputs."""
+    """Run one operator on one partition's inputs.
+
+    When an invariant checker is attached to ``metrics``, the output
+    record count is audited against the contract's conservation bound
+    (Map: one out per in; Filter: never grows; Union: bag sum;
+    combinable Reduce: at most one record per input).
+    """
+    out = _dispatch(node, local_strategy, inputs, metrics)
+    checker = metrics.invariants if metrics is not None else None
+    if checker is not None:
+        checker.check_driver(
+            node.name, node.contract, [len(i) for i in inputs], len(out)
+        )
+    return out
+
+
+def _dispatch(node, local_strategy, inputs, metrics):
     contract = node.contract
     if contract is Contract.MAP:
         return run_map(node, inputs, metrics)

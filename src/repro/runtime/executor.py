@@ -90,6 +90,10 @@ class Executor:
         for sink in exec_plan.logical_plan.sinks:
             parts = self._evaluate(sink, self._memo, scope=None)
             results[sink.id] = channels.merge(parts)
+        # the run ends at a barrier, so the attribution totals must be
+        # consistent: per-superstep counters + out-of-superstep remainder
+        # sum to the global collector totals
+        self.metrics.verify_invariants()
         return results
 
     # ------------------------------------------------------------------
@@ -540,13 +544,24 @@ class Executor:
         return staged, accepted_parts
 
     def _commit_delta(self, index, staged) -> int:
+        checker = self.metrics.invariants
+        size_before = len(index) if checker is not None else 0
         applied = 0
+        replaced = 0
         for p, winners in enumerate(staged):
+            part = index._partitions[p]
             for k, record in winners.items():
-                index._partitions[p][k] = record
+                if checker is not None and k in part:
+                    replaced += 1
+                part[k] = record
                 applied += 1
         if applied:
             self.metrics.add_solution_update(applied)
+        if checker is not None:
+            checker.check_delta_application(
+                "commit_delta", size_before, len(index),
+                accepted=applied, replaced=replaced,
+            )
         return applied
 
     # ------------------------------------------------------------------

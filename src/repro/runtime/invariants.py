@@ -1,0 +1,338 @@
+"""Debug-mode invariant checking for the runtime's logical counters.
+
+The paper's comparisons (Figures 2, 7-12) are carried in this
+reproduction by *deterministic logical counters* — records shipped
+locally/remotely, solution-set accesses and updates, workset sizes.  An
+accounting bug silently corrupts every figure, so this module turns the
+counters from trusted-by-convention into machine-checked: an
+:class:`InvariantChecker` attached to a
+:class:`~repro.runtime.metrics.MetricsCollector` (via
+``RuntimeConfig(check_invariants=True)``; on by default under pytest)
+audits every channel ship, driver call, superstep barrier, and
+solution-set delta application against its conservation law, raising
+:class:`~repro.common.errors.InvariantViolation` at the first breach.
+
+Enforced laws:
+
+* **Channel conservation** — records out of a ship equal records in
+  (times ``parallelism`` for broadcast); ``local + remote`` shipped
+  equals the input size; the local/remote split matches an independent
+  per-record recomputation; hash-shipped records land on
+  ``partition_index(key)``; gather leaves partitions 1.. empty; forward
+  keeps every partition's size.
+* **Partition-count contract** — datasets at rest always hold exactly
+  ``parallelism`` partitions; a ship whose input disagrees is rejected
+  (this is the contract that makes ``target == source_index`` a valid
+  locality test in the hash channel).
+* **Driver conservation** — Map emits exactly one record per input,
+  Filter never grows its input, Union emits the sum of its inputs,
+  combinable Reduce never emits more records than it consumed.
+* **Superstep balance** — ``begin_superstep``/``end_superstep`` calls
+  alternate strictly; an unbalanced call raises instead of silently
+  corrupting the per-iteration log.
+* **Solution-set accounting** — every point lookup probes the partition
+  that owns the key; a delta application changes ``|S|`` by exactly
+  accepted-minus-replaced records and counts one solution access per
+  probed delta record.
+* **Attribution totals** — the per-superstep counters in
+  ``iteration_log`` plus the out-of-superstep remainder sum exactly to
+  the global collector totals (``verify_totals``).
+
+The checker recomputes expectations independently of the code under
+audit (e.g. the hash channel's locality split is re-derived per record
+from the key extractor), so re-introducing a known accounting bug — the
+``apply_record`` probe undercount, the ``_ship_hash`` locality mislabel —
+trips a check rather than skewing a benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import InvariantViolation
+from repro.common.hashing import partition_index
+from repro.common.keys import KeyExtractor
+from repro.dataflow.contracts import Contract
+from repro.runtime.plan import ShipKind
+
+#: counters subject to attribution auditing, keyed by the shadow name
+ATTRIBUTED_COUNTERS = (
+    "shipped_local",
+    "shipped_remote",
+    "processed",
+    "solution_accesses",
+    "solution_updates",
+)
+
+
+class InvariantChecker:
+    """Audit layer enforcing the counter conservation laws.
+
+    Attach one checker per :class:`MetricsCollector` (the collector calls
+    back into it from every counter hook); the runtime layers then invoke
+    the ``check_*`` methods with enough context to recompute each law
+    independently.  All methods raise
+    :class:`~repro.common.errors.InvariantViolation` on the first breach.
+    """
+
+    def __init__(self):
+        #: counter amounts attributed to an open superstep vs outside one,
+        #: mirrored independently of the collector's own bookkeeping
+        self._inside = dict.fromkeys(ATTRIBUTED_COUNTERS, 0)
+        self._outside = dict.fromkeys(ATTRIBUTED_COUNTERS, 0)
+        self._superstep_open = False
+        #: how many ship audits ran (lets tests assert coverage)
+        self.ship_checks = 0
+        self.driver_checks = 0
+        self.delta_checks = 0
+
+    def reset(self):
+        self._inside = dict.fromkeys(ATTRIBUTED_COUNTERS, 0)
+        self._outside = dict.fromkeys(ATTRIBUTED_COUNTERS, 0)
+        self._superstep_open = False
+
+    @staticmethod
+    def _fail(message: str):
+        raise InvariantViolation(message)
+
+    # ------------------------------------------------------------------
+    # collector callbacks (shadow attribution + superstep balance)
+
+    def on_counter(self, name: str, amount: int, in_superstep: bool):
+        """Mirror one counter increment for the attribution audit."""
+        if amount < 0:
+            self._fail(f"counter {name} incremented by negative {amount}")
+        if in_superstep:
+            self._inside[name] += amount
+        else:
+            self._outside[name] += amount
+
+    def on_begin_superstep(self, superstep: int):
+        if self._superstep_open:
+            self._fail(
+                f"begin_superstep({superstep}) while a superstep is still "
+                "open — barriers must alternate begin/end"
+            )
+        self._superstep_open = True
+
+    def on_end_superstep(self):
+        if not self._superstep_open:
+            self._fail("end_superstep without a matching begin_superstep")
+        self._superstep_open = False
+
+    # ------------------------------------------------------------------
+    # channel audit
+
+    def check_ship(self, strategy, in_parts, out_parts, parallelism,
+                   local, remote):
+        """Audit one completed ship against its conservation law.
+
+        ``local``/``remote`` are the counts the channel *claimed* (and
+        added to the collector); the expected split is recomputed here
+        per record, independently of the channel's own logic.
+        """
+        self.ship_checks += 1
+        kind = strategy.kind
+        n_in = sum(len(p) for p in in_parts)
+        n_out = sum(len(p) for p in out_parts)
+        if len(in_parts) != parallelism:
+            self._fail(
+                f"{kind.value} ship consumed {len(in_parts)} partitions on a "
+                f"{parallelism}-way cluster — datasets at rest must hold "
+                "exactly one partition per worker"
+            )
+        if len(out_parts) != parallelism:
+            self._fail(
+                f"{kind.value} ship produced {len(out_parts)} partitions, "
+                f"expected {parallelism}"
+            )
+
+        if kind is ShipKind.FORWARD:
+            expected_out = n_in
+            expected_local, expected_remote = n_in, 0
+            for p, (src, dst) in enumerate(zip(in_parts, out_parts)):
+                if len(src) != len(dst):
+                    self._fail(
+                        f"forward ship changed partition {p} from "
+                        f"{len(src)} to {len(dst)} records"
+                    )
+        elif kind is ShipKind.PARTITION_HASH:
+            expected_out = n_in
+            extract = KeyExtractor(strategy.key_fields)
+            expected_local = 0
+            for p, part in enumerate(in_parts):
+                for record in part:
+                    if partition_index(extract(record), parallelism) == p:
+                        expected_local += 1
+            expected_remote = n_in - expected_local
+            for p, part in enumerate(out_parts):
+                for record in part:
+                    owner = partition_index(extract(record), parallelism)
+                    if owner != p:
+                        self._fail(
+                            f"hash ship placed record {record!r} on "
+                            f"partition {p}, but its key owns partition "
+                            f"{owner}"
+                        )
+        elif kind is ShipKind.BROADCAST:
+            expected_out = n_in * parallelism
+            expected_local = n_in
+            expected_remote = n_in * (parallelism - 1)
+            for p, part in enumerate(out_parts):
+                if len(part) != n_in:
+                    self._fail(
+                        f"broadcast gave partition {p} {len(part)} records, "
+                        f"expected all {n_in}"
+                    )
+        elif kind is ShipKind.GATHER:
+            expected_out = n_in
+            expected_local = len(in_parts[0]) if in_parts else 0
+            expected_remote = n_in - expected_local
+            for p, part in enumerate(out_parts[1:], start=1):
+                if part:
+                    self._fail(
+                        f"gather left {len(part)} records on partition {p}"
+                    )
+        else:  # pragma: no cover - new kinds must add a law here
+            self._fail(f"no conservation law registered for ship kind {kind}")
+
+        if n_out != expected_out:
+            self._fail(
+                f"{kind.value} ship consumed {n_in} records but emitted "
+                f"{n_out} (expected {expected_out}) — records were "
+                "lost or fabricated in transit"
+            )
+        if local + remote != expected_local + expected_remote:
+            self._fail(
+                f"{kind.value} ship counted local={local} + remote={remote} "
+                f"= {local + remote} shipped records for an input of "
+                f"{expected_local + expected_remote}"
+            )
+        if local != expected_local or remote != expected_remote:
+            self._fail(
+                f"{kind.value} ship labelled local={local}, remote={remote}; "
+                f"per-record recomputation gives local={expected_local}, "
+                f"remote={expected_remote} — locality accounting is wrong"
+            )
+
+    # ------------------------------------------------------------------
+    # driver audit
+
+    def check_driver(self, name, contract, input_sizes, output_size):
+        """Record-count bounds for per-partition driver calls."""
+        self.driver_checks += 1
+        n_in = sum(input_sizes)
+        if contract is Contract.MAP and output_size != n_in:
+            self._fail(
+                f"Map driver {name} emitted {output_size} records for "
+                f"{n_in} inputs — Map is one-in/one-out"
+            )
+        elif contract is Contract.FILTER and output_size > n_in:
+            self._fail(
+                f"Filter driver {name} emitted {output_size} records for "
+                f"{n_in} inputs — Filter cannot grow its input"
+            )
+        elif contract is Contract.UNION and output_size != n_in:
+            self._fail(
+                f"Union driver {name} emitted {output_size} records for "
+                f"{n_in} inputs — Union is bag union"
+            )
+        elif contract is Contract.REDUCE and output_size > n_in:
+            self._fail(
+                f"Reduce driver {name} emitted {output_size} records for "
+                f"{n_in} inputs — combinable Reduce emits at most one "
+                "record per distinct key"
+            )
+
+    # ------------------------------------------------------------------
+    # solution-set audit
+
+    def check_solution_lookup(self, partition, key_value, parallelism):
+        """A point probe must hit the partition that owns the key."""
+        owner = partition_index(key_value, parallelism)
+        if owner != partition:
+            self._fail(
+                f"solution-set probe for key {key_value!r} hit partition "
+                f"{partition}, but the key owns partition {owner} — "
+                "the probe stream is misrouted"
+            )
+
+    def check_delta_application(self, label, size_before, size_after,
+                                accepted, replaced, probed=None,
+                                accesses_counted=None):
+        """Audit one ∪̇ batch: |S| moves by accepted - replaced.
+
+        When ``probed``/``accesses_counted`` are supplied, also verify
+        that every probed delta record was counted as a solution access
+        (the Figure 2/9 'vertices inspected' series).
+        """
+        self.delta_checks += 1
+        if size_after - size_before != accepted - replaced:
+            self._fail(
+                f"{label}: solution set grew by {size_after - size_before} "
+                f"records, but accepted({accepted}) - replaced({replaced}) "
+                f"= {accepted - replaced}"
+            )
+        if replaced > accepted:
+            self._fail(
+                f"{label}: replaced {replaced} records but only accepted "
+                f"{accepted}"
+            )
+        if probed is not None and accesses_counted is not None:
+            if accesses_counted != probed:
+                self._fail(
+                    f"{label}: probed {probed} delta records but counted "
+                    f"{accesses_counted} solution accesses — the index "
+                    "probe accounting is wrong"
+                )
+
+    # ------------------------------------------------------------------
+    # attribution totals
+
+    def verify_totals(self, metrics):
+        """Per-superstep counters + out-of-superstep remainder == totals.
+
+        Call at a quiescent point (no superstep open).  Catches counters
+        mutated without going through the collector's hooks, supersteps
+        dropped from the log, and double-attributed increments.
+        """
+        if metrics._open_superstep is not None:
+            self._fail(
+                "verify_totals called while a superstep is open — totals "
+                "can only be audited at a barrier"
+            )
+        log = metrics.iteration_log
+        logged = {
+            "shipped_local": sum(s.records_shipped_local for s in log),
+            "shipped_remote": sum(s.records_shipped_remote for s in log),
+            "processed": sum(s.records_processed for s in log),
+            "solution_accesses": sum(s.solution_accesses for s in log),
+            "solution_updates": sum(s.solution_updates for s in log),
+        }
+        totals = {
+            "shipped_local": metrics.records_shipped_local,
+            "shipped_remote": metrics.records_shipped_remote,
+            "processed": metrics.total_processed,
+            "solution_accesses": metrics.solution_accesses,
+            "solution_updates": metrics.solution_updates,
+        }
+        for name in ATTRIBUTED_COUNTERS:
+            if logged[name] != self._inside[name]:
+                self._fail(
+                    f"iteration_log sums {logged[name]} {name} inside "
+                    f"supersteps, but {self._inside[name]} were attributed "
+                    "— a superstep was dropped or double-logged"
+                )
+            if logged[name] + self._outside[name] != totals[name]:
+                self._fail(
+                    f"global {name} total is {totals[name]}, but "
+                    f"per-superstep sum {logged[name]} + out-of-superstep "
+                    f"{self._outside[name]} = "
+                    f"{logged[name] + self._outside[name]} — a counter was "
+                    "mutated outside the collector hooks"
+                )
+
+
+def attach_checker(metrics) -> InvariantChecker:
+    """Attach a fresh checker to ``metrics`` and return it (idempotent)."""
+    if metrics.invariants is None:
+        metrics.invariants = InvariantChecker()
+    return metrics.invariants

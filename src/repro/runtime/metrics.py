@@ -13,6 +13,8 @@ import time
 from collections import Counter
 from dataclasses import dataclass, field
 
+from repro.common.errors import InvariantViolation
+
 
 @dataclass
 class IterationStats:
@@ -33,6 +35,21 @@ class IterationStats:
         """Cross-partition record transfers — the paper's 'messages sent'."""
         return self.records_shipped_remote
 
+    def as_dict(self) -> dict:
+        """Plain-dict view, used by ``MetricsCollector.snapshot``."""
+        return {
+            "superstep": self.superstep,
+            "duration_s": self.duration_s,
+            "records_processed": self.records_processed,
+            "records_shipped_local": self.records_shipped_local,
+            "records_shipped_remote": self.records_shipped_remote,
+            "workset_size": self.workset_size,
+            "delta_size": self.delta_size,
+            "solution_accesses": self.solution_accesses,
+            "solution_updates": self.solution_updates,
+            "messages": self.messages,
+        }
+
 
 @dataclass
 class MetricsCollector:
@@ -47,6 +64,10 @@ class MetricsCollector:
     cache_hits: int = 0
     cache_builds: int = 0
     iteration_log: list[IterationStats] = field(default_factory=list)
+    #: optional :class:`~repro.runtime.invariants.InvariantChecker`; when
+    #: attached (``RuntimeConfig.check_invariants``), every counter hook
+    #: mirrors into it and the runtime layers audit their conservation laws
+    invariants: object | None = None
     _open_superstep: IterationStats | None = None
     _superstep_started: float = 0.0
 
@@ -57,6 +78,10 @@ class MetricsCollector:
         self.records_processed[operator_name] += count
         if self._open_superstep is not None:
             self._open_superstep.records_processed += count
+        if self.invariants is not None:
+            self.invariants.on_counter(
+                "processed", count, self._open_superstep is not None
+            )
 
     def add_shipped(self, local: int, remote: int):
         self.records_shipped_local += local
@@ -64,28 +89,53 @@ class MetricsCollector:
         if self._open_superstep is not None:
             self._open_superstep.records_shipped_local += local
             self._open_superstep.records_shipped_remote += remote
+        if self.invariants is not None:
+            in_step = self._open_superstep is not None
+            self.invariants.on_counter("shipped_local", local, in_step)
+            self.invariants.on_counter("shipped_remote", remote, in_step)
 
     def add_solution_access(self, count: int = 1):
         self.solution_accesses += count
         if self._open_superstep is not None:
             self._open_superstep.solution_accesses += count
+        if self.invariants is not None:
+            self.invariants.on_counter(
+                "solution_accesses", count, self._open_superstep is not None
+            )
 
     def add_solution_update(self, count: int = 1):
         self.solution_updates += count
         if self._open_superstep is not None:
             self._open_superstep.solution_updates += count
+        if self.invariants is not None:
+            self.invariants.on_counter(
+                "solution_updates", count, self._open_superstep is not None
+            )
 
     # ------------------------------------------------------------------
     # superstep scoping
 
     def begin_superstep(self, superstep: int):
+        if self._open_superstep is not None:
+            raise InvariantViolation(
+                f"begin_superstep({superstep}) while superstep "
+                f"{self._open_superstep.superstep} is still open — the "
+                "previous barrier was never closed"
+            )
+        if self.invariants is not None:
+            self.invariants.on_begin_superstep(superstep)
         self._open_superstep = IterationStats(superstep=superstep)
         self._superstep_started = time.perf_counter()
 
     def end_superstep(self, workset_size: int = 0, delta_size: int = 0):
         stats = self._open_superstep
         if stats is None:
-            return None
+            raise InvariantViolation(
+                "end_superstep without a matching begin_superstep — "
+                "superstep barriers must be balanced"
+            )
+        if self.invariants is not None:
+            self.invariants.on_end_superstep()
         stats.duration_s = time.perf_counter() - self._superstep_started
         stats.workset_size = workset_size
         stats.delta_size = delta_size
@@ -93,6 +143,11 @@ class MetricsCollector:
         self.supersteps += 1
         self._open_superstep = None
         return stats
+
+    def verify_invariants(self):
+        """Audit attribution totals if a checker is attached (else no-op)."""
+        if self.invariants is not None:
+            self.invariants.verify_totals(self)
 
     # ------------------------------------------------------------------
 
@@ -115,6 +170,8 @@ class MetricsCollector:
         self.cache_builds = 0
         self.iteration_log.clear()
         self._open_superstep = None
+        if self.invariants is not None:
+            self.invariants.reset()
 
     def snapshot(self) -> dict:
         """A plain-dict view for reports and assertions."""
@@ -128,4 +185,5 @@ class MetricsCollector:
             "supersteps": self.supersteps,
             "cache_hits": self.cache_hits,
             "cache_builds": self.cache_builds,
+            "iteration_log": [s.as_dict() for s in self.iteration_log],
         }

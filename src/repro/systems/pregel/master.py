@@ -39,13 +39,20 @@ class PregelMaster:
 
     def __init__(self, graph, compute, initial_state, combiner=None,
                  parallelism: int = 4, metrics: MetricsCollector = None,
-                 run_all_first_superstep: bool = True, aggregators=None):
+                 run_all_first_superstep: bool = True, aggregators=None,
+                 config=None):
         self.graph = graph
         self.compute = compute
         self.initial_state = initial_state
         self.combiner = combiner
         self.parallelism = parallelism
-        self.metrics = metrics or MetricsCollector()
+        if metrics is None:
+            from repro.runtime.config import RuntimeConfig
+            metrics = MetricsCollector()
+            if (config or RuntimeConfig()).check_invariants:
+                from repro.runtime.invariants import attach_checker
+                attach_checker(metrics)
+        self.metrics = metrics
         self.run_all_first_superstep = run_all_first_superstep
         #: {name: (initial value, merge fn)} — Pregel's global aggregators;
         #: vertices contribute via ``ctx.aggregate`` and read the previous
@@ -158,4 +165,5 @@ class PregelMaster:
                 self.converged = True
                 break
 
+        self.metrics.verify_invariants()
         return {v: states[v] for v in range(n)}

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.runtime import channels
+from repro.runtime.config import RuntimeConfig
 from repro.runtime.metrics import MetricsCollector
 from repro.systems.sparklike.rdd import RDD
 
@@ -10,11 +11,18 @@ from repro.systems.sparklike.rdd import RDD
 class SparkLikeContext:
     """One driver session: fixes parallelism, owns metrics, makes RDDs."""
 
-    def __init__(self, parallelism: int = 4, metrics: MetricsCollector = None):
+    def __init__(self, parallelism: int = 4, metrics: MetricsCollector = None,
+                 config: RuntimeConfig = None):
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
         self.parallelism = parallelism
-        self.metrics = metrics or MetricsCollector()
+        self.config = config or RuntimeConfig()
+        if metrics is None:
+            metrics = MetricsCollector()
+            if self.config.check_invariants:
+                from repro.runtime.invariants import attach_checker
+                attach_checker(metrics)
+        self.metrics = metrics
 
     def parallelize(self, records, name: str = "parallelize") -> RDD:
         """Distribute an in-memory collection round-robin."""

@@ -1,0 +1,38 @@
+"""The differential audit passes: engines agree, invariants hold.
+
+Marked ``verify_invariants`` so ``make verify-invariants`` (or
+``pytest -m verify_invariants``) runs exactly this gate.  The sizes
+here are small enough for CI; ``python -m repro.bench audit`` runs the
+full configuration.
+"""
+
+import pytest
+
+from repro.bench import audit
+
+pytestmark = pytest.mark.verify_invariants
+
+
+class TestDifferentialAudit:
+    def test_all_engines_agree_and_invariants_hold(self):
+        result = audit.run(seeds=(7,), num_vertices=80,
+                           pagerank_iterations=6)
+        result.raise_on_failure()
+        assert result.ok
+        # 7 CC engines + 4 PageRank engines per graph
+        assert len(result.runs) == 11
+        assert all(run.ok for run in result.runs)
+
+    def test_every_channel_engine_was_audited(self):
+        result = audit.run(seeds=(7,), num_vertices=40,
+                           pagerank_iterations=4)
+        for run in result.runs:
+            if run.engine != "Giraph":  # Pregel routes messages itself
+                assert run.ship_checks > 0, run.engine
+
+    def test_report_renders(self):
+        result = audit.run(seeds=(7,), num_vertices=40,
+                           pagerank_iterations=4)
+        report = result.report()
+        assert "Differential audit" in report
+        assert "All 11 runs" in report

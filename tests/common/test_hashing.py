@@ -48,6 +48,56 @@ class TestStableHash:
         assert stable_hash(value) == stable_hash(value)
 
 
+class TestMixedTypeCollisionSemantics:
+    """Numeric keys that compare equal must hash equal (the documented
+    collision coincidence): the solution-set index stores records in
+    dicts keyed by value, so partition routing has to agree with dict
+    key equality or a delta record lands on a partition whose dict
+    treats it as a different key."""
+
+    def test_bool_int_float_coincide(self):
+        assert stable_hash(True) == stable_hash(1) == stable_hash(1.0) == 1
+        assert stable_hash(False) == stable_hash(0) == stable_hash(0.0) == 0
+
+    def test_whole_floats_follow_int_values(self):
+        for value in (2, 7, -5, 1000):
+            assert stable_hash(float(value)) == stable_hash(value)
+
+    @given(st.integers(min_value=-10**6, max_value=10**6),
+           st.integers(min_value=1, max_value=16))
+    def test_equal_values_land_on_one_partition(self, value, parallelism):
+        owner = partition_index(value, parallelism)
+        assert partition_index(float(value), parallelism) == owner
+        if value in (0, 1):
+            assert partition_index(bool(value), parallelism) == owner
+
+
+class TestPinnedAssignments:
+    """Regression pins: these exact assignments carry the repository's
+    deterministic message counts.  If any pin moves, every recorded
+    benchmark figure silently changes — treat a failure here as a
+    partitioner change, not a test to update casually."""
+
+    def test_int_keys_partition_by_value(self):
+        assert [partition_index(i, 4) for i in range(8)] == \
+            [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_negative_int_keys_stay_in_range(self):
+        # Python's % is non-negative for positive modulus
+        assert stable_hash(-3) == -3
+        assert partition_index(-3, 4) == 1
+
+    def test_string_keys_pin_crc32(self):
+        assert stable_hash("repro") == 3711781998
+        assert stable_hash("foaf") == 2763351381
+        assert [partition_index("repro", p) for p in (2, 4, 8)] == [0, 2, 6]
+        assert [partition_index("foaf", p) for p in (2, 4, 8)] == [1, 1, 5]
+
+    def test_tuple_key_pin(self):
+        assert stable_hash((1, "a")) == 1705942584
+        assert partition_index((1, "a"), 4) == 0
+
+
 class TestPartitionIndex:
     @given(st.integers(), st.integers(min_value=1, max_value=64))
     def test_in_range(self, key, parallelism):

@@ -104,6 +104,28 @@ class TestGather:
         )
 
 
+class TestPartitionCountContract:
+    """Every ship requires exactly ``parallelism`` input partitions —
+    the contract that makes ``target == source_index`` a valid locality
+    test (a 2-partition input shipped on a 4-way cluster used to be
+    silently mislabelled local/remote)."""
+
+    @pytest.mark.parametrize(
+        "strategy", [FORWARD, partition_on((0,)), BROADCAST, GATHER],
+        ids=["forward", "hash", "broadcast", "gather"],
+    )
+    @pytest.mark.parametrize("wrong_count", [1, 2, 6])
+    def test_rejects_mismatched_partition_count(self, strategy, wrong_count):
+        with pytest.raises(ValueError, match="partition-count contract"):
+            channels.ship(spread(RECORDS, wrong_count), strategy, 4)
+
+    def test_accepts_empty_partitions_at_right_count(self):
+        parts = [[], [], [], list(RECORDS)]
+        metrics = MetricsCollector()
+        out = channels.ship(parts, partition_on((0,)), 4, metrics)
+        assert sorted(channels.merge(out)) == sorted(RECORDS)
+
+
 class TestLoaders:
     def test_round_robin_balance(self):
         parts = channels.round_robin(RECORDS, 4)

@@ -1,0 +1,106 @@
+"""Property tests for the counter conservation laws (hypothesis).
+
+Rather than hand-picked inputs, these drive the audited code paths with
+random records, keys, parallelism, and comparators and assert the
+invariant checker stays silent — any counterexample hypothesis finds is
+a real accounting bug in a channel or the ∪̇ operator.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import channels
+from repro.runtime.invariants import attach_checker
+from repro.runtime.metrics import MetricsCollector
+from repro.runtime.plan import BROADCAST, FORWARD, GATHER, partition_on
+
+# keys mix ints, bools, and strings; bool/int coincidence is deliberate
+# (see stable_hash's collision semantics)
+keys = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.booleans(),
+    st.text(max_size=8),
+)
+records = st.lists(st.tuples(keys, st.integers()), max_size=60)
+parallelisms = st.integers(min_value=1, max_value=8)
+
+
+def checked_metrics():
+    metrics = MetricsCollector()
+    attach_checker(metrics)
+    return metrics
+
+
+class TestChannelConservation:
+    @given(records, parallelisms,
+           st.sampled_from(["forward", "hash", "broadcast", "gather"]))
+    @settings(max_examples=150)
+    def test_every_ship_satisfies_its_conservation_law(
+            self, recs, parallelism, kind):
+        """No random input makes an audited ship raise, and the record
+        multiset is preserved (expanded ``parallelism``-fold for
+        broadcast)."""
+        strategy = {
+            "forward": FORWARD,
+            "hash": partition_on((0,)),
+            "broadcast": BROADCAST,
+            "gather": GATHER,
+        }[kind]
+        parts = channels.round_robin(recs, parallelism)
+        metrics = checked_metrics()
+        out = channels.ship(parts, strategy, parallelism, metrics)
+        assert metrics.invariants.ship_checks == 1
+        factor = parallelism if kind == "broadcast" else 1
+        assert sorted(map(repr, channels.merge(out))) == \
+            sorted(map(repr, recs * factor))
+
+    @given(records, parallelisms)
+    @settings(max_examples=150)
+    def test_local_plus_remote_is_total(self, recs, parallelism):
+        metrics = checked_metrics()
+        channels.ship(channels.round_robin(recs, parallelism),
+                      partition_on((0,)), parallelism, metrics)
+        assert (metrics.records_shipped_local
+                + metrics.records_shipped_remote) == len(recs)
+
+
+class TestDeltaUnionAccounting:
+    @given(records, records, parallelisms,
+           st.sampled_from(["always", "smaller", "larger"]))
+    @settings(max_examples=150)
+    def test_size_moves_by_accepted_minus_replaced(
+            self, base, delta, parallelism, policy):
+        """∪̇ under a random CPO comparator keeps |S| consistent with
+        the accepted/replaced audit — the checker inside apply_delta
+        would raise on any drift."""
+        from repro.iterations.solution_set import SolutionSetIndex
+
+        comparator = {
+            "always": None,
+            "smaller": lambda new, old: new[1] < old[1],
+            "larger": lambda new, old: new[1] > old[1],
+        }[policy]
+        metrics = checked_metrics()
+        index = SolutionSetIndex.build(
+            base, (0,), parallelism, metrics, should_replace=comparator
+        )
+        size_before = len(index)
+        accesses_before = metrics.solution_accesses
+        accepted = index.apply_delta(delta)
+
+        assert metrics.invariants.delta_checks == 1
+        # every delta record probed the index exactly once
+        assert metrics.solution_accesses - accesses_before == len(delta)
+        new_keys = {
+            index.key(r) for r in accepted if not any(
+                index.key(b) == index.key(r) for b in base
+            )
+        }
+        assert len(index) == size_before + len(new_keys)
+        # accepted records are all present verbatim unless a later delta
+        # record for the same key superseded them
+        latest = {}
+        for record in accepted:
+            latest[index.key(record)] = record
+        for k, record in latest.items():
+            assert index.lookup_global(k) == record

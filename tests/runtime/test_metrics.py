@@ -1,5 +1,8 @@
 """Metric collector accounting and superstep scoping."""
 
+import pytest
+
+from repro.common.errors import InvariantViolation
 from repro.runtime.metrics import IterationStats, MetricsCollector
 
 
@@ -64,7 +67,28 @@ class TestSuperstepScoping:
         assert [s.superstep for s in metrics.iteration_log] == [1, 2, 3]
         assert metrics.supersteps == 3
 
-    def test_end_without_begin_is_noop(self):
+    def test_end_without_begin_raises(self):
         metrics = MetricsCollector()
-        assert metrics.end_superstep() is None
+        with pytest.raises(InvariantViolation):
+            metrics.end_superstep()
         assert metrics.iteration_log == []
+
+    def test_begin_while_open_raises(self):
+        metrics = MetricsCollector()
+        metrics.begin_superstep(1)
+        with pytest.raises(InvariantViolation):
+            metrics.begin_superstep(2)
+
+    def test_snapshot_includes_iteration_log(self):
+        metrics = MetricsCollector()
+        metrics.begin_superstep(1)
+        metrics.add_shipped(local=2, remote=3)
+        metrics.end_superstep(workset_size=7, delta_size=4)
+        snap = metrics.snapshot()
+        assert len(snap["iteration_log"]) == 1
+        entry = snap["iteration_log"][0]
+        assert entry["superstep"] == 1
+        assert entry["records_shipped_remote"] == 3
+        assert entry["messages"] == 3
+        assert entry["workset_size"] == 7
+        assert entry["delta_size"] == 4
