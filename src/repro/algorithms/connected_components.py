@@ -298,7 +298,8 @@ def cc_sparklike_sim_incremental(ctx, graph, max_iterations: int = 1_000
 
 
 def cc_pregel(graph, parallelism: int = 4, metrics=None,
-              max_supersteps: int = 1_000_000) -> dict[int, int]:
+              max_supersteps: int = 1_000_000,
+              cluster=None) -> dict[int, int]:
     """Min-label propagation as a vertex program."""
     def compute(ctx, messages):
         if ctx.superstep == 0:
@@ -313,6 +314,6 @@ def cc_pregel(graph, parallelism: int = 4, metrics=None,
 
     master = PregelMaster(
         graph, compute, initial_state=lambda v: v, combiner=min,
-        parallelism=parallelism, metrics=metrics,
+        parallelism=parallelism, metrics=metrics, cluster=cluster,
     )
     return master.run(max_supersteps=max_supersteps)

@@ -197,7 +197,7 @@ def pagerank_sparklike(ctx, graph, iterations: int = 20,
 
 def pagerank_pregel(graph, iterations: int = 20, damping: float = DAMPING,
                     parallelism: int = 4, metrics=None,
-                    epsilon: float = None) -> dict[int, float]:
+                    epsilon: float = None, cluster=None) -> dict[int, float]:
     """Fixed-trip-count Pregel PageRank, or — with ``epsilon`` — the
     aggregator-driven variant: a global max-delta aggregator lets every
     vertex see the previous superstep's largest rank movement and halt
@@ -226,7 +226,7 @@ def pagerank_pregel(graph, iterations: int = 20, damping: float = DAMPING,
     master = PregelMaster(
         graph, compute, initial_state=lambda v: 1.0 / n,
         combiner=lambda a, b: a + b,
-        parallelism=parallelism, metrics=metrics,
+        parallelism=parallelism, metrics=metrics, cluster=cluster,
         aggregators=(
             {"max_delta": (0.0, max)} if epsilon is not None else None
         ),

@@ -23,11 +23,13 @@ def _registry():
     from repro.bench import audit
     from repro.bench.experiments import (
         extensions, fig2, fig4, fig7, fig8, fig9, fig10, fig11, fig12,
-        table1, table2,
+        scaling, table1, table2,
     )
     return {
         "audit": ("Differential audit — engines agree, invariants hold",
                   audit.run),
+        "scaling": ("Backend scaling — multiprocess workers vs simulator",
+                    scaling.run),
         "table1": ("Table 1 — iteration templates", table1.run),
         "table2": ("Table 2 — dataset properties", table2.run),
         "fig2": ("Figure 2 — CC effective work (FOAF)", fig2.run),
@@ -61,6 +63,11 @@ def main(argv=None) -> int:
                         help="list available experiments and exit")
     parser.add_argument("--save", action="store_true",
                         help="also persist reports to benchmarks/results/")
+    parser.add_argument(
+        "--backends", default=None, metavar="NAMES",
+        help="comma-separated execution backends for the audit "
+             "(e.g. 'simulated,multiprocess'); audit-only",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
@@ -76,11 +83,20 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
 
+    backends = None
+    if args.backends:
+        backends = tuple(
+            part.strip() for part in args.backends.split(",") if part.strip()
+        )
+
     for name in requested:
         title, run = registry[name]
         print(f"\n### {title} [{name}]")
         started = time.perf_counter()
-        result = run()
+        if backends and name == "audit":
+            result = run(backends=backends)
+        else:
+            result = run()
         elapsed = time.perf_counter() - started
         report = result.report()
         if args.save:

@@ -14,7 +14,15 @@ checking force-enabled, then asserts:
   sums to the global totals;
 * **cross-engine accounting sanity** — for every run,
   ``local + remote`` shipped totals and superstep balance held (these
-  raise during the run if violated).
+  raise during the run if violated);
+* **cross-backend equality** — with ``backends=("simulated",
+  "multiprocess")`` every engine additionally runs on real worker
+  processes, and both the *results* and the *logical counters*
+  (records processed/shipped, solution accesses/updates, the whole
+  per-superstep iteration log) must be identical to the simulator's,
+  bit for bit.  Physical counters that legitimately differ (bytes on
+  the wire, cache builds replicated per worker, wall-clock) are
+  excluded from the comparison.
 
 Run it via ``python -m repro.bench audit``, ``make verify-invariants``,
 or the ``verify_invariants``-marked pytest tests.  It is the
@@ -26,12 +34,14 @@ skewing Figures 2/7/9.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 
 from repro import ExecutionEnvironment
 from repro.algorithms import connected_components as cc
 from repro.algorithms import pagerank as pr
 from repro.bench.reporting import render_table
+from repro.cluster import resolve_backend
 from repro.common.errors import InvariantViolation
 from repro.graphs import erdos_renyi
 from repro.runtime.config import RuntimeConfig
@@ -48,13 +58,14 @@ CHECKED = RuntimeConfig(check_invariants=True)
 
 @dataclass
 class EngineRun:
-    """One audited (workload, engine, graph) execution."""
+    """One audited (workload, engine, graph, backend) execution."""
 
     workload: str
     engine: str
     graph: str
     ok: bool
     detail: str
+    backend: str = "simulated"
     ship_checks: int = 0
     messages: int = 0
     supersteps: int = 0
@@ -77,8 +88,9 @@ class AuditResult:
         return self
 
     def report(self) -> str:
+        backends = sorted({run.backend for run in self.runs})
         rows = [
-            [run.workload, run.engine, run.graph,
+            [run.workload, run.engine, run.graph, run.backend,
              "ok" if run.ok else "FAIL",
              run.ship_checks, run.messages, run.supersteps]
             for run in self.runs
@@ -86,8 +98,8 @@ class AuditResult:
         table = render_table(
             "Differential audit — cross-engine equality and counter "
             "invariants (checker active on every run)",
-            ["workload", "engine", "graph", "result", "ship audits",
-             "messages", "supersteps"],
+            ["workload", "engine", "graph", "backend", "result",
+             "ship audits", "messages", "supersteps"],
             rows,
         )
         if self.ok:
@@ -95,6 +107,11 @@ class AuditResult:
                 f"All {len(self.runs)} runs: results agree across engines "
                 "and every counter invariant held."
             )
+            if len(backends) > 1:
+                verdict += (
+                    f" Backends ({', '.join(backends)}) produced identical "
+                    "results and identical logical counters."
+                )
         else:
             verdict = "FAILURES:\n" + "\n".join(
                 f"  {f}" for f in self.failures
@@ -102,8 +119,8 @@ class AuditResult:
         return table + "\n\n" + verdict
 
 
-def _checked_env(parallelism: int) -> ExecutionEnvironment:
-    return ExecutionEnvironment(parallelism, config=CHECKED)
+def _checked_env(parallelism: int, backend) -> ExecutionEnvironment:
+    return ExecutionEnvironment(parallelism, config=CHECKED, backend=backend)
 
 
 def _checked_metrics() -> MetricsCollector:
@@ -112,11 +129,57 @@ def _checked_metrics() -> MetricsCollector:
     return metrics
 
 
-def _cc_engines(parallelism, max_iterations=10_000):
+def _canonical_processed(counter) -> dict[str, int]:
+    """Sum processed counts with auto-generated node ids stripped.
+
+    Operator names carry globally unique node ids (``update#12``); two
+    environments compiling the same program therefore disagree on the
+    suffix even though the operators — and their counts — correspond
+    one to one.  Comparing across backends (separate environments)
+    needs the id-free projection.
+    """
+    totals: dict[str, int] = {}
+    for name, count in counter.items():
+        key = re.sub(r"#\d+", "", name)
+        totals[key] = totals.get(key, 0) + count
+    return totals
+
+
+def _comparable_counters(metrics: MetricsCollector) -> dict:
+    """The logical-counter projection that must match across backends.
+
+    Deliberately excludes physical quantities: ``bytes_shipped`` (zero
+    in-process, nonzero over pipes), ``cache_builds``/``cache_hits``
+    (replicated drivers build per worker), ``duration_s``.
+    """
+    return {
+        "records_processed": _canonical_processed(metrics.records_processed),
+        "records_shipped_local": metrics.records_shipped_local,
+        "records_shipped_remote": metrics.records_shipped_remote,
+        "solution_accesses": metrics.solution_accesses,
+        "solution_updates": metrics.solution_updates,
+        "supersteps": metrics.supersteps,
+        "iteration_log": [
+            {
+                "superstep": entry.superstep,
+                "workset_size": entry.workset_size,
+                "delta_size": entry.delta_size,
+                "records_processed": entry.records_processed,
+                "records_shipped_local": entry.records_shipped_local,
+                "records_shipped_remote": entry.records_shipped_remote,
+                "solution_accesses": entry.solution_accesses,
+                "solution_updates": entry.solution_updates,
+            }
+            for entry in metrics.iteration_log
+        ],
+    }
+
+
+def _cc_engines(parallelism, backend, max_iterations=10_000):
     """(engine name, runner(graph) -> (result, metrics)) for every engine."""
     def stratosphere(variant, mode):
         def run(graph):
-            env = _checked_env(parallelism)
+            env = _checked_env(parallelism, backend)
             result = cc.cc_incremental(
                 env, graph, variant=variant, mode=mode,
                 max_iterations=max_iterations,
@@ -125,27 +188,36 @@ def _cc_engines(parallelism, max_iterations=10_000):
         return run
 
     def bulk(graph):
-        env = _checked_env(parallelism)
+        env = _checked_env(parallelism, backend)
         return cc.cc_bulk(env, graph, max_iterations), env.metrics
 
     def sparklike(graph):
-        ctx = SparkLikeContext(parallelism, config=CHECKED)
-        result = cc.cc_sparklike(ctx, graph, max_iterations)
-        ctx.metrics.verify_invariants()
-        return result, ctx.metrics
+        def program(cluster):
+            ctx = SparkLikeContext(parallelism, config=CHECKED,
+                                   cluster=cluster)
+            result = cc.cc_sparklike(ctx, graph, max_iterations)
+            ctx.metrics.verify_invariants()
+            return result, ctx.metrics
+        return backend.run_program(program, parallelism)
 
     def sparklike_sim(graph):
-        ctx = SparkLikeContext(parallelism, config=CHECKED)
-        result = cc.cc_sparklike_sim_incremental(ctx, graph, max_iterations)
-        ctx.metrics.verify_invariants()
-        return result, ctx.metrics
+        def program(cluster):
+            ctx = SparkLikeContext(parallelism, config=CHECKED,
+                                   cluster=cluster)
+            result = cc.cc_sparklike_sim_incremental(
+                ctx, graph, max_iterations
+            )
+            ctx.metrics.verify_invariants()
+            return result, ctx.metrics
+        return backend.run_program(program, parallelism)
 
     def pregel(graph):
-        metrics = _checked_metrics()
-        result = cc.cc_pregel(graph, parallelism=parallelism,
-                              metrics=metrics)
-        metrics.verify_invariants()
-        return result, metrics
+        def program(cluster):
+            metrics = _checked_metrics()
+            result = cc.cc_pregel(graph, parallelism=parallelism,
+                                  metrics=metrics, cluster=cluster)
+            return result, metrics
+        return backend.run_program(program, parallelism)
 
     return [
         ("Stratosphere Full", bulk),
@@ -158,26 +230,31 @@ def _cc_engines(parallelism, max_iterations=10_000):
     ]
 
 
-def _pagerank_engines(parallelism, iterations):
+def _pagerank_engines(parallelism, iterations, backend):
     def bulk(plan):
         def run(graph):
-            env = _checked_env(parallelism)
+            env = _checked_env(parallelism, backend)
             result = pr.pagerank_bulk(env, graph, iterations, plan=plan)
             return result, env.metrics
         return run
 
     def sparklike(graph):
-        ctx = SparkLikeContext(parallelism, config=CHECKED)
-        result = pr.pagerank_sparklike(ctx, graph, iterations)
-        ctx.metrics.verify_invariants()
-        return result, ctx.metrics
+        def program(cluster):
+            ctx = SparkLikeContext(parallelism, config=CHECKED,
+                                   cluster=cluster)
+            result = pr.pagerank_sparklike(ctx, graph, iterations)
+            ctx.metrics.verify_invariants()
+            return result, ctx.metrics
+        return backend.run_program(program, parallelism)
 
     def pregel(graph):
-        metrics = _checked_metrics()
-        result = pr.pagerank_pregel(graph, iterations,
-                                    parallelism=parallelism, metrics=metrics)
-        metrics.verify_invariants()
-        return result, metrics
+        def program(cluster):
+            metrics = _checked_metrics()
+            result = pr.pagerank_pregel(graph, iterations,
+                                        parallelism=parallelism,
+                                        metrics=metrics, cluster=cluster)
+            return result, metrics
+        return backend.run_program(program, parallelism)
 
     return [
         ("Stratosphere Part.", bulk("partition")),
@@ -187,8 +264,35 @@ def _pagerank_engines(parallelism, iterations):
     ]
 
 
-def _audit_run(result_obj, workload, engine, graph_name, runner, graph,
-               compare):
+def _cross_backend_check(backend_name, result, metrics, key, baselines):
+    """Compare this run against the first backend's run of the same key.
+
+    Returns ``None`` when consistent (or when this backend *is* the
+    baseline), else a failure detail string.
+    """
+    comparable = _comparable_counters(metrics)
+    baseline = baselines.get(key)
+    if baseline is None:
+        baselines[key] = (backend_name, result, comparable)
+        return None
+    base_backend, base_result, base_counters = baseline
+    if result != base_result:
+        return (
+            f"results differ between the {backend_name} and "
+            f"{base_backend} backends"
+        )
+    for name, value in comparable.items():
+        if value != base_counters[name]:
+            return (
+                f"logical counter {name!r} differs between the "
+                f"{backend_name} ({value!r}) and {base_backend} "
+                f"({base_counters[name]!r}) backends"
+            )
+    return None
+
+
+def _audit_run(result_obj, workload, engine, graph_name, backend_name,
+               runner, graph, compare, baselines):
     """Execute one engine under audit; record outcome and counters."""
     try:
         result, metrics = runner(graph)
@@ -196,11 +300,18 @@ def _audit_run(result_obj, workload, engine, graph_name, runner, graph,
         ok = detail is None
     except InvariantViolation as violation:
         ok, detail, metrics = False, f"invariant violated: {violation}", None
+    if ok and metrics is not None:
+        detail = _cross_backend_check(
+            backend_name, result, metrics, (workload, engine, graph_name),
+            baselines,
+        )
+        ok = detail is None
     checker = metrics.invariants if metrics is not None else None
     run = EngineRun(
         workload=workload,
         engine=engine,
         graph=graph_name,
+        backend=backend_name,
         ok=ok,
         detail=detail or "ok",
         ship_checks=checker.ship_checks if checker is not None else 0,
@@ -210,22 +321,37 @@ def _audit_run(result_obj, workload, engine, graph_name, runner, graph,
     result_obj.runs.append(run)
     if not ok:
         result_obj.failures.append(
-            f"{workload}/{engine} on {graph_name}: {detail}"
+            f"{workload}/{engine} on {graph_name} [{backend_name}]: {detail}"
         )
     if ok and checker is not None and checker.ship_checks == 0 \
             and engine != "Giraph":
         # Giraph routes messages itself (no shipping channel); every other
         # engine must have exercised the channel audit at least once
         result_obj.failures.append(
-            f"{workload}/{engine} on {graph_name}: checker attached but "
-            "no ship was audited — the audit layer is not wired in"
+            f"{workload}/{engine} on {graph_name} [{backend_name}]: "
+            "checker attached but no ship was audited — the audit layer "
+            "is not wired in"
         )
 
 
 def run(seeds=(7, 23), num_vertices: int = 160, avg_degree: float = 2.5,
-        parallelism: int = 4, pagerank_iterations: int = 8) -> AuditResult:
-    """Run the full differential audit; returns an :class:`AuditResult`."""
+        parallelism: int = 4, pagerank_iterations: int = 8,
+        backends=("simulated",)) -> AuditResult:
+    """Run the full differential audit; returns an :class:`AuditResult`.
+
+    ``backends`` names the execution backends to audit (``"simulated"``,
+    ``"multiprocess"``, or instances).  With more than one, every
+    (workload, engine, graph) cell runs once per backend and the later
+    backends must reproduce the first backend's results and logical
+    counters exactly.
+    """
+    resolved = []
+    for spec in backends:
+        backend = resolve_backend(spec)
+        resolved.append((backend.name, backend))
+
     result = AuditResult()
+    baselines: dict[tuple, tuple] = {}
     for seed in seeds:
         graph = erdos_renyi(num_vertices, avg_degree, seed=seed)
         graph_name = f"er({num_vertices},{avg_degree},seed={seed})"
@@ -241,10 +367,6 @@ def run(seeds=(7, 23), num_vertices: int = 160, avg_degree: float = 2.5,
             )
             return f"CC labels disagree with union-find on {wrong} vertices"
 
-        for engine, runner in _cc_engines(parallelism):
-            _audit_run(result, "CC", engine, graph_name, runner, graph,
-                       compare_cc)
-
         reference = pr.pagerank_reference(graph, pagerank_iterations)
 
         def compare_pr(engine_result):
@@ -259,8 +381,15 @@ def run(seeds=(7, 23), num_vertices: int = 160, avg_degree: float = 2.5,
                 f"(tolerance {PAGERANK_TOLERANCE:.0e})"
             )
 
-        for engine, runner in _pagerank_engines(parallelism,
-                                                pagerank_iterations):
-            _audit_run(result, "PageRank", engine, graph_name, runner,
-                       graph, compare_pr)
+        for backend_name, backend in resolved:
+            for engine, runner in _cc_engines(parallelism, backend):
+                _audit_run(result, "CC", engine, graph_name, backend_name,
+                           runner, graph, compare_cc, baselines)
+
+            for engine, runner in _pagerank_engines(parallelism,
+                                                    pagerank_iterations,
+                                                    backend):
+                _audit_run(result, "PageRank", engine, graph_name,
+                           backend_name, runner, graph, compare_pr,
+                           baselines)
     return result

@@ -1,0 +1,138 @@
+"""Backend scaling: multiprocess workers vs the in-process simulator.
+
+Runs bulk PageRank on the largest seeded dataset (``twitter``) at
+increasing worker counts, on both execution backends, and records wall
+clocks plus the speedup curve relative to one multiprocess worker.
+At every width the multiprocess result must equal the simulator's
+bit for bit (the backends share partitioning, so the float-sum orders
+match).
+
+Honesty note: the host's CPU count is recorded in the artifact.  On a
+single-core host the worker processes time-share one core, so the
+curve measures serialization + scheduling overhead, not parallel
+speedup — monotonic scaling is physically impossible there and the
+numbers should be read accordingly (see EXPERIMENTS.md).
+
+The JSON artifact lands in ``benchmarks/results/BENCH_backend_scaling.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro import ExecutionEnvironment
+from repro.algorithms import pagerank as pr
+from repro.bench.reporting import (
+    format_seconds,
+    render_table,
+    results_dir,
+)
+from repro.bench.workloads import graph
+
+ARTIFACT = "BENCH_backend_scaling.json"
+
+
+@dataclass
+class ScalingResult:
+    dataset: str
+    num_vertices: int
+    num_edges: int
+    iterations: int
+    host_cpus: int
+    rows: list[dict] = field(default_factory=list)
+    artifact_path: str = ""
+
+    def report(self) -> str:
+        table_rows = [
+            [row["workers"],
+             format_seconds(row["simulated_s"]),
+             format_seconds(row["multiprocess_s"]),
+             f"{row['speedup_vs_1_worker']:.2f}x",
+             "yes" if row["results_match"] else "NO"]
+            for row in self.rows
+        ]
+        table = render_table(
+            f"Backend scaling — PageRank({self.iterations} it.) on "
+            f"{self.dataset} ({self.num_vertices} vertices, "
+            f"{self.num_edges} edges), host_cpus={self.host_cpus}",
+            ["workers", "simulated", "multiprocess",
+             "speedup vs 1 worker", "results identical"],
+            table_rows,
+        )
+        notes = [
+            f"Artifact: {self.artifact_path}",
+        ]
+        if self.host_cpus < max(row["workers"] for row in self.rows):
+            notes.append(
+                f"Caveat: host has {self.host_cpus} CPU(s) — workers "
+                "beyond that time-share cores, so this curve measures "
+                "IPC/serialization overhead, not parallel speedup."
+            )
+        return table + "\n\n" + "\n".join(notes)
+
+
+def _time_run(env_factory, graph_obj, iterations):
+    env = env_factory()
+    started = time.perf_counter()
+    result = pr.pagerank_bulk(env, graph_obj, iterations, plan="partition")
+    return time.perf_counter() - started, result
+
+
+def run(dataset: str = "twitter", iterations: int = 4,
+        worker_counts=(1, 2, 4, 8), save_artifact: bool = True
+        ) -> ScalingResult:
+    g = graph(dataset)
+    host_cpus = os.cpu_count() or 1
+    result = ScalingResult(
+        dataset=dataset,
+        num_vertices=g.num_vertices,
+        num_edges=g.num_edges,
+        iterations=iterations,
+        host_cpus=host_cpus,
+    )
+
+    base_multiprocess_s = None
+    for workers in worker_counts:
+        simulated_s, simulated = _time_run(
+            lambda: ExecutionEnvironment(workers, backend="simulated"),
+            g, iterations,
+        )
+        multiprocess_s, multiprocess = _time_run(
+            lambda: ExecutionEnvironment(workers, backend="multiprocess"),
+            g, iterations,
+        )
+        if base_multiprocess_s is None:
+            base_multiprocess_s = multiprocess_s
+        result.rows.append({
+            "workers": workers,
+            "simulated_s": simulated_s,
+            "multiprocess_s": multiprocess_s,
+            "speedup_vs_1_worker": base_multiprocess_s / multiprocess_s,
+            "results_match": simulated == multiprocess,
+        })
+
+    if save_artifact:
+        payload = {
+            "experiment": "backend_scaling",
+            "dataset": dataset,
+            "num_vertices": result.num_vertices,
+            "num_edges": result.num_edges,
+            "pagerank_iterations": iterations,
+            "host_cpus": host_cpus,
+            "note": (
+                "wall clocks on a host with fewer CPUs than workers "
+                "measure serialization/scheduling overhead, not parallel "
+                "speedup; results_match asserts bitwise equality between "
+                "the multiprocess and simulated backends at each width"
+            ),
+            "rows": result.rows,
+        }
+        path = os.path.join(results_dir(), ARTIFACT)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        result.artifact_path = path
+    return result

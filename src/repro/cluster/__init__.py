@@ -1,0 +1,36 @@
+"""Pluggable execution backends over one cluster-context abstraction.
+
+``repro.cluster`` makes the engine/abstraction split of the paper's
+Nephele substrate real: the same plans and driver programs run either
+on the in-process simulator (:class:`SimulatedBackend`, the reference)
+or on one forked worker process per partition
+(:class:`MultiprocessBackend`), shipping records between workers as
+pickled channel frames with barrier-synchronized supersteps.
+"""
+
+from repro.cluster.backends import (
+    BACKENDS,
+    ExecutionBackend,
+    MultiprocessBackend,
+    SimulatedBackend,
+    WorkerCrash,
+    resolve_backend,
+)
+from repro.cluster.context import LOCAL, ClusterContext, LocalCluster, WorkerCluster
+from repro.cluster.fabric import Endpoint, Fabric, FabricTimeout
+
+__all__ = [
+    "BACKENDS",
+    "ClusterContext",
+    "Endpoint",
+    "ExecutionBackend",
+    "Fabric",
+    "FabricTimeout",
+    "LOCAL",
+    "LocalCluster",
+    "MultiprocessBackend",
+    "SimulatedBackend",
+    "WorkerCluster",
+    "WorkerCrash",
+    "resolve_backend",
+]

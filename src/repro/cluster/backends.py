@@ -1,0 +1,241 @@
+"""Pluggable execution backends: the simulator and real worker processes.
+
+An :class:`ExecutionBackend` decides *where* a compiled plan (or a
+driver program) runs; the plans themselves are backend-agnostic.
+
+* :class:`SimulatedBackend` — the reference: the executor interprets
+  all partitions inside the calling process, exactly as before this
+  subsystem existed.
+* :class:`MultiprocessBackend` — a real shared-nothing engine in
+  miniature: one forked worker process per partition, records crossing
+  partitions as pickled frames over a :class:`~repro.cluster.fabric.Fabric`,
+  supersteps synchronized by collective barriers.  Workers are forked
+  *after* plan compilation so UDF closures transfer by inheritance;
+  only records are serialized.
+
+Both backends run the *same* executor code — a worker simply sees
+localized datasets (its slot populated, peers' slots empty) and a
+:class:`~repro.cluster.context.WorkerCluster` whose collectives reach
+its peers.  Per-worker metric collectors are merged superstep-aligned
+into the parent's collector, so the merged counters are comparable —
+and, by construction, identical — to a simulated run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import queue as queue_module
+import traceback
+
+from repro.cluster.context import LOCAL, WorkerCluster
+from repro.cluster.fabric import Fabric
+
+
+class WorkerCrash(RuntimeError):
+    """A worker process died or raised; carries the remote traceback."""
+
+
+class ExecutionBackend:
+    """Interface: run a compiled plan, or a replicated driver program."""
+
+    name = "abstract"
+
+    def execute_plan(self, env, exec_plan):
+        """Run ``exec_plan`` for ``env``; returns {sink id: records}.
+
+        Implementations must leave ``env.metrics`` holding the run's
+        merged counters and ``env.last_executor`` answering
+        ``iteration_summaries``.
+        """
+        raise NotImplementedError
+
+    def run_program(self, program, parallelism: int):
+        """Run ``program(cluster) -> (result, metrics)``.
+
+        Driver-style engines (the Spark-like and Pregel baselines) are
+        replicated SPMD-style: every worker executes the same
+        deterministic driver, coordinating through the cluster's
+        collectives.  Returns the coordinator's ``(result, merged
+        metrics)``.
+        """
+        raise NotImplementedError
+
+
+class SimulatedBackend(ExecutionBackend):
+    """The in-process reference backend."""
+
+    name = "simulated"
+
+    def execute_plan(self, env, exec_plan):
+        from repro.runtime.executor import Executor
+        executor = Executor(env)
+        results = executor.run(exec_plan)
+        env.last_executor = executor
+        return results
+
+    def run_program(self, program, parallelism):
+        return program(LOCAL)
+
+
+class _ExecutorShim:
+    """Parent-side stand-in for the workers' executors (introspection)."""
+
+    def __init__(self, iteration_summaries):
+        self.iteration_summaries = iteration_summaries
+
+
+class MultiprocessBackend(ExecutionBackend):
+    """One worker process per partition over pickled shipping channels."""
+
+    name = "multiprocess"
+
+    def __init__(self, timeout: float = 120.0):
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+
+    def execute_plan(self, env, exec_plan):
+        from repro.runtime.executor import Executor
+        from repro.runtime.metrics import MetricsCollector
+
+        def body(cluster):
+            # fresh per-worker collector (＋checker, per the session config)
+            env.metrics = MetricsCollector()
+            if env.config.check_invariants:
+                from repro.runtime.invariants import attach_checker
+                attach_checker(env.metrics)
+            env.cluster = cluster
+            env.last_checkpoint_store = None
+            executor = Executor(env)
+            results = executor.run(exec_plan)
+            return {
+                "results": results,
+                "metrics": env.metrics,
+                "summaries": executor.iteration_summaries,
+                "checkpoint_store": env.last_checkpoint_store,
+            }
+
+        payloads = _run_spmd(body, env.parallelism, self.timeout)
+        merged = _merge_worker_metrics(payloads)
+        env.metrics.merge(merged, align_supersteps=False)
+        env.metrics.verify_invariants()
+        env.last_executor = _ExecutorShim(payloads[0]["summaries"])
+        if payloads[0]["checkpoint_store"] is not None:
+            env.last_checkpoint_store = payloads[0]["checkpoint_store"]
+        # sinks may be gathered (all records on rank 0) or forwarded
+        # (still partitioned); concatenating by rank covers both and
+        # reproduces the simulator's partition-scan merge order
+        results: dict[int, list] = {}
+        for sink_id in payloads[0]["results"]:
+            records: list = []
+            for payload in payloads:
+                records.extend(payload["results"][sink_id])
+            results[sink_id] = records
+        return results
+
+    def run_program(self, program, parallelism):
+        def body(cluster):
+            result, metrics = program(cluster)
+            return {"results": result, "metrics": metrics}
+
+        payloads = _run_spmd(body, parallelism, self.timeout)
+        merged = _merge_worker_metrics(payloads)
+        return payloads[0]["results"], merged
+
+
+def _merge_worker_metrics(payloads):
+    """Superstep-aligned merge of all workers' collectors into one."""
+    merged = payloads[0]["metrics"]
+    if merged is None:  # a program that collects no metrics
+        return None
+    for payload in payloads[1:]:
+        merged.merge(payload["metrics"], align_supersteps=True)
+    return merged
+
+
+def _spmd_child(body, fabric, rank, size):
+    endpoint = fabric.endpoint(rank)
+    try:
+        cluster = WorkerCluster(endpoint, size)
+        payload = body(cluster)
+        metrics = payload.get("metrics")
+        if metrics is not None:
+            # serialized traffic this worker put on the wire
+            metrics.bytes_shipped += endpoint.bytes_sent
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        fabric.results.put(("ok", rank, blob))
+    except BaseException:
+        fabric.results.put(("error", rank, traceback.format_exc()))
+
+
+def _run_spmd(body, size, timeout):
+    """Fork ``size`` workers running ``body(cluster)``; gather payloads."""
+    try:
+        mp_context = multiprocessing.get_context("fork")
+    except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+        raise RuntimeError(
+            "the multiprocess backend needs the 'fork' start method "
+            "(UDF closures transfer by inheritance, not pickling)"
+        ) from exc
+    fabric = Fabric(size, mp_context, timeout)
+    workers = []
+    for rank in range(size):
+        process = mp_context.Process(
+            target=_spmd_child, args=(body, fabric, rank, size), daemon=True
+        )
+        process.start()
+        workers.append(process)
+
+    payloads: dict[int, dict] = {}
+    try:
+        while len(payloads) < size:
+            try:
+                kind, rank, data = fabric.results.get(timeout=0.25)
+            except queue_module.Empty:
+                dead = [
+                    w.name for r, w in enumerate(workers)
+                    if r not in payloads and not w.is_alive()
+                    and w.exitcode != 0
+                ]
+                if dead:
+                    raise WorkerCrash(
+                        f"worker(s) {', '.join(dead)} died without "
+                        "reporting a result"
+                    )
+                continue
+            if kind == "error":
+                raise WorkerCrash(
+                    f"worker {rank} failed:\n{data}"
+                )
+            payloads[rank] = pickle.loads(data)
+    finally:
+        for worker in workers:
+            if worker.is_alive() and len(payloads) < size:
+                worker.terminate()
+        for worker in workers:
+            worker.join(timeout=5.0)
+        fabric.close()
+    return [payloads[rank] for rank in range(size)]
+
+
+#: registry for the ``Environment(backend=...)`` / CLI string spellings
+BACKENDS = {
+    "simulated": SimulatedBackend,
+    "multiprocess": MultiprocessBackend,
+}
+
+
+def resolve_backend(spec) -> ExecutionBackend:
+    """``None`` → simulator; a name → registry lookup; an instance → itself."""
+    if spec is None:
+        return SimulatedBackend()
+    if isinstance(spec, str):
+        try:
+            return BACKENDS[spec]()
+        except KeyError:
+            raise ValueError(
+                f"unknown backend {spec!r}; available: "
+                f"{', '.join(sorted(BACKENDS))}"
+            ) from None
+    return spec

@@ -1,0 +1,170 @@
+"""Cluster contexts: where one piece of code runs, and who its peers are.
+
+The same executor / driver / master code runs in two settings:
+
+* the **local** setting — one process simulates all ``parallelism``
+  partitions (``LOCAL``, a :class:`LocalCluster`), collectives are
+  identities and datasets at rest hold every partition's records;
+* the **SPMD** setting — one forked worker process per partition
+  (:class:`WorkerCluster`); datasets at rest are *localized* (the
+  length-``parallelism`` partition list has only slot ``rank``
+  populated), and cross-partition movement happens through real
+  collectives over the pickled-frame fabric.
+
+The collectives are designed so that the SPMD execution is *bitwise
+identical* to the simulator in every record ordering: ``exchange``
+returns frames indexed by source rank, and every merge concatenates in
+ascending rank order — exactly the partition-scan order the in-process
+channels use.  That property is what lets the differential audit hold
+the multiprocess backend to identical logical counters and results.
+"""
+
+from __future__ import annotations
+
+
+class ClusterContext:
+    """Interface shared by the local simulator and SPMD workers."""
+
+    is_local: bool
+    rank: int
+    size: int
+
+    @property
+    def is_coordinator(self) -> bool:
+        return self.rank == 0
+
+    def owned_partitions(self, parallelism: int):
+        raise NotImplementedError
+
+    def localize(self, partitions):
+        """Restrict a full partition list to the slots this context owns."""
+        raise NotImplementedError
+
+    def exchange(self, frames):
+        """All-to-all: send ``frames[t]`` to rank ``t``; return the frames
+        received, indexed by source rank (own frame included in place)."""
+        raise NotImplementedError
+
+    def allreduce_sum(self, value):
+        raise NotImplementedError
+
+    def allgather(self, value):
+        """Every rank's ``value``, indexed by rank."""
+        raise NotImplementedError
+
+    def merge_global(self, partitions):
+        """Flatten a dataset at rest into one global record list, in
+        partition order, visible to every rank."""
+        raise NotImplementedError
+
+
+class LocalCluster(ClusterContext):
+    """The in-process setting: one context owns every partition."""
+
+    is_local = True
+    rank = 0
+    size = 1
+
+    def owned_partitions(self, parallelism):
+        return range(parallelism)
+
+    def localize(self, partitions):
+        return partitions
+
+    def exchange(self, frames):
+        raise RuntimeError("the local cluster has no peers to exchange with")
+
+    def allreduce_sum(self, value):
+        return value
+
+    def allgather(self, value):
+        return [value]
+
+    def merge_global(self, partitions):
+        from repro.runtime import channels
+        return channels.merge(partitions)
+
+
+#: the singleton local context; ``ExecutionEnvironment`` and the engine
+#: drivers default to it
+LOCAL = LocalCluster()
+
+
+class WorkerCluster(ClusterContext):
+    """One SPMD worker's context: rank ``r`` of ``size`` forked peers.
+
+    Collective calls are matched across workers by a monotonically
+    increasing operation tag; since every worker executes the same
+    deterministic program, the n-th collective on one rank pairs with
+    the n-th on every other — lockstep without a coordinator.
+    """
+
+    is_local = False
+
+    def __init__(self, endpoint, size: int):
+        self.endpoint = endpoint
+        self.rank = endpoint.rank
+        self.size = size
+        self._op_seq = 0
+
+    def _next_tag(self) -> int:
+        self._op_seq += 1
+        return self._op_seq
+
+    def owned_partitions(self, parallelism):
+        return (self.rank,)
+
+    def localize(self, partitions):
+        return [
+            list(part) if index == self.rank else []
+            for index, part in enumerate(partitions)
+        ]
+
+    # ------------------------------------------------------------------
+    # collectives
+
+    def exchange(self, frames):
+        if len(frames) != self.size:
+            raise ValueError(
+                f"exchange needs one frame per worker ({self.size}), "
+                f"got {len(frames)}"
+            )
+        tag = self._next_tag()
+        for target in range(self.size):
+            if target != self.rank:
+                self.endpoint.send(target, tag, frames[target])
+        received = []
+        for source in range(self.size):
+            if source == self.rank:
+                received.append(list(frames[self.rank]))
+            else:
+                received.append(self.endpoint.recv(source, tag))
+        return received
+
+    def allgather(self, value):
+        tag = self._next_tag()
+        for target in range(self.size):
+            if target != self.rank:
+                self.endpoint.send(target, tag, value)
+        return [
+            value if source == self.rank else self.endpoint.recv(source, tag)
+            for source in range(self.size)
+        ]
+
+    def allreduce_sum(self, value):
+        return sum(self.allgather(value))
+
+    def merge_global(self, partitions):
+        merged = []
+        for records in self.allgather(list(partitions[self.rank])):
+            merged.extend(records)
+        return merged
+
+    # ------------------------------------------------------------------
+    # point-to-point (used by the async token ring)
+
+    def send_to(self, target: int, payload, tag: str = "p2p"):
+        self.endpoint.send(target, tag, payload)
+
+    def recv_from(self, source: int, tag: str = "p2p"):
+        return self.endpoint.recv(source, tag)

@@ -1,0 +1,90 @@
+"""Inter-worker transport for the multiprocess backend.
+
+A :class:`Fabric` is created by the parent process *before* forking: it
+owns one mailbox queue per worker plus a results queue back to the
+parent.  Each forked worker obtains its :class:`Endpoint`, through which
+every payload crossing a process boundary travels as a pickled frame —
+the serialization cost the in-process simulator never pays.
+
+Frames are tagged ``(source, tag)`` so that out-of-order arrivals (a
+fast peer racing ahead to the next collective) are buffered rather than
+misdelivered; within one ``(source, tag)`` stream FIFO order is
+preserved end to end, because ``multiprocessing.Queue`` is FIFO and the
+receive buffer is a deque per stream.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue as queue_module
+import time
+from collections import deque
+
+
+class FabricTimeout(RuntimeError):
+    """A worker waited too long for a peer's frame (peer likely dead)."""
+
+
+class Fabric:
+    """Parent-side factory for one worker cluster's mailboxes."""
+
+    def __init__(self, size: int, mp_context, timeout: float = 120.0):
+        self.size = size
+        self.timeout = timeout
+        self._mailboxes = [mp_context.Queue() for _ in range(size)]
+        #: workers report completion payloads / errors here
+        self.results = mp_context.Queue()
+
+    def endpoint(self, rank: int) -> "Endpoint":
+        return Endpoint(rank, self._mailboxes, self.timeout)
+
+    def close(self):
+        for q in self._mailboxes:
+            q.close()
+        self.results.close()
+
+
+class Endpoint:
+    """One worker's view of the fabric: tagged send/recv of pickled frames."""
+
+    def __init__(self, rank: int, mailboxes, timeout: float):
+        self.rank = rank
+        self._mailboxes = mailboxes
+        self.timeout = timeout
+        #: frames that arrived before anyone asked for them, per stream
+        self._pending: dict[tuple, deque] = {}
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def send(self, target: int, tag, payload):
+        if target == self.rank:
+            raise ValueError("a worker does not send frames to itself")
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        self.bytes_sent += len(blob)
+        self._mailboxes[target].put((self.rank, tag, blob))
+
+    def recv(self, source: int, tag):
+        """Block until the next frame of stream ``(source, tag)`` arrives."""
+        key = (source, tag)
+        deadline = time.monotonic() + self.timeout
+        inbox = self._mailboxes[self.rank]
+        while True:
+            bucket = self._pending.get(key)
+            if bucket:
+                return bucket.popleft()
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise FabricTimeout(
+                    f"worker {self.rank} timed out after {self.timeout:.0f}s "
+                    f"waiting for frame {tag!r} from worker {source}"
+                )
+            try:
+                src, frame_tag, blob = inbox.get(
+                    timeout=min(remaining, 1.0)
+                )
+            except queue_module.Empty:
+                continue
+            self.bytes_received += len(blob)
+            self._pending.setdefault((src, frame_tag), deque()).append(
+                pickle.loads(blob)
+            )

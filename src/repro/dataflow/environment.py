@@ -83,14 +83,23 @@ class ExecutionEnvironment:
     """Entry point for authoring and running dataflow programs."""
 
     def __init__(self, parallelism: int = 4, optimize: bool = True,
-                 cost_weights=None, config=None):
+                 cost_weights=None, config=None, backend=None):
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
         self.parallelism = parallelism
         self.optimize = optimize
         self.cost_weights = cost_weights
+        from repro.cluster import resolve_backend
+        from repro.cluster.context import LOCAL
         from repro.runtime.config import RuntimeConfig
         from repro.runtime.metrics import MetricsCollector
+        #: where plans execute: ``None``/"simulated" keeps the in-process
+        #: reference backend; "multiprocess" forks one worker per
+        #: partition (see :mod:`repro.cluster`)
+        self.backend = resolve_backend(backend)
+        #: the calling process's cluster context; the multiprocess
+        #: backend overrides this inside each forked worker
+        self.cluster = LOCAL
         #: runtime switches; ``config.check_invariants`` (on by default
         #: under pytest) attaches the conservation-law audit layer of
         #: :mod:`repro.runtime.invariants` to this session's metrics
@@ -185,11 +194,11 @@ class ExecutionEnvironment:
         return exec_plan
 
     def _execute_plan(self, plan: LogicalPlan):
-        from repro.runtime.executor import Executor
         exec_plan = self._compile(plan)
-        executor = Executor(self)
-        results = executor.run(exec_plan)
-        self.last_executor = executor
+        # plans are compiled here, backend-agnostically; the backend only
+        # decides where the compiled plan is interpreted (and is expected
+        # to set last_executor for introspection)
+        results = self.backend.execute_plan(self, exec_plan)
         self.last_plan = exec_plan
         return results
 

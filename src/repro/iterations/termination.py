@@ -76,3 +76,13 @@ class AsyncTerminationDetector:
     @property
     def terminated(self) -> bool:
         return self.in_flight == 0 and all(self._idle)
+
+    # ------------------------------------------------------------------
+    # checkpointable state (async recovery, SPMD token ring)
+
+    def snapshot_state(self):
+        return (self._sent, self._acked, list(self._idle))
+
+    def restore_state(self, state):
+        self._sent, self._acked, idle = state
+        self._idle = list(idle)

@@ -38,13 +38,18 @@ def empty_partitions(parallelism: int) -> list[list]:
     return [[] for _ in range(parallelism)]
 
 
-def ship(partitions, strategy, parallelism, metrics=None):
+def ship(partitions, strategy, parallelism, metrics=None, cluster=None):
     """Move ``partitions`` according to ``strategy``; returns new partitions.
 
     Enforces the partition-count contract above: ``partitions`` must hold
     exactly ``parallelism`` entries for every strategy.  Local/remote
     accounting is recorded on ``metrics`` and, when an invariant checker
     is attached, audited against a per-record recomputation.
+
+    When ``cluster`` is an SPMD worker context, non-forward ships move
+    records over the cluster's real all-to-all exchange instead of
+    in-process list shuffling; forward ships never cross partitions, so
+    they take the local path even under SPMD.
     """
     if len(partitions) != parallelism:
         raise ValueError(
@@ -54,6 +59,13 @@ def ship(partitions, strategy, parallelism, metrics=None):
             "(the partition-count contract)"
         )
     kind = strategy.kind
+    if (
+        cluster is not None
+        and not cluster.is_local
+        and cluster.size > 1
+        and kind is not ShipKind.FORWARD
+    ):
+        return _ship_spmd(partitions, strategy, parallelism, metrics, cluster)
     if kind is ShipKind.FORWARD:
         out, local, remote = _ship_forward(partitions)
     elif kind is ShipKind.PARTITION_HASH:
@@ -111,6 +123,56 @@ def _ship_gather(partitions, parallelism):
     out = empty_partitions(parallelism)
     out[0] = [record for part in partitions for record in part]
     return out, local, remote
+
+
+def _ship_spmd(partitions, strategy, parallelism, metrics, cluster):
+    """One SPMD worker's side of a ship: frame, exchange, reassemble.
+
+    The worker owns only ``partitions[rank]`` (the other slots are empty
+    under localization).  It frames its records per the strategy, runs
+    the cluster's all-to-all exchange, and rebuilds its slot by
+    concatenating received frames in ascending source-rank order — the
+    same order the in-process channels produce by scanning source
+    partitions, which is what keeps SPMD results and counters bitwise
+    identical to the simulator's.
+    """
+    rank = cluster.rank
+    local_in = partitions[rank]
+    n_in = len(local_in)
+    kind = strategy.kind
+    frames: list[list] = [[] for _ in range(parallelism)]
+    if kind is ShipKind.PARTITION_HASH:
+        extract = KeyExtractor(strategy.key_fields)
+        for record in local_in:
+            frames[partition_index(extract(record), parallelism)].append(
+                record
+            )
+        local = len(frames[rank])
+        remote = n_in - local
+    elif kind is ShipKind.BROADCAST:
+        frames = [list(local_in) for _ in range(parallelism)]
+        local = n_in
+        remote = n_in * (parallelism - 1)
+    elif kind is ShipKind.GATHER:
+        frames[0] = list(local_in)
+        local = n_in if rank == 0 else 0
+        remote = 0 if rank == 0 else n_in
+    else:
+        raise ValueError(f"unknown ship kind {kind}")
+    received_frames = cluster.exchange(frames)
+    out = empty_partitions(parallelism)
+    out[rank] = [
+        record for frame in received_frames for record in frame
+    ]
+    if metrics is not None:
+        metrics.add_shipped(local=local, remote=remote)
+        checker = metrics.invariants
+        if checker is not None:
+            checker.check_exchange(
+                strategy, local_in, frames, out[rank], parallelism, rank,
+                local, remote,
+            )
+    return out
 
 
 def merge(partitions) -> list:

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from repro.cluster.context import LOCAL
 from repro.common.errors import InvalidPlanError, MicrostepViolation
 from repro.common.keys import KeyExtractor
 from repro.dataflow.contracts import Contract
@@ -77,6 +78,9 @@ class Executor:
         self.env = env
         self.parallelism = env.parallelism
         self.metrics = env.metrics
+        #: where this executor runs: the local simulator context, or one
+        #: SPMD worker's view of its forked peers (multiprocess backend)
+        self.cluster = getattr(env, "cluster", None) or LOCAL
         self._memo: dict[int, list] = {}
         self.iteration_summaries: list[IterationSummary] = []
 
@@ -139,7 +143,16 @@ class Executor:
     def _load_source(self, node):
         if node.data is None:
             raise InvalidPlanError(f"source {node.name} has no data")
-        return channels.round_robin(node.data, self.parallelism)
+        return self.cluster.localize(
+            channels.round_robin(node.data, self.parallelism)
+        )
+
+    def _ship(self, partitions, strategy):
+        """Ship through this executor's cluster context."""
+        return channels.ship(
+            partitions, strategy, self.parallelism, self.metrics,
+            cluster=self.cluster,
+        )
 
     def _resolve_placeholder(self, node, scope):
         found_scope = scope
@@ -169,7 +182,7 @@ class Executor:
                 shipped.append(scope.edge_cache[cache_key])
                 continue
             parts = self._evaluate(producer, step_memo, scope)
-            routed = channels.ship(parts, strategy, self.parallelism, self.metrics)
+            routed = self._ship(parts, strategy)
             if cacheable:
                 scope.edge_cache[cache_key] = routed
                 self.metrics.cache_builds += 1
@@ -197,9 +210,7 @@ class Executor:
             raw = self._evaluate(node.inputs[0], step_memo, scope)
             combined = drivers.apply_combiner(node, raw, self.metrics)
             strategy = ann.ship.get(0, FORWARD)
-            shipped = [
-                channels.ship(combined, strategy, self.parallelism, self.metrics)
-            ]
+            shipped = [self._ship(combined, strategy)]
         else:
             shipped = self._shipped_inputs(node, step_memo, scope)
         out = []
@@ -265,7 +276,7 @@ class Executor:
             self.metrics.cache_hits += 1
             return scope.edge_cache[cache_key]
         parts = self._evaluate(producer, step_memo, scope)
-        routed = channels.ship(parts, strategy, self.parallelism, self.metrics)
+        routed = self._ship(parts, strategy)
         if cacheable:
             scope.edge_cache[cache_key] = routed
             self.metrics.cache_builds += 1
@@ -338,14 +349,11 @@ class Executor:
         return out
 
     # ------------------------------------------------------------------
-    # bulk iterations (Section 4)
+    # recovery wiring (Section 4.2)
 
-    def _run_bulk_iteration(self, node, outer_memo, outer_scope):
-        from repro.runtime.recovery import CheckpointStore, SimulatedFailure
-
-        current = self._evaluate(node.inputs[0], outer_memo, outer_scope)
-        scope = _IterationScope(node, bindings={node.placeholder.id: current})
-        scope.parent = outer_scope
+    def _recovery_hooks(self):
+        """(checkpoint store or None, failure injector or None) per env."""
+        from repro.runtime.recovery import CheckpointStore
 
         store = None
         interval = getattr(self.env, "checkpoint_interval", 0)
@@ -353,6 +361,19 @@ class Executor:
             store = CheckpointStore(interval)
             self.env.last_checkpoint_store = store
         injector = getattr(self.env, "failure_injector", None)
+        return store, injector
+
+    # ------------------------------------------------------------------
+    # bulk iterations (Section 4)
+
+    def _run_bulk_iteration(self, node, outer_memo, outer_scope):
+        from repro.runtime.recovery import SimulatedFailure
+
+        current = self._evaluate(node.inputs[0], outer_memo, outer_scope)
+        scope = _IterationScope(node, bindings={node.placeholder.id: current})
+        scope.parent = outer_scope
+
+        store, injector = self._recovery_hooks()
 
         converged = False
         steps = 0
@@ -372,10 +393,14 @@ class Executor:
                     term_parts = self._evaluate(
                         node.termination, step_memo, scope
                     )
-                    stop = sum(len(p) for p in term_parts) == 0
+                    # barrier vote: the criterion's global record count
+                    stop = self.cluster.allreduce_sum(
+                        sum(len(p) for p in term_parts)
+                    ) == 0
                 elif node.convergence_check is not None:
                     stop = node.convergence_check(
-                        channels.merge(current), channels.merge(new_parts)
+                        self.cluster.merge_global(current),
+                        self.cluster.merge_global(new_parts),
                     )
             except SimulatedFailure as failure:
                 self.metrics.end_superstep()
@@ -412,10 +437,7 @@ class Executor:
         mode = self.plan.iteration_modes.get(node.id) or self._resolve_mode(node)
         sol_parts = self._evaluate(node.inputs[0], outer_memo, outer_scope)
         # route the initial solution set into its index partitioning
-        routed = channels.ship(
-            sol_parts, partition_on(node.solution_key), self.parallelism,
-            self.metrics,
-        )
+        routed = self._ship(sol_parts, partition_on(node.solution_key))
         index = SolutionSetIndex.build(
             routed, node.solution_key, self.parallelism,
             metrics=self.metrics, should_replace=node.should_replace,
@@ -448,21 +470,19 @@ class Executor:
         return mode
 
     def _delta_supersteps(self, node, scope, index):
-        from repro.runtime.recovery import CheckpointStore, SimulatedFailure
+        from repro.runtime.recovery import SimulatedFailure
 
-        store = None
-        interval = getattr(self.env, "checkpoint_interval", 0)
-        if interval:
-            store = CheckpointStore(interval)
-            self.env.last_checkpoint_store = store
-        injector = getattr(self.env, "failure_injector", None)
+        store, injector = self._recovery_hooks()
 
         converged = False
         steps = 0
         step = 1
         while step <= node.max_iterations:
             workset = scope.bindings[node.workset_placeholder.id]
-            workset_size = sum(len(p) for p in workset)
+            # barrier vote (Section 5.3): global workset size
+            workset_size = self.cluster.allreduce_sum(
+                sum(len(p) for p in workset)
+            )
             if workset_size == 0:
                 converged = True
                 break
@@ -498,9 +518,9 @@ class Executor:
             scope.bindings[node.workset_placeholder.id] = next_workset
             step += 1
         else:
-            converged = sum(
+            converged = self.cluster.allreduce_sum(sum(
                 len(p) for p in scope.bindings[node.workset_placeholder.id]
-            ) == 0
+            )) == 0
         return converged, steps
 
     def _delta_one_superstep(self, node, scope, index):
@@ -509,10 +529,7 @@ class Executor:
         delta_parts = self._evaluate(node.delta_output, step_memo, scope)
         # Stage the delta: route by solution key, resolve collisions
         # with the comparator, but do not mutate S until the barrier.
-        routed = channels.ship(
-            delta_parts, partition_on(node.solution_key),
-            self.parallelism, self.metrics,
-        )
+        routed = self._ship(delta_parts, partition_on(node.solution_key))
         staged, accepted_parts = self._stage_delta(node, index, routed)
         # The next workset observes only the records that will make it
         # into S (Section 5.1: dropped records are discarded from D).
@@ -569,11 +586,23 @@ class Executor:
 
     def _delta_microsteps(self, node, scope, index, synchronous):
         report = analyze_microstep(node).raise_if_ineligible()
+        # chain compilation ships the constant sides (Match/Cross build
+        # tables) — under SPMD every worker runs these collectives in
+        # lockstep before any queue exists
         to_delta = _compile_chain(self, node, scope, report.chain_to_delta)
         to_workset = _compile_chain(self, node, scope, report.chain_to_workset)
         route_key = KeyExtractor(
             report.workset_route_fields or node.solution_key
         )
+
+        if not self.cluster.is_local and self.cluster.size > 1:
+            if synchronous:
+                return self._spmd_micro_supersteps(
+                    node, scope, index, route_key, to_delta, to_workset
+                )
+            return self._spmd_micro_async(
+                node, scope, index, route_key, to_delta, to_workset
+            )
 
         queues = [deque() for _ in range(self.parallelism)]
         detector = AsyncTerminationDetector(self.parallelism)
@@ -638,15 +667,28 @@ class Executor:
 
     def _micro_supersteps(self, node, index, queues, route_key,
                           to_delta, to_workset):
-        """Per-element processing with superstep-buffered queues (Fig. 6)."""
+        """Per-element processing with superstep-buffered queues (Fig. 6).
+
+        Supports the same checkpoint/recovery protocol as the batch
+        modes: a snapshot logs the solution-set partitions plus the
+        buffered queues, and a failure replays from the latest log.
+        """
+        from repro.runtime.recovery import SimulatedFailure
+
+        store, injector = self._recovery_hooks()
+
         steps = 0
         label = f"{node.name}.microstep"
         parallelism = self.parallelism
-        for step in range(1, node.max_iterations + 1):
+        step = 1
+        while step <= node.max_iterations:
             pending = sum(len(q) for q in queues)
             if pending == 0:
                 return True, steps
-            steps = step
+            if store is not None and store.due(step):
+                store.take(step, index._partitions,
+                           [list(q) for q in queues])
+            steps = max(steps, step)
             self.metrics.begin_superstep(step)
             buffers = [[] for _ in range(parallelism)]
             shipped = [0, 0]  # local, remote
@@ -657,11 +699,27 @@ class Executor:
                 shipped[target != source] += 1
 
             updates_before = self.metrics.solution_updates
-            for p in range(parallelism):
-                count = self._drain_queue(
-                    queues[p], p, index, to_delta, to_workset, emit
-                )
-                self.metrics.add_processed(label, count)
+            try:
+                if injector is not None:
+                    injector(step)
+                for p in range(parallelism):
+                    count = self._drain_queue(
+                        queues[p], p, index, to_delta, to_workset, emit
+                    )
+                    self.metrics.add_processed(label, count)
+            except SimulatedFailure as failure:
+                self.metrics.end_superstep()
+                if store is None:
+                    raise RuntimeError(
+                        "machine failure without checkpointing enabled"
+                    ) from failure
+                checkpoint = store.restore(failure.superstep)
+                index._partitions = checkpoint.state
+                for p in range(parallelism):
+                    queues[p].clear()
+                    queues[p].extend(checkpoint.workset[p])
+                step = checkpoint.superstep
+                continue
             self.metrics.add_shipped(local=shipped[0], remote=shipped[1])
             next_size = sum(len(b) for b in buffers)
             self.metrics.end_superstep(
@@ -670,6 +728,7 @@ class Executor:
             )
             for p in range(parallelism):
                 queues[p].extend(buffers[p])
+            step += 1
         return sum(len(q) for q in queues) == 0, steps
 
     def _micro_async(self, node, index, queues, detector,
@@ -679,7 +738,16 @@ class Executor:
         Partitions are polled round-robin, each draining a bounded batch
         per poll — an interleaving that a real asynchronous cluster could
         produce.  Rounds are recorded as pseudo-supersteps for reporting.
+
+        Checkpoints snapshot the solution-set partitions plus the queues
+        *and* the termination detector's counters — restoring the queues
+        without the matching sent/acked state would deadlock or
+        terminate early.
         """
+        from repro.runtime.recovery import SimulatedFailure
+
+        store, injector = self._recovery_hooks()
+
         batch = max(1, int(getattr(self.env, "async_poll_batch", 64)))
         rounds = 0
         label = f"{node.name}.microstep"
@@ -690,23 +758,303 @@ class Executor:
             rounds += 1
             if rounds > max_rounds:
                 break
+            if store is not None and store.due(rounds):
+                store.take(
+                    rounds, index._partitions,
+                    ([list(q) for q in queues], detector.snapshot_state()),
+                )
             self.metrics.begin_superstep(rounds)
             updates_before = self.metrics.solution_updates
-            for p in range(self.parallelism):
-                queue = queues[p]
-                detector.set_idle(p, False)
-                taken = self._drain_queue(
-                    queue, p, index, to_delta, to_workset, enqueue,
-                    limit=batch,
-                )
-                self.metrics.add_processed(label, taken)
-                detector.acked(taken)
-                detector.set_idle(p, len(queue) == 0)
+            try:
+                if injector is not None:
+                    injector(rounds)
+                for p in range(self.parallelism):
+                    queue = queues[p]
+                    detector.set_idle(p, False)
+                    taken = self._drain_queue(
+                        queue, p, index, to_delta, to_workset, enqueue,
+                        limit=batch,
+                    )
+                    self.metrics.add_processed(label, taken)
+                    detector.acked(taken)
+                    detector.set_idle(p, len(queue) == 0)
+            except SimulatedFailure as failure:
+                self.metrics.end_superstep()
+                if store is None:
+                    raise RuntimeError(
+                        "machine failure without checkpointing enabled"
+                    ) from failure
+                checkpoint = store.restore(failure.superstep)
+                index._partitions = checkpoint.state
+                saved_queues, detector_state = checkpoint.workset
+                for p in range(self.parallelism):
+                    queues[p].clear()
+                    queues[p].extend(saved_queues[p])
+                detector.restore_state(detector_state)
+                rounds = checkpoint.superstep - 1
+                continue
             self.metrics.end_superstep(
                 workset_size=sum(len(q) for q in queues),
                 delta_size=self.metrics.solution_updates - updates_before,
             )
         return detector.terminated, rounds
+
+    # ------------------------------------------------------------------
+    # SPMD microstep execution (multiprocess backend)
+
+    def _spmd_micro_supersteps(self, node, scope, index, route_key,
+                               to_delta, to_workset):
+        """One worker's side of microstep-with-supersteps execution.
+
+        The worker owns one buffering queue; produced records are framed
+        by their routing key and exchanged at the superstep barrier.
+        Concatenating received frames in source-rank order reproduces the
+        simulator's queue contents record for record.
+        """
+        from repro.runtime.recovery import SimulatedFailure
+
+        cluster = self.cluster
+        rank = cluster.rank
+        parallelism = self.parallelism
+        label = f"{node.name}.microstep"
+
+        store, injector = self._recovery_hooks()
+
+        # seeding: route the localized initial workset through one
+        # exchange so the queue starts in source-ascending order — own
+        # records travel through the worker's own frame slot, exactly
+        # where the simulator's partition scan would place them
+        initial = scope.bindings[node.workset_placeholder.id]
+        frames = [[] for _ in range(parallelism)]
+        seed_local = seed_remote = 0
+        for record in initial[rank]:
+            target = partition_index(route_key(record), parallelism)
+            frames[target].append(record)
+            if target == rank:
+                seed_local += 1
+            else:
+                seed_remote += 1
+        queue = deque()
+        for frame in cluster.exchange(frames):
+            queue.extend(frame)
+        self.metrics.add_shipped(local=seed_local, remote=seed_remote)
+
+        steps = 0
+        step = 1
+        while step <= node.max_iterations:
+            pending = cluster.allreduce_sum(len(queue))
+            if pending == 0:
+                return True, steps
+            if store is not None and store.due(step):
+                store.take(step, index._partitions, list(queue))
+            steps = max(steps, step)
+            self.metrics.begin_superstep(step)
+            buffers = [[] for _ in range(parallelism)]
+            shipped = [0, 0]  # local, remote
+
+            def emit(record, source):
+                target = partition_index(route_key(record), parallelism)
+                buffers[target].append(record)
+                shipped[target != source] += 1
+
+            updates_before = self.metrics.solution_updates
+            try:
+                # the injector fires in every worker at the same
+                # superstep, before any communication — all workers take
+                # the restore path together, no straggler blocks a
+                # collective
+                if injector is not None:
+                    injector(step)
+                count = self._drain_queue(
+                    queue, rank, index, to_delta, to_workset, emit
+                )
+                self.metrics.add_processed(label, count)
+            except SimulatedFailure as failure:
+                self.metrics.end_superstep()
+                if store is None:
+                    raise RuntimeError(
+                        "machine failure without checkpointing enabled"
+                    ) from failure
+                checkpoint = store.restore(failure.superstep)
+                index._partitions = checkpoint.state
+                queue.clear()
+                queue.extend(checkpoint.workset)
+                step = checkpoint.superstep
+                continue
+            self.metrics.add_shipped(local=shipped[0], remote=shipped[1])
+            for frame in cluster.exchange(buffers):
+                queue.extend(frame)
+            self.metrics.end_superstep(
+                workset_size=sum(len(b) for b in buffers),
+                delta_size=self.metrics.solution_updates - updates_before,
+            )
+            step += 1
+        return cluster.allreduce_sum(len(queue)) == 0, steps
+
+    def _spmd_micro_async(self, node, scope, index, route_key,
+                          to_delta, to_workset):
+        """One worker's side of asynchronous execution: a token ring.
+
+        Workers take turns in rank order; the circulating token carries
+        the in-flight records (tagged with the round they were emitted
+        in), the termination detector's counters, and the round number.
+        Exactly one worker is active at a time, so the execution is a
+        deterministic serialization of the asynchronous protocol — and a
+        record-for-record replay of the simulator's round-robin polling:
+        a record emitted by worker ``s`` in round ``k`` reaches worker
+        ``r`` within round ``k`` iff ``s < r``, which is precisely when
+        the simulator's partition scan would have made it visible.
+
+        Each worker's round-``k`` superstep stays open until its round-
+        ``k+1`` turn: only then have the late (higher-rank) round-``k``
+        emissions arrived, so only then is the end-of-round queue length
+        known.  The stop token closes the last open supersteps.
+        """
+        cluster = self.cluster
+        rank = cluster.rank
+        size = cluster.size
+        parallelism = self.parallelism
+        label = f"{node.name}.microstep"
+        batch = max(1, int(getattr(self.env, "async_poll_batch", 64)))
+
+        if getattr(self.env, "checkpoint_interval", 0) or \
+                getattr(self.env, "failure_injector", None) is not None:
+            raise InvalidPlanError(
+                "checkpoint/failure injection is not supported for "
+                "async delta iterations on the multiprocess backend — "
+                "use mode='superstep' or 'microstep', or the simulated "
+                "backend"
+            )
+
+        detector = AsyncTerminationDetector(parallelism)
+        queue = deque()
+        open_round = None
+        last_updates = 0
+
+        def take_mine(pending, max_seq):
+            """Pop records destined to this rank with seq <= max_seq,
+            preserving the token's chronological order."""
+            mine, rest = [], []
+            for entry in pending:
+                if entry[2] == rank and entry[0] <= max_seq:
+                    mine.append(entry[3])
+                else:
+                    rest.append(entry)
+            pending[:] = rest
+            return mine
+
+        def my_turn(token, round_number):
+            """Stage A: settle the previous round; stage B: run this one."""
+            nonlocal open_round, last_updates
+            pending = token["pending"]
+            # stage A — ingest last round's late emissions, then close
+            # the superstep they belong to at its true queue length
+            queue.extend(take_mine(pending, round_number - 1))
+            if open_round is not None:
+                self.metrics.end_superstep(
+                    workset_size=len(queue), delta_size=last_updates
+                )
+                open_round = None
+            # stage B — ingest this round's earlier emissions and drain
+            queue.extend(take_mine(pending, round_number))
+            detector.restore_state(token["detector"])
+            self.metrics.begin_superstep(round_number)
+            open_round = round_number
+            detector.set_idle(rank, False)
+            shipped = [0, 0]  # local, remote
+
+            def emit(record, source):
+                target = partition_index(route_key(record), parallelism)
+                detector.sent()
+                shipped[target != source] += 1
+                if target == rank:
+                    queue.append(record)
+                else:
+                    pending.append((round_number, rank, target, record))
+
+            updates_before = self.metrics.solution_updates
+            taken = self._drain_queue(
+                queue, rank, index, to_delta, to_workset, emit, limit=batch
+            )
+            self.metrics.add_processed(label, taken)
+            self.metrics.add_shipped(local=shipped[0], remote=shipped[1])
+            detector.acked(taken)
+            detector.set_idle(rank, len(queue) == 0)
+            last_updates = self.metrics.solution_updates - updates_before
+            token["detector"] = detector.snapshot_state()
+
+        def seed_turn(token):
+            """Ingest earlier ranks' seeds, then route the local ones."""
+            pending = token["pending"]
+            queue.extend(take_mine(pending, 0))
+            detector.restore_state(token["detector"])
+            shipped = [0, 0]
+            for record in scope.bindings[node.workset_placeholder.id][rank]:
+                target = partition_index(route_key(record), parallelism)
+                detector.sent()
+                shipped[target != rank] += 1
+                if target == rank:
+                    queue.append(record)
+                else:
+                    pending.append((0, rank, target, record))
+            self.metrics.add_shipped(local=shipped[0], remote=shipped[1])
+            token["detector"] = detector.snapshot_state()
+
+        def stop_turn(token):
+            """Drain remaining deliveries and close the open superstep."""
+            queue.extend(take_mine(token["pending"], token["round"]))
+            if open_round is not None:
+                self.metrics.end_superstep(
+                    workset_size=len(queue), delta_size=last_updates
+                )
+
+        next_rank = (rank + 1) % size
+        prev_rank = (rank - 1) % size
+        if rank == 0:
+            token = {"phase": "seed", "pending": [],
+                     "detector": detector.snapshot_state()}
+            seed_turn(token)
+            cluster.send_to(next_rank, token, tag="ring")
+            token = cluster.recv_from(prev_rank, tag="ring")
+            detector.restore_state(token["detector"])
+            # mirrors the simulator's cap on detector-starved runs
+            max_rounds = node.max_iterations * max(1, detector._sent or 1)
+            rounds = 0
+            while True:
+                if detector.terminated:
+                    terminated = True
+                    break
+                rounds += 1
+                if rounds > max_rounds:
+                    terminated = False
+                    break
+                token["phase"] = "round"
+                token["round"] = rounds
+                my_turn(token, rounds)
+                cluster.send_to(next_rank, token, tag="ring")
+                token = cluster.recv_from(prev_rank, tag="ring")
+                detector.restore_state(token["detector"])
+            token["phase"] = "stop"
+            token["round"] = rounds
+            token["terminated"] = terminated
+            stop_turn(token)
+            cluster.send_to(next_rank, token, tag="ring")
+            cluster.recv_from(prev_rank, tag="ring")
+            return terminated, rounds
+        while True:
+            token = cluster.recv_from(prev_rank, tag="ring")
+            phase = token["phase"]
+            if phase == "seed":
+                seed_turn(token)
+            elif phase == "round":
+                my_turn(token, token["round"])
+            else:  # stop
+                stop_turn(token)
+                terminated = token["terminated"]
+                rounds = token["round"]
+                cluster.send_to(next_rank, token, tag="ring")
+                return terminated, rounds
+            cluster.send_to(next_rank, token, tag="ring")
 
 
 # ----------------------------------------------------------------------

@@ -213,6 +213,83 @@ class InvariantChecker:
                 f"remote={expected_remote} — locality accounting is wrong"
             )
 
+    def check_exchange(self, strategy, local_in, frames, received,
+                       parallelism, rank, local, remote):
+        """Audit one SPMD ship from a single worker's perspective.
+
+        The global conservation law of :meth:`check_ship` needs every
+        partition's contents, which no SPMD worker has; this is the
+        per-worker projection of the same law, checked *without* an
+        extra collective: the outgoing frames must partition the local
+        input (placement recomputed per record), the claimed local/
+        remote split must match an independent recomputation, and every
+        received record must be owned by this rank.
+        """
+        self.ship_checks += 1
+        kind = strategy.kind
+        n_in = len(local_in)
+        n_framed = sum(len(frame) for frame in frames)
+        if kind is ShipKind.PARTITION_HASH:
+            extract = KeyExtractor(strategy.key_fields)
+            expected_local = sum(
+                1 for record in local_in
+                if partition_index(extract(record), parallelism) == rank
+            )
+            expected_remote = n_in - expected_local
+            if n_framed != n_in:
+                self._fail(
+                    f"hash exchange framed {n_framed} records for an "
+                    f"input of {n_in} — records were lost or fabricated "
+                    "before transport"
+                )
+            for target, frame in enumerate(frames):
+                for record in frame:
+                    owner = partition_index(extract(record), parallelism)
+                    if owner != target:
+                        self._fail(
+                            f"hash exchange framed record {record!r} for "
+                            f"worker {target}, but its key owns worker "
+                            f"{owner}"
+                        )
+            for record in received:
+                if partition_index(extract(record), parallelism) != rank:
+                    self._fail(
+                        f"worker {rank} received record {record!r} whose "
+                        "key it does not own — a peer misrouted a frame"
+                    )
+        elif kind is ShipKind.BROADCAST:
+            expected_local = n_in
+            expected_remote = n_in * (parallelism - 1)
+            for target, frame in enumerate(frames):
+                if len(frame) != n_in:
+                    self._fail(
+                        f"broadcast exchange framed {len(frame)} records "
+                        f"for worker {target}, expected all {n_in}"
+                    )
+        elif kind is ShipKind.GATHER:
+            expected_local = n_in if rank == 0 else 0
+            expected_remote = 0 if rank == 0 else n_in
+            if len(frames[0]) != n_in or n_framed != n_in:
+                self._fail(
+                    f"gather exchange framed {n_framed} records "
+                    f"({len(frames[0])} for worker 0) for an input of "
+                    f"{n_in}"
+                )
+            if rank != 0 and received:
+                self._fail(
+                    f"worker {rank} received {len(received)} gathered "
+                    "records — gather must land everything on worker 0"
+                )
+        else:  # pragma: no cover - new kinds must add a law here
+            self._fail(f"no exchange law registered for ship kind {kind}")
+        if local != expected_local or remote != expected_remote:
+            self._fail(
+                f"{kind.value} exchange labelled local={local}, "
+                f"remote={remote}; per-record recomputation gives "
+                f"local={expected_local}, remote={expected_remote} — "
+                "locality accounting is wrong"
+            )
+
     # ------------------------------------------------------------------
     # driver audit
 
@@ -329,6 +406,23 @@ class InvariantChecker:
                     f"{logged[name] + self._outside[name]} — a counter was "
                     "mutated outside the collector hooks"
                 )
+
+    def absorb(self, other: "InvariantChecker"):
+        """Fold another checker's shadows into this one.
+
+        Used when merging per-worker collectors: the attribution shadows
+        and audit-coverage counts must sum so that ``verify_totals`` on
+        the merged collector still balances.
+        """
+        if self._superstep_open or other._superstep_open:
+            self._fail("cannot absorb a checker while a superstep is open")
+        for name in ATTRIBUTED_COUNTERS:
+            self._inside[name] += other._inside[name]
+            self._outside[name] += other._outside[name]
+        self.ship_checks += other.ship_checks
+        self.driver_checks += other.driver_checks
+        self.delta_checks += other.delta_checks
+        return self
 
 
 def attach_checker(metrics) -> InvariantChecker:

@@ -63,6 +63,9 @@ class MetricsCollector:
     supersteps: int = 0
     cache_hits: int = 0
     cache_builds: int = 0
+    #: serialized bytes actually put on the wire (multiprocess backend
+    #: only; the in-process simulator never serializes records)
+    bytes_shipped: int = 0
     iteration_log: list[IterationStats] = field(default_factory=list)
     #: optional :class:`~repro.runtime.invariants.InvariantChecker`; when
     #: attached (``RuntimeConfig.check_invariants``), every counter hook
@@ -150,6 +153,71 @@ class MetricsCollector:
             self.invariants.verify_totals(self)
 
     # ------------------------------------------------------------------
+    # merging collectors across workers / phases
+
+    def merge(self, other: "MetricsCollector",
+              align_supersteps: bool = True) -> "MetricsCollector":
+        """Fold another collector's counters into this one.
+
+        ``align_supersteps=True`` merges collectors of *parallel* workers
+        that executed the same supersteps in lockstep: their iteration
+        logs are paired index by index (counters and sizes sum, the
+        barrier duration is the slowest worker's) and the superstep count
+        stays that of one worker.  ``align_supersteps=False`` absorbs a
+        *sequential* phase: the other log is appended and superstep
+        counts add.
+        """
+        if self._open_superstep is not None or \
+                other._open_superstep is not None:
+            raise InvariantViolation(
+                "cannot merge collectors while a superstep is open"
+            )
+        if (self.invariants is None) != (other.invariants is None):
+            raise InvariantViolation(
+                "cannot merge collectors when only one carries an "
+                "invariant checker — attribution shadows would diverge"
+            )
+        # Counter.update (not +=): iadd drops zero entries, and operator
+        # keys with zero counts must survive for cross-backend equality
+        self.records_processed.update(other.records_processed)
+        self.records_shipped_local += other.records_shipped_local
+        self.records_shipped_remote += other.records_shipped_remote
+        self.solution_accesses += other.solution_accesses
+        self.solution_updates += other.solution_updates
+        self.cache_hits += other.cache_hits
+        self.cache_builds += other.cache_builds
+        self.bytes_shipped += other.bytes_shipped
+        if align_supersteps:
+            if len(self.iteration_log) != len(other.iteration_log) or \
+                    self.supersteps != other.supersteps:
+                raise InvariantViolation(
+                    f"cannot align supersteps: {len(self.iteration_log)} "
+                    f"logged here vs {len(other.iteration_log)} in the "
+                    "other collector — the workers were not in lockstep"
+                )
+            for mine, theirs in zip(self.iteration_log,
+                                    other.iteration_log):
+                if mine.superstep != theirs.superstep:
+                    raise InvariantViolation(
+                        f"superstep numbering diverged while aligning: "
+                        f"{mine.superstep} vs {theirs.superstep}"
+                    )
+                mine.records_processed += theirs.records_processed
+                mine.records_shipped_local += theirs.records_shipped_local
+                mine.records_shipped_remote += theirs.records_shipped_remote
+                mine.workset_size += theirs.workset_size
+                mine.delta_size += theirs.delta_size
+                mine.solution_accesses += theirs.solution_accesses
+                mine.solution_updates += theirs.solution_updates
+                mine.duration_s = max(mine.duration_s, theirs.duration_s)
+        else:
+            self.iteration_log.extend(other.iteration_log)
+            self.supersteps += other.supersteps
+        if self.invariants is not None and other.invariants is not None:
+            self.invariants.absorb(other.invariants)
+        return self
+
+    # ------------------------------------------------------------------
 
     @property
     def total_processed(self) -> int:
@@ -168,6 +236,7 @@ class MetricsCollector:
         self.supersteps = 0
         self.cache_hits = 0
         self.cache_builds = 0
+        self.bytes_shipped = 0
         self.iteration_log.clear()
         self._open_superstep = None
         if self.invariants is not None:
@@ -180,10 +249,12 @@ class MetricsCollector:
             "total_processed": self.total_processed,
             "records_shipped_local": self.records_shipped_local,
             "records_shipped_remote": self.records_shipped_remote,
+            "messages": self.messages,
             "solution_accesses": self.solution_accesses,
             "solution_updates": self.solution_updates,
             "supersteps": self.supersteps,
             "cache_hits": self.cache_hits,
             "cache_builds": self.cache_builds,
+            "bytes_shipped": self.bytes_shipped,
             "iteration_log": [s.as_dict() for s in self.iteration_log],
         }

@@ -13,12 +13,18 @@ the recovery path is exercisable in tests and benchmarks:
   replays from there; the metrics record how many supersteps were
   re-executed.
 
+Snapshots are pickle round-trips, not in-memory ``deepcopy``: a real
+recovery log serializes to stable storage, so taking a checkpoint here
+pays the serialization cost (``checkpoint_bytes``/``total_bytes`` track
+it) and guarantees the checkpointed state is actually picklable — the
+same property the multiprocess backend needs of every record.
+
 Enable via ``env.checkpoint_interval`` and ``env.failure_injector``.
 """
 
 from __future__ import annotations
 
-import copy
+import pickle
 from dataclasses import dataclass, field
 
 
@@ -52,34 +58,61 @@ class Checkpoint:
 
 @dataclass
 class CheckpointStore:
-    """Keeps the latest snapshot; ``interval=k`` logs every k supersteps."""
+    """Keeps the latest snapshot; ``interval=k`` logs every k supersteps.
+
+    The snapshot is held as a pickled blob: ``take`` serializes, and
+    every ``restore`` (and every read of :attr:`latest`) deserializes a
+    fresh, independent copy — exactly the isolation a log on stable
+    storage provides.
+    """
 
     interval: int
-    latest: Checkpoint | None = None
     snapshots_taken: int = 0
     recoveries: int = 0
     supersteps_replayed: int = 0
+    #: serialized size of the latest snapshot / all snapshots taken
+    checkpoint_bytes: int = 0
+    total_bytes: int = 0
+    _blob: bytes | None = field(default=None, repr=False)
+    _superstep: int = 0
 
     def due(self, superstep: int) -> bool:
         return self.interval > 0 and (superstep - 1) % self.interval == 0
 
     def take(self, superstep: int, state, workset):
-        self.latest = Checkpoint(
-            superstep=superstep,
-            state=copy.deepcopy(state),
-            workset=copy.deepcopy(workset),
-        )
+        try:
+            blob = pickle.dumps(
+                (state, workset), protocol=pickle.HIGHEST_PROTOCOL
+            )
+        except Exception as exc:
+            raise TypeError(
+                f"checkpoint of superstep {superstep} is not "
+                f"serializable: {exc} — iteration state must be "
+                "picklable to be recoverable"
+            ) from exc
+        self._blob = blob
+        self._superstep = superstep
+        self.checkpoint_bytes = len(blob)
+        self.total_bytes += len(blob)
         self.snapshots_taken += 1
 
+    @property
+    def latest(self) -> Checkpoint | None:
+        if self._blob is None:
+            return None
+        state, workset = pickle.loads(self._blob)
+        return Checkpoint(
+            superstep=self._superstep, state=state, workset=workset
+        )
+
     def restore(self, failed_superstep: int) -> Checkpoint:
-        if self.latest is None:
+        if self._blob is None:
             raise RuntimeError(
                 "failure before the first checkpoint; cannot recover"
             )
         self.recoveries += 1
-        self.supersteps_replayed += failed_superstep - self.latest.superstep
+        self.supersteps_replayed += failed_superstep - self._superstep
+        state, workset = pickle.loads(self._blob)
         return Checkpoint(
-            superstep=self.latest.superstep,
-            state=copy.deepcopy(self.latest.state),
-            workset=copy.deepcopy(self.latest.workset),
+            superstep=self._superstep, state=state, workset=workset
         )

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 
+from repro.cluster.context import LOCAL
 from repro.runtime.metrics import MetricsCollector
 from repro.systems.pregel.vertex import VertexContext
 
@@ -40,12 +41,16 @@ class PregelMaster:
     def __init__(self, graph, compute, initial_state, combiner=None,
                  parallelism: int = 4, metrics: MetricsCollector = None,
                  run_all_first_superstep: bool = True, aggregators=None,
-                 config=None):
+                 config=None, cluster=None):
         self.graph = graph
         self.compute = compute
         self.initial_state = initial_state
         self.combiner = combiner
         self.parallelism = parallelism
+        #: under the multiprocess backend each worker runs a replicated
+        #: master over its own vertex range, exchanging messages and
+        #: halting votes through this cluster context
+        self.cluster = cluster or LOCAL
         if metrics is None:
             from repro.runtime.config import RuntimeConfig
             metrics = MetricsCollector()
@@ -70,8 +75,28 @@ class PregelMaster:
         return min(vertex_id // per_part, self.parallelism - 1)
 
     def run(self, max_supersteps: int = 1_000_000) -> dict[int, object]:
-        """Execute to convergence; returns {vertex id: final state}."""
+        """Execute to convergence; returns {vertex id: final state}.
+
+        The same loop serves both settings: locally one master computes
+        every partition; under SPMD each worker computes only its own
+        vertex range, ships ``(target, value)`` messages through the
+        cluster's all-to-all exchange, and agrees on activity/halting
+        through barrier votes.  Frames are reassembled in ascending
+        sender order, so message fold order — and therefore every state
+        and counter — matches the local master exactly.
+        """
         n = self.graph.num_vertices
+        cluster = self.cluster
+        spmd = not cluster.is_local and cluster.size > 1
+        if spmd:
+            my_parts = (cluster.rank,)
+            my_vertices = [
+                v for v in range(n)
+                if self._partition_of(v) == cluster.rank
+            ]
+        else:
+            my_parts = range(self.parallelism)
+            my_vertices = list(range(n))
         states = [self.initial_state(v) for v in range(n)]
         halted = [False] * n
         # inbox per vertex for the *current* superstep
@@ -80,25 +105,26 @@ class PregelMaster:
 
         for superstep in range(max_supersteps):
             if superstep == 0 and self.run_all_first_superstep:
-                active = list(range(n))
+                active = list(my_vertices)
             else:
                 active = [
-                    v for v in range(n)
+                    v for v in my_vertices
                     if (not halted[v]) or v in inbox
                 ]
-            if superstep > 0 and not active:
+            if superstep > 0 and \
+                    cluster.allreduce_sum(len(active)) == 0:
                 self.converged = True
                 break
 
             self.metrics.begin_superstep(superstep + 1)
-            outboxes = [[] for _ in range(self.parallelism)]
+            outboxes = {p: [] for p in my_parts}
             aggregating: dict[str, list] = {}
-            contexts = [
-                VertexContext(self.graph, outboxes[p], n,
-                              aggregating=aggregating,
-                              aggregated_previous=self.aggregated_values)
-                for p in range(self.parallelism)
-            ]
+            contexts = {
+                p: VertexContext(self.graph, outboxes[p], n,
+                                 aggregating=aggregating,
+                                 aggregated_previous=self.aggregated_values)
+                for p in my_parts
+            }
             computed = 0
             for v in active:
                 p = self._partition_of(v)
@@ -114,7 +140,9 @@ class PregelMaster:
             # combine per target within each sending partition, then route
             next_inbox: dict[int, list] = defaultdict(list)
             total_messages = 0
-            for p, outbox in enumerate(outboxes):
+            frames = [[] for _ in range(self.parallelism)] if spmd else None
+            for p in my_parts:
+                outbox = outboxes[p]
                 if self.combiner is not None:
                     combined: dict[int, object] = {}
                     for target, value in outbox:
@@ -128,13 +156,23 @@ class PregelMaster:
                     deliveries = outbox
                 local = remote = 0
                 for target, value in deliveries:
-                    next_inbox[target].append(value)
-                    if self._partition_of(target) == p:
+                    target_part = self._partition_of(target)
+                    if spmd:
+                        frames[target_part].append((target, value))
+                    else:
+                        next_inbox[target].append(value)
+                    if target_part == p:
                         local += 1
                     else:
                         remote += 1
                 self.metrics.add_shipped(local=local, remote=remote)
                 total_messages += local + remote
+            if spmd:
+                # ascending sender order = the local master's partition
+                # scan, so per-target message order is identical
+                for frame in cluster.exchange(frames):
+                    for target, value in frame:
+                        next_inbox[target].append(value)
 
             # arrival-side combine (receivers see one value per sender
             # partition at most; combine again if a combiner exists)
@@ -148,11 +186,20 @@ class PregelMaster:
             # fold this superstep's aggregator contributions into the
             # global values vertices will read next superstep
             new_aggregated = {}
-            for name, (initial, merge) in self.aggregators.items():
-                value = initial
-                for contribution in aggregating.get(name, ()):
-                    value = merge(value, contribution)
-                new_aggregated[name] = value
+            if self.aggregators:
+                if spmd:
+                    # contiguous range partitioning: concatenating by
+                    # rank restores global vertex-id contribution order
+                    merged: dict[str, list] = defaultdict(list)
+                    for contribs in cluster.allgather(dict(aggregating)):
+                        for name, values in contribs.items():
+                            merged[name].extend(values)
+                    aggregating = merged
+                for name, (initial, merge) in self.aggregators.items():
+                    value = initial
+                    for contribution in aggregating.get(name, ()):
+                        value = merge(value, contribution)
+                    new_aggregated[name] = value
             self.aggregated_values = new_aggregated
 
             self.metrics.end_superstep(
@@ -161,9 +208,19 @@ class PregelMaster:
             )
             self.supersteps_run = superstep + 1
             inbox = dict(next_inbox)
-            if not inbox and all(halted):
+            still_busy = len(inbox) + sum(
+                1 for v in my_vertices if not halted[v]
+            )
+            if cluster.allreduce_sum(still_busy) == 0:
                 self.converged = True
                 break
 
+        if spmd:
+            # every worker rebuilds the full final state vector
+            for pairs in cluster.allgather(
+                [(v, states[v]) for v in my_vertices]
+            ):
+                for v, state in pairs:
+                    states[v] = state
         self.metrics.verify_invariants()
         return {v: states[v] for v in range(n)}

@@ -65,12 +65,16 @@ class RDD:
         return parts
 
     # actions ----------------------------------------------------------
+    # (actions return *global* views: under a replicated SPMD driver
+    # they are collectives every worker must reach in lockstep)
 
     def collect(self) -> list:
-        return channels.merge(self.partitions())
+        return self.ctx.cluster.merge_global(self.partitions())
 
     def count(self) -> int:
-        return sum(len(p) for p in self.partitions())
+        return self.ctx.cluster.allreduce_sum(
+            sum(len(p) for p in self.partitions())
+        )
 
     def is_empty(self) -> bool:
         return self.count() == 0
@@ -134,7 +138,7 @@ class RDD:
             )
             return parts
         return channels.ship(parts, _PARTITION_KEY0, self.ctx.parallelism,
-                             self.ctx.metrics)
+                             self.ctx.metrics, cluster=self.ctx.cluster)
 
     def reduce_by_key(self, fn) -> "RDD":
         """Merge values of equal keys with ``fn(v1, v2)``; map-side combine."""

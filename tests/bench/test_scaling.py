@@ -1,0 +1,36 @@
+"""The backend-scaling experiment: honest wall clocks, equal results."""
+
+import json
+import os
+
+from repro.bench.experiments import scaling
+
+
+class TestScalingExperiment:
+    def test_small_run_reports_and_matches(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            scaling, "results_dir", lambda: str(tmp_path)
+        )
+        result = scaling.run(dataset="sample9", iterations=2,
+                             worker_counts=(1, 2))
+        assert [row["workers"] for row in result.rows] == [1, 2]
+        assert all(row["results_match"] for row in result.rows)
+        assert result.host_cpus >= 1
+
+        report = result.report()
+        assert "Backend scaling" in report
+        assert "host_cpus" in report
+
+        with open(os.path.join(str(tmp_path), scaling.ARTIFACT)) as handle:
+            payload = json.load(handle)
+        assert payload["host_cpus"] == result.host_cpus
+        assert payload["rows"] == result.rows
+
+    def test_no_artifact_when_disabled(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            scaling, "results_dir", lambda: str(tmp_path)
+        )
+        result = scaling.run(dataset="sample9", iterations=1,
+                             worker_counts=(1,), save_artifact=False)
+        assert result.artifact_path == ""
+        assert not os.listdir(str(tmp_path))

@@ -1,0 +1,86 @@
+"""Backend resolution, SPMD collectives, and worker-crash reporting."""
+
+import pytest
+
+from repro.cluster import (
+    LOCAL,
+    MultiprocessBackend,
+    SimulatedBackend,
+    WorkerCrash,
+    resolve_backend,
+)
+
+
+class TestResolveBackend:
+    def test_none_is_the_simulator(self):
+        assert isinstance(resolve_backend(None), SimulatedBackend)
+
+    def test_names_hit_the_registry(self):
+        assert isinstance(resolve_backend("simulated"), SimulatedBackend)
+        assert isinstance(
+            resolve_backend("multiprocess"), MultiprocessBackend
+        )
+
+    def test_instances_pass_through(self):
+        backend = MultiprocessBackend(timeout=5.0)
+        assert resolve_backend(backend) is backend
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ValueError, match="multiprocess"):
+            resolve_backend("gpu")
+
+
+class TestRunProgram:
+    def test_simulated_runs_inline_with_local_cluster(self):
+        seen = []
+
+        def program(cluster):
+            seen.append(cluster)
+            return "result", None
+
+        result, _metrics = SimulatedBackend().run_program(program, 4)
+        assert result == "result"
+        assert seen == [LOCAL]
+
+    def test_multiprocess_workers_see_their_rank_and_peers(self):
+        def program(cluster):
+            # every worker contributes its rank; the collectives must
+            # agree on the totals across all four processes
+            total = cluster.allreduce_sum(cluster.rank)
+            gathered = cluster.allgather(cluster.rank * 10)
+            return {"total": total, "gathered": gathered, "size": cluster.size}, None
+
+        result, _metrics = MultiprocessBackend(timeout=30.0).run_program(
+            program, 4
+        )
+        assert result == {
+            "total": 0 + 1 + 2 + 3,
+            "gathered": [0, 10, 20, 30],
+            "size": 4,
+        }
+
+    def test_exchange_routes_frames_by_source_rank(self):
+        def program(cluster):
+            frames = [
+                [(cluster.rank, target)] if target != cluster.rank
+                else [(cluster.rank, cluster.rank)]
+                for target in range(cluster.size)
+            ]
+            received = cluster.exchange(frames)
+            return received, None
+
+        result, _metrics = MultiprocessBackend(timeout=30.0).run_program(
+            program, 3
+        )
+        # coordinator's view: frame i came from source rank i, addressed
+        # to rank 0
+        assert result == [[(0, 0)], [(1, 0)], [(2, 0)]]
+
+    def test_worker_exception_surfaces_as_crash_with_traceback(self):
+        def program(cluster):
+            if cluster.rank == 1:
+                raise RuntimeError("worker 1 exploded")
+            return None, None
+
+        with pytest.raises(WorkerCrash, match="worker 1 exploded"):
+            MultiprocessBackend(timeout=30.0).run_program(program, 2)

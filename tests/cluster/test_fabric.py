@@ -1,0 +1,63 @@
+"""The pickled-frame transport: tagged streams, buffering, timeouts."""
+
+import multiprocessing
+
+import pytest
+
+from repro.cluster.fabric import Fabric, FabricTimeout
+
+
+@pytest.fixture
+def fabric():
+    ctx = multiprocessing.get_context("fork")
+    fab = Fabric(size=2, mp_context=ctx, timeout=2.0)
+    yield fab
+    fab.close()
+
+
+class TestEndpoint:
+    def test_send_recv_round_trips_a_payload(self, fabric):
+        a, b = fabric.endpoint(0), fabric.endpoint(1)
+        a.send(1, tag=7, payload={"records": [1, 2, 3]})
+        assert b.recv(0, tag=7) == {"records": [1, 2, 3]}
+
+    def test_payloads_are_copies_not_references(self, fabric):
+        a, b = fabric.endpoint(0), fabric.endpoint(1)
+        payload = [1, 2]
+        a.send(1, tag=1, payload=payload)
+        received = b.recv(0, tag=1)
+        payload.append(3)
+        assert received == [1, 2]
+
+    def test_fifo_within_one_stream(self, fabric):
+        a, b = fabric.endpoint(0), fabric.endpoint(1)
+        for i in range(5):
+            a.send(1, tag="s", payload=i)
+        assert [b.recv(0, tag="s") for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_out_of_order_tags_are_buffered_not_misdelivered(self, fabric):
+        a, b = fabric.endpoint(0), fabric.endpoint(1)
+        a.send(1, tag="late", payload="for later")
+        a.send(1, tag="now", payload="for now")
+        # asking for the second-sent tag first must skip (and keep) the
+        # first frame
+        assert b.recv(0, tag="now") == "for now"
+        assert b.recv(0, tag="late") == "for later"
+
+    def test_self_send_is_rejected(self, fabric):
+        a = fabric.endpoint(0)
+        with pytest.raises(ValueError):
+            a.send(0, tag=1, payload="loop")
+
+    def test_recv_times_out_when_no_peer_sends(self, fabric):
+        b = fabric.endpoint(1)
+        b.timeout = 0.1
+        with pytest.raises(FabricTimeout):
+            b.recv(0, tag="never")
+
+    def test_byte_counters_track_serialized_traffic(self, fabric):
+        a, b = fabric.endpoint(0), fabric.endpoint(1)
+        a.send(1, tag=1, payload=list(range(100)))
+        b.recv(0, tag=1)
+        assert a.bytes_sent > 0
+        assert b.bytes_received == a.bytes_sent

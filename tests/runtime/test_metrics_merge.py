@@ -1,0 +1,91 @@
+"""Merging per-worker collectors back into one comparable view."""
+
+import pytest
+
+from repro.common.errors import InvariantViolation
+from repro.runtime.invariants import attach_checker
+from repro.runtime.metrics import MetricsCollector
+
+
+def _worker(supersteps, shipped_remote=5, processed=10):
+    metrics = MetricsCollector()
+    for step in range(1, supersteps + 1):
+        metrics.begin_superstep(step)
+        metrics.add_processed("op", processed)
+        metrics.add_shipped(local=2, remote=shipped_remote)
+        metrics.end_superstep(workset_size=3, delta_size=1)
+    return metrics
+
+
+class TestAlignedMerge:
+    def test_lockstep_workers_sum_per_superstep(self):
+        a, b = _worker(3), _worker(3)
+        a.merge(b, align_supersteps=True)
+        assert a.supersteps == 3  # one worker's count, not the sum
+        assert len(a.iteration_log) == 3
+        assert a.records_shipped_remote == 2 * 3 * 5
+        for entry in a.iteration_log:
+            assert entry.records_processed == 20
+            assert entry.workset_size == 6
+
+    def test_duration_is_the_slowest_worker(self):
+        a, b = _worker(1), _worker(1)
+        a.iteration_log[0].duration_s = 0.5
+        b.iteration_log[0].duration_s = 2.0
+        a.merge(b, align_supersteps=True)
+        assert a.iteration_log[0].duration_s == 2.0
+
+    def test_divergent_lockstep_is_rejected(self):
+        a, b = _worker(3), _worker(2)
+        with pytest.raises(InvariantViolation, match="lockstep"):
+            a.merge(b, align_supersteps=True)
+
+    def test_zero_count_operators_survive_the_merge(self):
+        a, b = _worker(1), _worker(1)
+        b.add_processed("idle_op", 0)
+        a.merge(b, align_supersteps=True)
+        assert "idle_op" in a.records_processed
+
+    def test_checker_presence_must_match(self):
+        a, b = _worker(1), _worker(1)
+        attach_checker(a)
+        with pytest.raises(InvariantViolation, match="checker"):
+            a.merge(b, align_supersteps=True)
+
+
+class TestSequentialMerge:
+    def test_phases_append_logs_and_add_supersteps(self):
+        a, b = _worker(2), _worker(3)
+        a.merge(b, align_supersteps=False)
+        assert a.supersteps == 5
+        assert len(a.iteration_log) == 5
+
+    def test_open_superstep_blocks_merging(self):
+        a, b = _worker(1), _worker(1)
+        b.begin_superstep(99)
+        with pytest.raises(InvariantViolation, match="open"):
+            a.merge(b, align_supersteps=False)
+
+
+class TestCheckerAbsorb:
+    def test_attribution_shadows_sum_across_workers(self):
+        a, b = MetricsCollector(), MetricsCollector()
+        attach_checker(a)
+        attach_checker(b)
+        for metrics in (a, b):
+            metrics.begin_superstep(1)
+            metrics.add_processed("op", 7)
+            metrics.add_shipped(local=1, remote=2)
+            metrics.end_superstep()
+        a.merge(b, align_supersteps=True)
+        a.verify_invariants()  # shadows must equal the summed counters
+
+
+class TestSnapshot:
+    def test_snapshot_reports_messages_and_bytes(self):
+        metrics = _worker(2)
+        metrics.bytes_shipped = 1234
+        snap = metrics.snapshot()
+        assert snap["messages"] == metrics.records_shipped_remote
+        assert snap["bytes_shipped"] == 1234
+        assert all("messages" in entry for entry in snap["iteration_log"])
