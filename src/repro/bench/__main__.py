@@ -10,6 +10,8 @@ Examples::
     python -m repro.bench fig2
     python -m repro.bench fig9 fig10
     python -m repro.bench all
+    python -m repro.bench trace connected_components \
+        --backends simulated,multiprocess
 """
 
 from __future__ import annotations
@@ -65,16 +67,57 @@ def main(argv=None) -> int:
                         help="also persist reports to benchmarks/results/")
     parser.add_argument(
         "--backends", default=None, metavar="NAMES",
-        help="comma-separated execution backends for the audit "
-             "(e.g. 'simulated,multiprocess'); audit-only",
+        help="comma-separated execution backends for the audit and trace "
+             "commands (e.g. 'simulated,multiprocess')",
     )
     args = parser.parse_args(argv)
+
+    backends = None
+    if args.backends:
+        backends = tuple(
+            part.strip() for part in args.backends.split(",") if part.strip()
+        )
 
     if args.list or not args.experiments:
         width = max(len(name) for name in registry)
         for name, (title, _fn) in registry.items():
             print(f"  {name.ljust(width)}  {title}")
+        from repro.bench import trace as trace_mod
+        print(f"  {'trace <workload>'.ljust(width)}  "
+              "Traced run + per-phase profile; writes JSONL and "
+              "Chrome-trace artifacts\n"
+              f"  {''.ljust(width)}  workloads: "
+              f"{', '.join(sorted(trace_mod.WORKLOADS))}")
         return 0
+
+    if args.experiments[0] == "trace":
+        from repro.bench import trace as trace_mod
+        workloads = args.experiments[1:] or ["connected_components"]
+        unknown = [w for w in workloads if w not in trace_mod.WORKLOADS]
+        if unknown:
+            parser.error(
+                f"unknown trace workload(s): {', '.join(unknown)} "
+                f"(available: {', '.join(sorted(trace_mod.WORKLOADS))})"
+            )
+        status = 0
+        for workload in workloads:
+            print(f"\n### Trace — {workload}")
+            started = time.perf_counter()
+            result = trace_mod.run(
+                workload,
+                backends=backends or ("simulated", "multiprocess"),
+            )
+            elapsed = time.perf_counter() - started
+            report = result.report()
+            if args.save:
+                from repro.bench.reporting import persist_report
+                persist_report(f"trace_{workload}", report)
+            else:
+                print(report)
+            print(f"\n[trace {workload} finished in {elapsed:.1f} s]")
+            if not result.ok:
+                status = 1
+        return status
 
     requested = list(registry) if "all" in args.experiments else (
         args.experiments
@@ -82,12 +125,6 @@ def main(argv=None) -> int:
     unknown = [name for name in requested if name not in registry]
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
-
-    backends = None
-    if args.backends:
-        backends = tuple(
-            part.strip() for part in args.backends.split(",") if part.strip()
-        )
 
     for name in requested:
         title, run = registry[name]

@@ -63,6 +63,13 @@ def results_dir() -> str:
     return path
 
 
+def traces_dir() -> str:
+    """Where trace artifacts (JSONL, Chrome traces) land (created on demand)."""
+    path = os.path.join(results_dir(), "traces")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
 def persist_report(name: str, text: str) -> str:
     """Write a report under benchmarks/results/ and echo it to stdout."""
     path = os.path.join(results_dir(), f"{name}.txt")

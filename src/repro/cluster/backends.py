@@ -40,6 +40,9 @@ class ExecutionBackend:
     """Interface: run a compiled plan, or a replicated driver program."""
 
     name = "abstract"
+    #: per-worker trace timelines of the last ``run_program`` call, when
+    #: the program's collectors carried tracers (multiprocess only)
+    last_worker_traces = None
 
     def execute_plan(self, env, exec_plan):
         """Run ``exec_plan`` for ``env``; returns {sink id: records}.
@@ -105,6 +108,9 @@ class MultiprocessBackend(ExecutionBackend):
             if env.config.check_invariants:
                 from repro.runtime.invariants import attach_checker
                 attach_checker(env.metrics)
+            if env.config.trace:
+                from repro.observability import attach_tracer
+                attach_tracer(env.metrics, rank=cluster.rank)
             env.cluster = cluster
             env.last_checkpoint_store = None
             executor = Executor(env)
@@ -117,7 +123,8 @@ class MultiprocessBackend(ExecutionBackend):
             }
 
         payloads = _run_spmd(body, env.parallelism, self.timeout)
-        merged = _merge_worker_metrics(payloads)
+        merged, timelines = _merge_worker_metrics(payloads)
+        env.last_worker_traces = timelines
         env.metrics.merge(merged, align_supersteps=False)
         env.metrics.verify_invariants()
         env.last_executor = _ExecutorShim(payloads[0]["summaries"])
@@ -140,18 +147,28 @@ class MultiprocessBackend(ExecutionBackend):
             return {"results": result, "metrics": metrics}
 
         payloads = _run_spmd(body, parallelism, self.timeout)
-        merged = _merge_worker_metrics(payloads)
+        merged, timelines = _merge_worker_metrics(payloads)
+        self.last_worker_traces = timelines
         return payloads[0]["results"], merged
 
 
 def _merge_worker_metrics(payloads):
-    """Superstep-aligned merge of all workers' collectors into one."""
+    """Superstep-aligned merge of all workers' collectors into one.
+
+    Returns ``(merged collector, per-worker trace timelines)``; the
+    timelines are snapshotted *before* the aligned merge folds every
+    worker's span tree into worker 0's, so each worker's own timeline
+    survives for the exporters.
+    """
     merged = payloads[0]["metrics"]
     if merged is None:  # a program that collects no metrics
-        return None
+        return None, None
+    timelines = None
+    if merged.tracer is not None:
+        timelines = [p["metrics"].tracer.snapshot() for p in payloads]
     for payload in payloads[1:]:
         merged.merge(payload["metrics"], align_supersteps=True)
-    return merged
+    return merged, timelines
 
 
 def _spmd_child(body, fabric, rank, size):
@@ -161,8 +178,12 @@ def _spmd_child(body, fabric, rank, size):
         payload = body(cluster)
         metrics = payload.get("metrics")
         if metrics is not None:
-            # serialized traffic this worker put on the wire
-            metrics.bytes_shipped += endpoint.bytes_sent
+            # control-plane traffic (barrier votes, allgathers) that no
+            # instrumented site attributed; route it through the hook so
+            # the total still equals the endpoint's wire counter
+            leftover = endpoint.bytes_sent - metrics.bytes_shipped
+            if leftover > 0:
+                metrics.add_bytes_shipped(leftover)
         blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         fabric.results.put(("ok", rank, blob))
     except BaseException:

@@ -33,6 +33,16 @@ class ClusterContext:
     def is_coordinator(self) -> bool:
         return self.rank == 0
 
+    @property
+    def bytes_sent(self) -> int:
+        """Serialized bytes this context has put on the wire so far.
+
+        The local setting never serializes, so the base reading is 0;
+        instrumentation samples this before/after a collective to
+        attribute wire bytes to the enclosing superstep.
+        """
+        return 0
+
     def owned_partitions(self, parallelism: int):
         raise NotImplementedError
 
@@ -110,6 +120,10 @@ class WorkerCluster(ClusterContext):
     def _next_tag(self) -> int:
         self._op_seq += 1
         return self._op_seq
+
+    @property
+    def bytes_sent(self) -> int:
+        return self.endpoint.bytes_sent
 
     def owned_partitions(self, parallelism):
         return (self.rank,)

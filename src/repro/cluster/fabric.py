@@ -55,12 +55,15 @@ class Endpoint:
         self._pending: dict[tuple, deque] = {}
         self.bytes_sent = 0
         self.bytes_received = 0
+        self.frames_sent = 0
+        self.frames_received = 0
 
     def send(self, target: int, tag, payload):
         if target == self.rank:
             raise ValueError("a worker does not send frames to itself")
         blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         self.bytes_sent += len(blob)
+        self.frames_sent += 1
         self._mailboxes[target].put((self.rank, tag, blob))
 
     def recv(self, source: int, tag):
@@ -85,6 +88,7 @@ class Endpoint:
             except queue_module.Empty:
                 continue
             self.bytes_received += len(blob)
+            self.frames_received += 1
             self._pending.setdefault((src, frame_tag), deque()).append(
                 pickle.loads(blob)
             )

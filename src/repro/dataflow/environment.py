@@ -108,6 +108,14 @@ class ExecutionEnvironment:
         if self.config.check_invariants:
             from repro.runtime.invariants import attach_checker
             attach_checker(self.metrics)
+        #: the session's tracer when ``config.trace`` is set; the
+        #: multiprocess backend additionally attaches per-worker tracers
+        #: and leaves their timelines in ``last_worker_traces``
+        self.tracer = None
+        if self.config.trace:
+            from repro.observability import attach_tracer
+            self.tracer = attach_tracer(self.metrics)
+        self.last_worker_traces = None
         self._sinks: list[LogicalNode] = []
         self.last_executor = None
         self.last_plan = None
@@ -200,6 +208,13 @@ class ExecutionEnvironment:
         # to set last_executor for introspection)
         results = self.backend.execute_plan(self, exec_plan)
         self.last_plan = exec_plan
+        if self.tracer is not None and self.config.trace_path:
+            from repro.observability import write_jsonl
+            write_jsonl(
+                self.config.trace_path, self.trace_timelines,
+                meta={"backend": self.backend.name,
+                      "parallelism": self.parallelism},
+            )
         return results
 
     def collect(self, dataset: DataSet) -> list:
@@ -223,6 +238,22 @@ class ExecutionEnvironment:
         if self.last_executor is None:
             return []
         return self.last_executor.iteration_summaries
+
+    @property
+    def trace_timelines(self):
+        """Labelled ``(name, tracer)`` timelines of the last traced run.
+
+        The simulated backend has one driver timeline; the multiprocess
+        backend exports each worker's own timeline (the driver's merged
+        tree would duplicate every worker span).
+        """
+        if self.tracer is None:
+            return []
+        if self.last_worker_traces:
+            return [
+                (f"worker-{t.rank}", t) for t in self.last_worker_traces
+            ]
+        return [("driver", self.tracer)]
 
     def explain(self, dataset: DataSet) -> str:
         """Return the optimizer's chosen physical plan as text, not running it."""

@@ -28,7 +28,7 @@ class FixpointResult:
 
 
 def fixpoint_iterate(step, state, equals=None, max_iterations=10_000,
-                     order=None, trace=False) -> FixpointResult:
+                     order=None, trace=False, tracer=None) -> FixpointResult:
     """Template FIXPOINT: ``while s != f(s): s = f(s)``.
 
     Parameters
@@ -47,7 +47,16 @@ def fixpoint_iterate(step, state, equals=None, max_iterations=10_000,
         precondition of Section 2.1).
     trace:
         Record the full Kleene chain in the result.
+    tracer:
+        Optional :class:`~repro.observability.Tracer`; the whole template
+        run is recorded as one ``template:fixpoint`` span.
     """
+    if tracer is not None:
+        with tracer.span("template:fixpoint", category="template") as span:
+            result = fixpoint_iterate(step, state, equals, max_iterations,
+                                      order, trace)
+            span.attributes["iterations"] = result.iterations
+        return result
     if equals is None:
         equals = lambda a, b: a == b
     chain = [state] if trace else []
@@ -66,13 +75,19 @@ def fixpoint_iterate(step, state, equals=None, max_iterations=10_000,
 
 
 def incremental_iterate(delta, update, state, workset, max_iterations=10_000,
-                        trace=False) -> FixpointResult:
+                        trace=False, tracer=None) -> FixpointResult:
     """Template INCR: superstep-wise workset iteration.
 
     Each superstep computes the next workset ``w' = δ(s, w)`` *before*
     applying the updates ``s = u(s, w)``, matching algorithm INCR of
     Table 1 (δ observes the pre-update state).
     """
+    if tracer is not None:
+        with tracer.span("template:incr", category="template") as span:
+            result = incremental_iterate(delta, update, state, workset,
+                                         max_iterations, trace)
+            span.attributes["iterations"] = result.iterations
+        return result
     workset_sizes = []
     chain = [state] if trace else []
     for iteration in range(1, max_iterations + 1):
@@ -91,13 +106,19 @@ def incremental_iterate(delta, update, state, workset, max_iterations=10_000,
 
 
 def microstep_iterate(delta, update, state, workset, max_steps=10_000_000,
-                      trace=False) -> FixpointResult:
+                      trace=False, tracer=None) -> FixpointResult:
     """Template MICRO: one workset element at a time.
 
     ``arb`` selection is FIFO here (deterministic); the state reflects
     each update immediately, so ``δ`` runs against the freshest state —
     the property that admits asynchronous execution (Section 2.2).
     """
+    if tracer is not None:
+        with tracer.span("template:micro", category="template") as span:
+            result = microstep_iterate(delta, update, state, workset,
+                                       max_steps, trace)
+            span.attributes["iterations"] = result.iterations
+        return result
     from collections import deque
 
     queue = deque(workset)

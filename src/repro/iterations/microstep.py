@@ -58,6 +58,16 @@ class MicrostepReport:
             raise MicrostepViolation("; ".join(self.reasons))
         return self
 
+    def span_attributes(self) -> dict:
+        """The analysis outcome as flat span attributes (tracing)."""
+        return {
+            "eligible": self.eligible,
+            "stages_to_delta": len(self.chain_to_delta),
+            "stages_to_workset": len(self.chain_to_workset),
+            "local_updates": self.local_updates,
+            "route_fields": self.workset_route_fields,
+        }
+
 
 def analyze_microstep(iteration) -> MicrostepReport:
     """Analyze a closed :class:`DeltaIterationNode` for microstep eligibility."""

@@ -1,0 +1,35 @@
+"""Span-based tracing, trace exporters, and per-operator profiling.
+
+See :mod:`repro.observability.tracer` for the recording model,
+:mod:`repro.observability.export` for the JSONL / Chrome-trace
+consumers, and :mod:`repro.observability.profile` for the per-operator
+profile report behind ``python -m repro.bench trace``.
+"""
+
+from repro.observability.export import (
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.observability.profile import operator_profile
+from repro.observability.tracer import (
+    LOGICAL_SPAN_COUNTERS,
+    SPAN_COUNTERS,
+    Span,
+    Tracer,
+    attach_tracer,
+    canonical_name,
+)
+
+__all__ = [
+    "LOGICAL_SPAN_COUNTERS",
+    "SPAN_COUNTERS",
+    "Span",
+    "Tracer",
+    "attach_tracer",
+    "canonical_name",
+    "operator_profile",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

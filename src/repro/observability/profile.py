@@ -1,0 +1,70 @@
+"""Per-operator profiles computed from a span tree.
+
+Aggregates a merged trace by ``(category, name)``: self time (span
+duration minus child span durations — the time actually spent in that
+phase, not in nested phases), records processed, throughput, bytes put
+on the wire, and cache behavior.  This is the paper-style "where did
+the time and the records go" attribution the flat counters cannot give.
+"""
+
+from __future__ import annotations
+
+
+def operator_profile(tracer, top: int | None = None) -> dict:
+    """Aggregate ``tracer`` into per-phase profile rows.
+
+    Returns ``{"wall_s": total root wall time, "rows": [row, ...]}``
+    with rows sorted by self time descending; each row carries name,
+    category, count, self_s, share, processed, records_per_s,
+    shipped_remote, bytes_shipped, cache_hits, cache_builds.
+    """
+    buckets: dict[tuple, dict] = {}
+
+    def visit(span):
+        child_time = sum(
+            child.duration_s for child in span.children
+            if not child.is_instant
+        )
+        self_s = max(span.duration_s - child_time, 0.0)
+
+        def self_counter(name):
+            total = span.counters.get(name, 0)
+            nested = sum(child.counters.get(name, 0)
+                         for child in span.children)
+            return max(total - nested, 0)
+
+        key = (span.category, span.name)
+        row = buckets.setdefault(key, {
+            "name": span.name,
+            "category": span.category,
+            "count": 0,
+            "self_s": 0.0,
+            "processed": 0,
+            "shipped_remote": 0,
+            "bytes_shipped": 0,
+            "cache_hits": 0,
+            "cache_builds": 0,
+        })
+        row["count"] += 1
+        row["self_s"] += self_s
+        row["processed"] += self_counter("records_processed")
+        row["shipped_remote"] += self_counter("records_shipped_remote")
+        row["bytes_shipped"] += self_counter("bytes_shipped")
+        row["cache_hits"] += self_counter("cache_hits")
+        row["cache_builds"] += self_counter("cache_builds")
+        for child in span.children:
+            visit(child)
+
+    for root in tracer.roots:
+        visit(root)
+
+    wall_s = sum(root.duration_s for root in tracer.roots)
+    rows = sorted(buckets.values(), key=lambda r: r["self_s"], reverse=True)
+    for row in rows:
+        row["share"] = (row["self_s"] / wall_s) if wall_s > 0 else 0.0
+        row["records_per_s"] = (
+            row["processed"] / row["self_s"] if row["self_s"] > 0 else 0.0
+        )
+    if top is not None:
+        rows = rows[:top]
+    return {"wall_s": wall_s, "rows": rows}

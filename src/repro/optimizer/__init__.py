@@ -28,9 +28,20 @@ __all__ = [
 
 def optimize_plan(logical_plan, env) -> ExecutionPlan:
     """Produce the cost-optimal execution plan for ``logical_plan``."""
+    tracer = env.metrics.tracer
+    if tracer is None:
+        return _optimize_plan(logical_plan, env, None)
+    with tracer.span("optimizer:plan", category="optimizer",
+                     sinks=len(logical_plan.sinks)) as span:
+        exec_plan = _optimize_plan(logical_plan, env, tracer)
+        span.attributes["cost"] = exec_plan.estimated_cost
+    return exec_plan
+
+
+def _optimize_plan(logical_plan, env, tracer) -> ExecutionPlan:
     weights = env.cost_weights or DEFAULT_WEIGHTS
     stats = Statistics()
-    enumerator = Enumerator(env.parallelism, weights, stats)
+    enumerator = Enumerator(env.parallelism, weights, stats, tracer=tracer)
     outer_nodes = _outer_region(logical_plan)
     enumerator.count_consumers(outer_nodes)
 
@@ -38,18 +49,38 @@ def optimize_plan(logical_plan, env) -> ExecutionPlan:
     total_cost = 0.0
     applied: set[int] = set()
     for sink in logical_plan.sinks:
-        best = min(enumerator.candidates(sink), key=lambda c: c.cost)
+        if tracer is not None:
+            with tracer.span("optimizer:enumerate", category="optimizer",
+                             sink=sink.name) as enum_span:
+                candidates = list(enumerator.candidates(sink))
+                enum_span.attributes["candidates"] = len(candidates)
+        else:
+            candidates = enumerator.candidates(sink)
+        best = min(candidates, key=lambda c: c.cost)
+        if tracer is not None:
+            with tracer.span("optimizer:select", category="optimizer",
+                             sink=sink.name, cost=best.cost):
+                _apply_candidate(best, exec_plan, applied)
+        else:
+            _apply_candidate(best, exec_plan, applied)
         total_cost += best.cost
-        _apply_candidate(best, exec_plan, applied)
     exec_plan.estimated_cost = total_cost
 
+    if tracer is not None:
+        with tracer.span("optimizer:modes", category="optimizer"):
+            _resolve_modes(logical_plan, exec_plan)
+    else:
+        _resolve_modes(logical_plan, exec_plan)
+    return exec_plan
+
+
+def _resolve_modes(logical_plan, exec_plan):
     for node in logical_plan.nodes():
         if node.contract is Contract.DELTA_ITERATION:
             mode = resolve_iteration_mode(node)
             exec_plan.iteration_modes[node.id] = mode
             if mode in ("microstep", "async"):
                 _fixup_microstep(exec_plan, node)
-    return exec_plan
 
 
 def _outer_region(logical_plan):

@@ -97,7 +97,7 @@ class Enumerator:
 
     def __init__(self, parallelism, weights, stats, interesting=None,
                  dynamic_ids=frozenset(), iteration_weight=1.0,
-                 placeholder_props=None):
+                 placeholder_props=None, tracer=None):
         self.parallelism = parallelism
         self.weights = weights
         self.stats = stats
@@ -105,6 +105,7 @@ class Enumerator:
         self.dynamic_ids = dynamic_ids
         self.iteration_weight = iteration_weight
         self.placeholder_props = placeholder_props or {}
+        self.tracer = tracer
         self._memo: dict[int, list[Candidate]] = {}
         self._consumer_counts: dict[int, int] = {}
 
@@ -550,9 +551,17 @@ class Enumerator:
 
         input_cands = [self.candidates(inp) for inp in node.inputs]
         best_inputs = [min(cands, key=lambda c: c.cost) for cands in input_cands]
-        body_plans, body_cost, out_props = _optimize_body(
-            node, self.parallelism, self.weights, self.stats,
-        )
+        if self.tracer is not None:
+            with self.tracer.span("optimizer:body", category="optimizer",
+                                  iteration=node.name):
+                body_plans, body_cost, out_props = _optimize_body(
+                    node, self.parallelism, self.weights, self.stats,
+                    tracer=self.tracer,
+                )
+        else:
+            body_plans, body_cost, out_props = _optimize_body(
+                node, self.parallelism, self.weights, self.stats,
+            )
         total = sum(c.cost for c in best_inputs) + body_cost
         ships = {}
         if node.contract is Contract.DELTA_ITERATION:
@@ -564,7 +573,8 @@ class Enumerator:
         )]
 
 
-def _optimize_body(iteration, parallelism, weights, outer_stats):
+def _optimize_body(iteration, parallelism, weights, outer_stats,
+                   tracer=None):
     """Optimize an iteration's step function in a nested context.
 
     Returns ``(list of (node, Candidate) picks, body cost, output props)``.
@@ -601,6 +611,7 @@ def _optimize_body(iteration, parallelism, weights, outer_stats):
         interesting=interesting,
         dynamic_ids=dynamic,
         iteration_weight=expected,
+        tracer=tracer,
     )
     enumerator.count_consumers(body)
 

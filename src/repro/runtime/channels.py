@@ -59,33 +59,48 @@ def ship(partitions, strategy, parallelism, metrics=None, cluster=None):
             "(the partition-count contract)"
         )
     kind = strategy.kind
-    if (
-        cluster is not None
-        and not cluster.is_local
-        and cluster.size > 1
-        and kind is not ShipKind.FORWARD
-    ):
-        return _ship_spmd(partitions, strategy, parallelism, metrics, cluster)
-    if kind is ShipKind.FORWARD:
-        out, local, remote = _ship_forward(partitions)
-    elif kind is ShipKind.PARTITION_HASH:
-        out, local, remote = _ship_hash(
-            partitions, strategy.key_fields, parallelism
+    # one span covers the ship whichever path it takes, so traces have
+    # identical structure across the in-process and SPMD settings
+    tracer = metrics.tracer if metrics is not None else None
+    span = None
+    if tracer is not None:
+        span = tracer.begin(
+            f"ship:{kind.value}", category="channel", kind=kind.value,
+            fanout=parallelism,
         )
-    elif kind is ShipKind.BROADCAST:
-        out, local, remote = _ship_broadcast(partitions, parallelism)
-    elif kind is ShipKind.GATHER:
-        out, local, remote = _ship_gather(partitions, parallelism)
-    else:
-        raise ValueError(f"unknown ship kind {kind}")
-    if metrics is not None:
-        metrics.add_shipped(local=local, remote=remote)
-        checker = metrics.invariants
-        if checker is not None:
-            checker.check_ship(
-                strategy, partitions, out, parallelism, local, remote
+    try:
+        if (
+            cluster is not None
+            and not cluster.is_local
+            and cluster.size > 1
+            and kind is not ShipKind.FORWARD
+        ):
+            return _ship_spmd(
+                partitions, strategy, parallelism, metrics, cluster
             )
-    return out
+        if kind is ShipKind.FORWARD:
+            out, local, remote = _ship_forward(partitions)
+        elif kind is ShipKind.PARTITION_HASH:
+            out, local, remote = _ship_hash(
+                partitions, strategy.key_fields, parallelism
+            )
+        elif kind is ShipKind.BROADCAST:
+            out, local, remote = _ship_broadcast(partitions, parallelism)
+        elif kind is ShipKind.GATHER:
+            out, local, remote = _ship_gather(partitions, parallelism)
+        else:
+            raise ValueError(f"unknown ship kind {kind}")
+        if metrics is not None:
+            metrics.add_shipped(local=local, remote=remote)
+            checker = metrics.invariants
+            if checker is not None:
+                checker.check_ship(
+                    strategy, partitions, out, parallelism, local, remote
+                )
+        return out
+    finally:
+        if span is not None:
+            tracer.end(span)
 
 
 def _ship_forward(partitions):
@@ -159,12 +174,14 @@ def _ship_spmd(partitions, strategy, parallelism, metrics, cluster):
         remote = 0 if rank == 0 else n_in
     else:
         raise ValueError(f"unknown ship kind {kind}")
+    bytes_before = cluster.bytes_sent
     received_frames = cluster.exchange(frames)
     out = empty_partitions(parallelism)
     out[rank] = [
         record for frame in received_frames for record in frame
     ]
     if metrics is not None:
+        metrics.add_bytes_shipped(cluster.bytes_sent - bytes_before)
         metrics.add_shipped(local=local, remote=remote)
         checker = metrics.invariants
         if checker is not None:

@@ -1,9 +1,11 @@
 """Runtime configuration flags shared by all engines.
 
 The simulated dataflow engine, the Spark-like engine, and the Pregel-like
-engine all accept a :class:`RuntimeConfig`.  Today it carries one flag:
+engine all accept a :class:`RuntimeConfig`.  It carries two switches:
 ``check_invariants``, which attaches the debug-mode audit layer of
-:mod:`repro.runtime.invariants` to the engine's metric collector.
+:mod:`repro.runtime.invariants` to the engine's metric collector, and
+``trace``, which attaches the span tracer of
+:mod:`repro.observability`.
 
 Invariant checking defaults to **on under pytest** (so the entire test
 suite dogfoods the conservation laws) and off otherwise (benchmark runs
@@ -38,6 +40,30 @@ def invariant_checking_default() -> bool:
     return "pytest" in sys.modules
 
 
+def tracing_default() -> bool:
+    """Tracing is opt-in: off unless ``REPRO_TRACE`` enables it.
+
+    ``REPRO_TRACE`` accepts a truthy/falsy flag *or* a file path: any
+    value outside the flag spellings turns tracing on and names the
+    JSONL event log to write (see :func:`trace_path_default`).
+    """
+    override = os.environ.get("REPRO_TRACE")
+    if override is None:
+        return False
+    return override.strip().lower() not in _FALSY
+
+
+def trace_path_default() -> str | None:
+    """The JSONL path carried by ``REPRO_TRACE``, if it names one."""
+    override = os.environ.get("REPRO_TRACE")
+    if override is None:
+        return None
+    value = override.strip()
+    if value.lower() in _TRUTHY or value.lower() in _FALSY:
+        return None
+    return value
+
+
 @dataclass
 class RuntimeConfig:
     """Per-session runtime switches.
@@ -47,6 +73,17 @@ class RuntimeConfig:
     :class:`~repro.runtime.metrics.MetricsCollector`, auditing every
     channel ship, driver call, superstep barrier, and solution-set delta
     application against its conservation law.
+
+    ``trace`` — attach a :class:`~repro.observability.Tracer` to the
+    session's collector: optimizer phases, operator execution, channel
+    ships, and superstep barriers record a span tree (see
+    :mod:`repro.observability`).  Off by default — tracing is opt-in —
+    and overridden by the ``REPRO_TRACE`` environment variable: a
+    truthy value turns it on, a falsy value off, and any other value is
+    treated as *on* plus the path of a JSONL event log to write
+    (``trace_path``) when the session executes a plan.
     """
 
     check_invariants: bool = field(default_factory=invariant_checking_default)
+    trace: bool = field(default_factory=tracing_default)
+    trace_path: str | None = field(default_factory=trace_path_default)

@@ -78,6 +78,7 @@ class Executor:
         self.env = env
         self.parallelism = env.parallelism
         self.metrics = env.metrics
+        self.tracer = env.metrics.tracer
         #: where this executor runs: the local simulator context, or one
         #: SPMD worker's view of its forked peers (multiprocess backend)
         self.cluster = getattr(env, "cluster", None) or LOCAL
@@ -125,6 +126,21 @@ class Executor:
             return self._load_source(node)
         if node.is_placeholder():
             return self._resolve_placeholder(node, scope)
+        # sources and placeholders stay span-free (pure memo/binding
+        # lookups); everything else is a traced operator execution
+        if self.tracer is None:
+            return self._compute_node(node, step_memo, scope)
+        span = self.tracer.begin(
+            f"operator:{node.name}", category="operator",
+            contract=contract.value,
+        )
+        try:
+            return self._compute_node(node, step_memo, scope)
+        finally:
+            self.tracer.end(span)
+
+    def _compute_node(self, node, step_memo, scope):
+        contract = node.contract
         if contract is Contract.SINK:
             inputs = self._shipped_inputs(node, step_memo, scope, default=GATHER)
             return inputs[0]
@@ -178,14 +194,14 @@ class Executor:
             cacheable = self._edge_is_constant(node, producer, scope)
             cache_key = (node.id, idx)
             if cacheable and cache_key in scope.edge_cache:
-                self.metrics.cache_hits += 1
+                self.metrics.add_cache_hit()
                 shipped.append(scope.edge_cache[cache_key])
                 continue
             parts = self._evaluate(producer, step_memo, scope)
             routed = self._ship(parts, strategy)
             if cacheable:
                 scope.edge_cache[cache_key] = routed
-                self.metrics.cache_builds += 1
+                self.metrics.add_cache_build()
             shipped.append(routed)
         return shipped
 
@@ -242,10 +258,10 @@ class Executor:
                     table.setdefault(key(record), []).append(record)
                 tables.append(table)
             scope.table_cache[node.id] = tables
-            self.metrics.cache_builds += 1
+            self.metrics.add_cache_build()
             self.metrics.add_processed(node.name, sum(len(p) for p in shipped))
         else:
-            self.metrics.cache_hits += 1
+            self.metrics.add_cache_hit()
 
         probe_idx = 1 - build_idx
         probe_parts = self._ship_one_input(node, probe_idx, step_memo, scope)
@@ -273,13 +289,13 @@ class Executor:
         cacheable = self._edge_is_constant(node, producer, scope)
         cache_key = (node.id, idx)
         if cacheable and cache_key in scope.edge_cache:
-            self.metrics.cache_hits += 1
+            self.metrics.add_cache_hit()
             return scope.edge_cache[cache_key]
         parts = self._evaluate(producer, step_memo, scope)
         routed = self._ship(parts, strategy)
         if cacheable:
             scope.edge_cache[cache_key] = routed
-            self.metrics.cache_builds += 1
+            self.metrics.add_cache_build()
         return routed
 
     # ------------------------------------------------------------------
@@ -397,11 +413,21 @@ class Executor:
                     stop = self.cluster.allreduce_sum(
                         sum(len(p) for p in term_parts)
                     ) == 0
+                    if self.tracer is not None:
+                        self.tracer.instant(
+                            "iteration:termination", category="iteration",
+                            stop=stop,
+                        )
                 elif node.convergence_check is not None:
                     stop = node.convergence_check(
                         self.cluster.merge_global(current),
                         self.cluster.merge_global(new_parts),
                     )
+                    if self.tracer is not None:
+                        self.tracer.instant(
+                            "iteration:convergence", category="iteration",
+                            stop=stop,
+                        )
             except SimulatedFailure as failure:
                 self.metrics.end_superstep()
                 if store is None:
@@ -483,6 +509,11 @@ class Executor:
             workset_size = self.cluster.allreduce_sum(
                 sum(len(p) for p in workset)
             )
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "iteration:workset-vote", category="iteration",
+                    size=workset_size,
+                )
             if workset_size == 0:
                 converged = True
                 break
@@ -586,6 +617,11 @@ class Executor:
 
     def _delta_microsteps(self, node, scope, index, synchronous):
         report = analyze_microstep(node).raise_if_ineligible()
+        if self.tracer is not None:
+            self.tracer.instant(
+                "microstep:analysis", category="iteration",
+                **report.span_attributes(),
+            )
         # chain compilation ships the constant sides (Match/Cross build
         # tables) — under SPMD every worker runs these collectives in
         # lockstep before any queue exists
@@ -835,8 +871,10 @@ class Executor:
             else:
                 seed_remote += 1
         queue = deque()
+        bytes_before = cluster.bytes_sent
         for frame in cluster.exchange(frames):
             queue.extend(frame)
+        self.metrics.add_bytes_shipped(cluster.bytes_sent - bytes_before)
         self.metrics.add_shipped(local=seed_local, remote=seed_remote)
 
         steps = 0
@@ -882,8 +920,10 @@ class Executor:
                 step = checkpoint.superstep
                 continue
             self.metrics.add_shipped(local=shipped[0], remote=shipped[1])
+            bytes_before = cluster.bytes_sent
             for frame in cluster.exchange(buffers):
                 queue.extend(frame)
+            self.metrics.add_bytes_shipped(cluster.bytes_sent - bytes_before)
             self.metrics.end_superstep(
                 workset_size=sum(len(b) for b in buffers),
                 delta_size=self.metrics.solution_updates - updates_before,
@@ -930,6 +970,12 @@ class Executor:
         queue = deque()
         open_round = None
         last_updates = 0
+
+        def ring_send(target, token):
+            """Pass the token on, attributing its wire bytes here."""
+            bytes_before = cluster.bytes_sent
+            cluster.send_to(target, token, tag="ring")
+            self.metrics.add_bytes_shipped(cluster.bytes_sent - bytes_before)
 
         def take_mine(pending, max_seq):
             """Pop records destined to this rank with seq <= max_seq,
@@ -1014,7 +1060,7 @@ class Executor:
             token = {"phase": "seed", "pending": [],
                      "detector": detector.snapshot_state()}
             seed_turn(token)
-            cluster.send_to(next_rank, token, tag="ring")
+            ring_send(next_rank, token)
             token = cluster.recv_from(prev_rank, tag="ring")
             detector.restore_state(token["detector"])
             # mirrors the simulator's cap on detector-starved runs
@@ -1031,14 +1077,14 @@ class Executor:
                 token["phase"] = "round"
                 token["round"] = rounds
                 my_turn(token, rounds)
-                cluster.send_to(next_rank, token, tag="ring")
+                ring_send(next_rank, token)
                 token = cluster.recv_from(prev_rank, tag="ring")
                 detector.restore_state(token["detector"])
             token["phase"] = "stop"
             token["round"] = rounds
             token["terminated"] = terminated
             stop_turn(token)
-            cluster.send_to(next_rank, token, tag="ring")
+            ring_send(next_rank, token)
             cluster.recv_from(prev_rank, tag="ring")
             return terminated, rounds
         while True:
@@ -1052,9 +1098,9 @@ class Executor:
                 stop_turn(token)
                 terminated = token["terminated"]
                 rounds = token["round"]
-                cluster.send_to(next_rank, token, tag="ring")
+                ring_send(next_rank, token)
                 return terminated, rounds
-            cluster.send_to(next_rank, token, tag="ring")
+            ring_send(next_rank, token)
 
 
 # ----------------------------------------------------------------------

@@ -37,6 +37,10 @@ Enforced laws:
 * **Attribution totals** — the per-superstep counters in
   ``iteration_log`` plus the out-of-superstep remainder sum exactly to
   the global collector totals (``verify_totals``).
+* **Trace reconciliation** — when a tracer is attached, span trees are
+  well-nested (no span left open at a quiescent point) and the counter
+  deltas sampled inside each superstep span equal the counters the
+  barrier logged into ``iteration_log`` (``check_trace``).
 
 The checker recomputes expectations independently of the code under
 audit (e.g. the hash channel's locality split is re-derived per record
@@ -60,6 +64,24 @@ ATTRIBUTED_COUNTERS = (
     "processed",
     "solution_accesses",
     "solution_updates",
+    "bytes_shipped",
+    "cache_hits",
+    "cache_builds",
+)
+
+#: (span counter key, IterationStats field) pairs the trace law
+#: reconciles between a superstep span and its logged stats
+_TRACE_RECONCILED = (
+    ("records_processed", "records_processed"),
+    ("records_shipped_local", "records_shipped_local"),
+    ("records_shipped_remote", "records_shipped_remote"),
+    ("solution_accesses", "solution_accesses"),
+    ("solution_updates", "solution_updates"),
+    ("bytes_shipped", "bytes_shipped"),
+    ("cache_hits", "cache_hits"),
+    ("cache_builds", "cache_builds"),
+    ("workset_size", "workset_size"),
+    ("delta_size", "delta_size"),
 )
 
 
@@ -83,6 +105,7 @@ class InvariantChecker:
         self.ship_checks = 0
         self.driver_checks = 0
         self.delta_checks = 0
+        self.trace_checks = 0
 
     def reset(self):
         self._inside = dict.fromkeys(ATTRIBUTED_COUNTERS, 0)
@@ -383,6 +406,9 @@ class InvariantChecker:
             "processed": sum(s.records_processed for s in log),
             "solution_accesses": sum(s.solution_accesses for s in log),
             "solution_updates": sum(s.solution_updates for s in log),
+            "bytes_shipped": sum(s.bytes_shipped for s in log),
+            "cache_hits": sum(s.cache_hits for s in log),
+            "cache_builds": sum(s.cache_builds for s in log),
         }
         totals = {
             "shipped_local": metrics.records_shipped_local,
@@ -390,6 +416,9 @@ class InvariantChecker:
             "processed": metrics.total_processed,
             "solution_accesses": metrics.solution_accesses,
             "solution_updates": metrics.solution_updates,
+            "bytes_shipped": metrics.bytes_shipped,
+            "cache_hits": metrics.cache_hits,
+            "cache_builds": metrics.cache_builds,
         }
         for name in ATTRIBUTED_COUNTERS:
             if logged[name] != self._inside[name]:
@@ -407,6 +436,58 @@ class InvariantChecker:
                     "mutated outside the collector hooks"
                 )
 
+    # ------------------------------------------------------------------
+    # trace audit
+
+    def check_trace(self, tracer, metrics):
+        """Span trees are well-nested and reconcile with the barrier log.
+
+        Two laws, checked at a quiescent point:
+
+        * the trace forest is closed (no span left open — a crash path
+          that skipped an ``end`` would leave a dangling span);
+        * the superstep-category spans, in depth-first preorder, pair
+          one-to-one with ``metrics.iteration_log``, and every counter
+          delta sampled inside a superstep span equals the counter the
+          barrier logged for that superstep.  Since spans sample the
+          collector totals while ``IterationStats`` accumulates through
+          the hooks, any counter mutated without its hook (or any span
+          crossing a barrier) breaks the reconciliation.
+        """
+        self.trace_checks += 1
+        if tracer.open_depth:
+            self._fail(
+                f"{tracer.open_depth} span(s) still open at a quiescent "
+                "point — every begin must have a matching end"
+            )
+        spans = [s for s in tracer.iter_spans()
+                 if s.category == "superstep"]
+        log = metrics.iteration_log
+        if len(spans) != len(log):
+            self._fail(
+                f"trace holds {len(spans)} superstep spans but "
+                f"iteration_log holds {len(log)} entries — a barrier was "
+                "traced without being logged (or vice versa)"
+            )
+        for span, stats in zip(spans, log):
+            if span.attributes.get("superstep") != stats.superstep:
+                self._fail(
+                    f"superstep span {span.name!r} (superstep "
+                    f"{span.attributes.get('superstep')}) paired with "
+                    f"logged superstep {stats.superstep} — trace and log "
+                    "disagree on barrier order"
+                )
+            for counter, fieldname in _TRACE_RECONCILED:
+                sampled = span.counters.get(counter, 0)
+                logged = getattr(stats, fieldname)
+                if sampled != logged:
+                    self._fail(
+                        f"superstep {stats.superstep}: span sampled "
+                        f"{counter}={sampled} but the barrier logged "
+                        f"{logged} — a counter bypassed its collector "
+                        "hook inside the superstep"
+                    )
+
     def absorb(self, other: "InvariantChecker"):
         """Fold another checker's shadows into this one.
 
@@ -422,6 +503,7 @@ class InvariantChecker:
         self.ship_checks += other.ship_checks
         self.driver_checks += other.driver_checks
         self.delta_checks += other.delta_checks
+        self.trace_checks += other.trace_checks
         return self
 
 

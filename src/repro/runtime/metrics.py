@@ -29,6 +29,11 @@ class IterationStats:
     delta_size: int = 0
     solution_accesses: int = 0
     solution_updates: int = 0
+    #: serialized bytes this superstep put on the wire (multiprocess
+    #: backend only — the simulator never serializes records)
+    bytes_shipped: int = 0
+    cache_hits: int = 0
+    cache_builds: int = 0
 
     @property
     def messages(self) -> int:
@@ -47,6 +52,9 @@ class IterationStats:
             "delta_size": self.delta_size,
             "solution_accesses": self.solution_accesses,
             "solution_updates": self.solution_updates,
+            "bytes_shipped": self.bytes_shipped,
+            "cache_hits": self.cache_hits,
+            "cache_builds": self.cache_builds,
             "messages": self.messages,
         }
 
@@ -71,8 +79,13 @@ class MetricsCollector:
     #: attached (``RuntimeConfig.check_invariants``), every counter hook
     #: mirrors into it and the runtime layers audit their conservation laws
     invariants: object | None = None
+    #: optional :class:`~repro.observability.Tracer`; when attached
+    #: (``RuntimeConfig.trace``), superstep barriers open/close spans and
+    #: cache events emit instant markers
+    tracer: object | None = None
     _open_superstep: IterationStats | None = None
     _superstep_started: float = 0.0
+    _superstep_span: object | None = None
 
     # ------------------------------------------------------------------
     # raw counter hooks (called by channels / drivers / solution set)
@@ -115,6 +128,38 @@ class MetricsCollector:
                 "solution_updates", count, self._open_superstep is not None
             )
 
+    def add_bytes_shipped(self, count: int):
+        """Serialized wire bytes, attributed to the open superstep."""
+        self.bytes_shipped += count
+        if self._open_superstep is not None:
+            self._open_superstep.bytes_shipped += count
+        if self.invariants is not None:
+            self.invariants.on_counter(
+                "bytes_shipped", count, self._open_superstep is not None
+            )
+
+    def add_cache_hit(self, count: int = 1):
+        self.cache_hits += count
+        if self._open_superstep is not None:
+            self._open_superstep.cache_hits += count
+        if self.invariants is not None:
+            self.invariants.on_counter(
+                "cache_hits", count, self._open_superstep is not None
+            )
+        if self.tracer is not None:
+            self.tracer.instant("cache:hit", category="cache")
+
+    def add_cache_build(self, count: int = 1):
+        self.cache_builds += count
+        if self._open_superstep is not None:
+            self._open_superstep.cache_builds += count
+        if self.invariants is not None:
+            self.invariants.on_counter(
+                "cache_builds", count, self._open_superstep is not None
+            )
+        if self.tracer is not None:
+            self.tracer.instant("cache:build", category="cache")
+
     # ------------------------------------------------------------------
     # superstep scoping
 
@@ -127,6 +172,11 @@ class MetricsCollector:
             )
         if self.invariants is not None:
             self.invariants.on_begin_superstep(superstep)
+        if self.tracer is not None:
+            self._superstep_span = self.tracer.begin(
+                f"superstep:{superstep}", category="superstep",
+                superstep=superstep,
+            )
         self._open_superstep = IterationStats(superstep=superstep)
         self._superstep_started = time.perf_counter()
 
@@ -145,12 +195,23 @@ class MetricsCollector:
         self.iteration_log.append(stats)
         self.supersteps += 1
         self._open_superstep = None
+        if self.tracer is not None and self._superstep_span is not None:
+            # sizes are barrier outputs, not counter deltas: record them
+            # on the span explicitly so the trace law can reconcile them
+            self.tracer.end(
+                self._superstep_span,
+                counters={"workset_size": workset_size,
+                          "delta_size": delta_size},
+            )
+            self._superstep_span = None
         return stats
 
     def verify_invariants(self):
         """Audit attribution totals if a checker is attached (else no-op)."""
         if self.invariants is not None:
             self.invariants.verify_totals(self)
+            if self.tracer is not None:
+                self.invariants.check_trace(self.tracer, self)
 
     # ------------------------------------------------------------------
     # merging collectors across workers / phases
@@ -176,6 +237,11 @@ class MetricsCollector:
             raise InvariantViolation(
                 "cannot merge collectors when only one carries an "
                 "invariant checker — attribution shadows would diverge"
+            )
+        if (self.tracer is None) != (other.tracer is None):
+            raise InvariantViolation(
+                "cannot merge collectors when only one carries a tracer — "
+                "the merged trace would silently drop spans"
             )
         # Counter.update (not +=): iadd drops zero entries, and operator
         # keys with zero counts must survive for cross-backend equality
@@ -209,12 +275,17 @@ class MetricsCollector:
                 mine.delta_size += theirs.delta_size
                 mine.solution_accesses += theirs.solution_accesses
                 mine.solution_updates += theirs.solution_updates
+                mine.bytes_shipped += theirs.bytes_shipped
+                mine.cache_hits += theirs.cache_hits
+                mine.cache_builds += theirs.cache_builds
                 mine.duration_s = max(mine.duration_s, theirs.duration_s)
         else:
             self.iteration_log.extend(other.iteration_log)
             self.supersteps += other.supersteps
         if self.invariants is not None and other.invariants is not None:
             self.invariants.absorb(other.invariants)
+        if self.tracer is not None and other.tracer is not None:
+            self.tracer.merge(other.tracer, align=align_supersteps)
         return self
 
     # ------------------------------------------------------------------
@@ -239,8 +310,11 @@ class MetricsCollector:
         self.bytes_shipped = 0
         self.iteration_log.clear()
         self._open_superstep = None
+        self._superstep_span = None
         if self.invariants is not None:
             self.invariants.reset()
+        if self.tracer is not None:
+            self.tracer.reset()
 
     def snapshot(self) -> dict:
         """A plain-dict view for reports and assertions."""

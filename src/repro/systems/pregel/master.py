@@ -53,10 +53,14 @@ class PregelMaster:
         self.cluster = cluster or LOCAL
         if metrics is None:
             from repro.runtime.config import RuntimeConfig
+            config = config or RuntimeConfig()
             metrics = MetricsCollector()
-            if (config or RuntimeConfig()).check_invariants:
+            if config.check_invariants:
                 from repro.runtime.invariants import attach_checker
                 attach_checker(metrics)
+            if config.trace:
+                from repro.observability import attach_tracer
+                attach_tracer(metrics, rank=self.cluster.rank)
         self.metrics = metrics
         self.run_all_first_superstep = run_all_first_superstep
         #: {name: (initial value, merge fn)} — Pregel's global aggregators;
@@ -125,6 +129,10 @@ class PregelMaster:
                                  aggregated_previous=self.aggregated_values)
                 for p in my_parts
             }
+            tracer = self.metrics.tracer
+            compute_span = None if tracer is None else tracer.begin(
+                "pregel:compute", category="operator"
+            )
             computed = 0
             for v in active:
                 p = self._partition_of(v)
@@ -136,8 +144,14 @@ class PregelMaster:
                 halted[v] = ctx._halted
                 computed += 1
             self.metrics.add_processed("vertex_compute", computed)
+            if compute_span is not None:
+                tracer.end(compute_span)
 
             # combine per target within each sending partition, then route
+            route_span = None if tracer is None else tracer.begin(
+                "pregel:route", category="channel"
+            )
+            bytes_before = cluster.bytes_sent
             next_inbox: dict[int, list] = defaultdict(list)
             total_messages = 0
             frames = [[] for _ in range(self.parallelism)] if spmd else None
@@ -173,6 +187,9 @@ class PregelMaster:
                 for frame in cluster.exchange(frames):
                     for target, value in frame:
                         next_inbox[target].append(value)
+            self.metrics.add_bytes_shipped(cluster.bytes_sent - bytes_before)
+            if route_span is not None:
+                tracer.end(route_span)
 
             # arrival-side combine (receivers see one value per sender
             # partition at most; combine again if a combiner exists)

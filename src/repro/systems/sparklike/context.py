@@ -31,6 +31,9 @@ class SparkLikeContext:
             if self.config.check_invariants:
                 from repro.runtime.invariants import attach_checker
                 attach_checker(metrics)
+            if self.config.trace:
+                from repro.observability import attach_tracer
+                attach_tracer(metrics, rank=self.cluster.rank)
         self.metrics = metrics
 
     def parallelize(self, records, name: str = "parallelize") -> RDD:

@@ -55,13 +55,13 @@ class RDD:
     def partitions(self) -> list[list]:
         """Compute (or fetch the cached) partitions of this RDD."""
         if self._cached_parts is not None:
-            self.ctx.metrics.cache_hits += 1
+            self.ctx.metrics.add_cache_hit()
             return self._cached_parts
         inputs = [parent.partitions() for parent in self.parents]
         parts = self._compute(inputs)
         if self._cache_requested:
             self._cached_parts = parts
-            self.ctx.metrics.cache_builds += 1
+            self.ctx.metrics.add_cache_build()
         return parts
 
     # actions ----------------------------------------------------------
@@ -69,12 +69,22 @@ class RDD:
     # they are collectives every worker must reach in lockstep)
 
     def collect(self) -> list:
-        return self.ctx.cluster.merge_global(self.partitions())
+        tracer = self.ctx.metrics.tracer
+        if tracer is None:
+            return self.ctx.cluster.merge_global(self.partitions())
+        with tracer.span("action:collect", category="action", rdd=self.name):
+            return self.ctx.cluster.merge_global(self.partitions())
 
     def count(self) -> int:
-        return self.ctx.cluster.allreduce_sum(
-            sum(len(p) for p in self.partitions())
-        )
+        tracer = self.ctx.metrics.tracer
+        if tracer is None:
+            return self.ctx.cluster.allreduce_sum(
+                sum(len(p) for p in self.partitions())
+            )
+        with tracer.span("action:count", category="action", rdd=self.name):
+            return self.ctx.cluster.allreduce_sum(
+                sum(len(p) for p in self.partitions())
+            )
 
     def is_empty(self) -> bool:
         return self.count() == 0

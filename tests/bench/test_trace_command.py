@@ -1,0 +1,71 @@
+"""The ``bench trace`` toolchain: artifacts load, CLI exit codes."""
+
+import json
+
+import pytest
+
+from repro.bench import trace as trace_mod
+from repro.bench.__main__ import main
+
+
+@pytest.fixture
+def traces_tmp(tmp_path, monkeypatch):
+    monkeypatch.setattr(trace_mod, "traces_dir", lambda: str(tmp_path))
+    return tmp_path
+
+
+def test_run_emits_loadable_artifacts(traces_tmp):
+    result = trace_mod.run(
+        "connected_components", backends=("simulated",),
+        num_vertices=60, seed=3,
+    )
+    assert result.ok
+    (run,) = result.runs
+    with open(run.jsonl_path, encoding="utf-8") as handle:
+        records = [json.loads(line) for line in handle]
+    assert records[0]["type"] == "meta"
+    assert records[0]["workload"] == "connected_components"
+    spans = [r for r in records if r["type"] in ("span", "instant")]
+    assert len(spans) == run.spans
+    assert {"name", "category", "depth", "start_s", "counters"} <= (
+        spans[0].keys()
+    )
+    with open(run.chrome_path, encoding="utf-8") as handle:
+        chrome = json.load(handle)
+    events = chrome["traceEvents"]
+    assert any(e["ph"] == "X" for e in events)
+    assert any(e["ph"] == "M" for e in events)
+    assert all(e["ts"] >= 0 for e in events if e["ph"] != "M")
+
+
+def test_run_compares_backends(traces_tmp):
+    result = trace_mod.run(
+        "connected_components",
+        backends=("simulated", "multiprocess"),
+        num_vertices=60, seed=3,
+    )
+    assert result.ok, result.failures
+    assert [r.backend for r in result.runs] == ["simulated", "multiprocess"]
+    assert result.runs[0].structure == result.runs[1].structure
+    report = result.report()
+    assert "structurally identical" in report
+    result.raise_on_failure()
+
+
+def test_run_rejects_unknown_workload():
+    with pytest.raises(ValueError, match="unknown trace workload"):
+        trace_mod.run("nope")
+
+
+def test_cli_trace_subcommand(traces_tmp, capsys):
+    status = main(["trace", "connected_components",
+                   "--backends", "simulated"])
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "Trace profile — connected_components on simulated" in out
+
+
+def test_cli_rejects_unknown_trace_workload(capsys):
+    with pytest.raises(SystemExit):
+        main(["trace", "nope"])
+    assert "unknown trace workload" in capsys.readouterr().err

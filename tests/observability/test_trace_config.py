@@ -1,0 +1,56 @@
+"""REPRO_TRACE switch semantics and the env-driven JSONL event log."""
+
+import json
+
+import pytest
+
+from repro import ExecutionEnvironment
+from repro.algorithms import connected_components as cc
+from repro.graphs import erdos_renyi
+from repro.runtime.config import RuntimeConfig
+
+
+class TestReproTraceEnv:
+    def test_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        config = RuntimeConfig()
+        assert config.trace is False
+        assert config.trace_path is None
+
+    @pytest.mark.parametrize("value", ["1", "true", "on"])
+    def test_truthy_enables_without_path(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_TRACE", value)
+        config = RuntimeConfig()
+        assert config.trace is True
+        assert config.trace_path is None
+
+    @pytest.mark.parametrize("value", ["0", "false", "off", ""])
+    def test_falsy_disables(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_TRACE", value)
+        assert RuntimeConfig().trace is False
+
+    def test_path_value_enables_and_names_the_log(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "/tmp/run.jsonl")
+        config = RuntimeConfig()
+        assert config.trace is True
+        assert config.trace_path == "/tmp/run.jsonl"
+
+
+class TestEnvironmentWiring:
+    def test_untraced_environment_has_no_tracer(self):
+        env = ExecutionEnvironment(2, config=RuntimeConfig(trace=False))
+        assert env.tracer is None
+        assert env.trace_timelines == []
+
+    def test_trace_path_writes_jsonl_on_execution(self, tmp_path):
+        log = tmp_path / "cc.jsonl"
+        env = ExecutionEnvironment(
+            2, config=RuntimeConfig(trace=True, trace_path=str(log)),
+        )
+        cc.cc_incremental(env, erdos_renyi(40, 2.0, seed=5),
+                          variant="cogroup", mode="superstep")
+        records = [json.loads(line)
+                   for line in log.read_text().splitlines()]
+        assert records[0]["type"] == "meta"
+        assert any(r["type"] == "span" and r["category"] == "superstep"
+                   for r in records)

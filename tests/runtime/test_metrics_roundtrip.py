@@ -1,0 +1,87 @@
+"""Snapshot/reset round-trips and the new physical counters."""
+
+from repro.runtime.metrics import IterationStats, MetricsCollector
+
+
+def _logical(snapshot):
+    """The snapshot minus wall-clock durations (never reproducible)."""
+    out = dict(snapshot)
+    out["iteration_log"] = [
+        {k: v for k, v in entry.items() if k != "duration_s"}
+        for entry in snapshot["iteration_log"]
+    ]
+    return out
+
+
+def _populate(metrics):
+    metrics.begin_superstep(1)
+    metrics.add_processed("join", 10)
+    metrics.add_shipped(local=4, remote=6)
+    metrics.add_bytes_shipped(128)
+    metrics.add_cache_build()
+    metrics.end_superstep(workset_size=10, delta_size=3)
+    metrics.begin_superstep(2)
+    metrics.add_processed("join", 5)
+    metrics.add_cache_hit()
+    metrics.end_superstep(workset_size=3, delta_size=1)
+    return metrics
+
+
+class TestSnapshot:
+    def test_snapshot_reports_new_counters(self):
+        snap = _populate(MetricsCollector()).snapshot()
+        assert snap["bytes_shipped"] == 128
+        assert snap["cache_hits"] == 1
+        assert snap["cache_builds"] == 1
+        assert snap["supersteps"] == 2
+
+    def test_superstep_scoping_lands_in_iteration_log(self):
+        snap = _populate(MetricsCollector()).snapshot()
+        first, second = snap["iteration_log"]
+        assert first["bytes_shipped"] == 128
+        assert first["cache_builds"] == 1
+        assert second["cache_hits"] == 1
+        assert second["bytes_shipped"] == 0
+
+    def test_snapshot_is_detached(self):
+        metrics = _populate(MetricsCollector())
+        snap = metrics.snapshot()
+        metrics.add_processed("join", 99)
+        assert snap["total_processed"] == 15
+
+    def test_stats_as_dict_round_trips(self):
+        stats = IterationStats(superstep=3)
+        stats.bytes_shipped = 7
+        stats.cache_hits = 2
+        stats.cache_builds = 1
+        as_dict = stats.as_dict()
+        assert as_dict["bytes_shipped"] == 7
+        assert as_dict["cache_hits"] == 2
+        assert as_dict["cache_builds"] == 1
+
+
+class TestResetRoundTrip:
+    def test_reset_restores_pristine_snapshot(self):
+        metrics = _populate(MetricsCollector())
+        metrics.reset()
+        assert metrics.snapshot() == MetricsCollector().snapshot()
+
+    def test_populate_after_reset_matches_first_run(self):
+        metrics = _populate(MetricsCollector())
+        first = metrics.snapshot()
+        metrics.reset()
+        second = _populate(metrics).snapshot()
+        assert _logical(first) == _logical(second)
+
+
+class TestMergeNewCounters:
+    def test_aligned_merge_sums_physical_counters(self):
+        lhs = _populate(MetricsCollector())
+        rhs = _populate(MetricsCollector())
+        merged = lhs.merge(rhs, align_supersteps=True).snapshot()
+        assert merged["bytes_shipped"] == 256
+        assert merged["cache_hits"] == 2
+        assert merged["cache_builds"] == 2
+        first, second = merged["iteration_log"]
+        assert first["bytes_shipped"] == 256
+        assert second["cache_hits"] == 2
