@@ -24,14 +24,16 @@ import time
 def _registry():
     from repro.bench import audit
     from repro.bench.experiments import (
-        extensions, fig2, fig4, fig7, fig8, fig9, fig10, fig11, fig12,
-        scaling, table1, table2,
+        dataplane, extensions, fig2, fig4, fig7, fig8, fig9, fig10, fig11,
+        fig12, scaling, table1, table2,
     )
     return {
         "audit": ("Differential audit — engines agree, invariants hold",
                   audit.run),
         "scaling": ("Backend scaling — multiprocess workers vs simulator",
                     scaling.run),
+        "dataplane": ("Data plane — batched vs record-at-a-time framing",
+                      dataplane.run),
         "table1": ("Table 1 — iteration templates", table1.run),
         "table2": ("Table 2 — dataset properties", table2.run),
         "fig2": ("Figure 2 — CC effective work (FOAF)", fig2.run),
@@ -126,6 +128,7 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
 
+    status = 0
     for name in requested:
         title, run = registry[name]
         print(f"\n### {title} [{name}]")
@@ -142,7 +145,9 @@ def main(argv=None) -> int:
         else:
             print(report)
         print(f"\n[{name} finished in {elapsed:.1f} s]")
-    return 0
+        if getattr(result, "ok", True) is False:
+            status = 1
+    return status
 
 
 if __name__ == "__main__":

@@ -21,6 +21,8 @@ the multiprocess backend to identical logical counters and results.
 
 from __future__ import annotations
 
+import pickle
+
 
 class ClusterContext:
     """Interface shared by the local simulator and SPMD workers."""
@@ -50,9 +52,14 @@ class ClusterContext:
         """Restrict a full partition list to the slots this context owns."""
         raise NotImplementedError
 
-    def exchange(self, frames):
+    def exchange(self, frames, batch_size=None, max_frame_bytes=None):
         """All-to-all: send ``frames[t]`` to rank ``t``; return the frames
-        received, indexed by source rank (own frame included in place)."""
+        received, indexed by source rank (own frame included in place).
+
+        With ``batch_size`` / ``max_frame_bytes`` set, each frame moves
+        as a stream of bounded chunks instead of one monolithic pickle
+        (see :meth:`WorkerCluster.exchange`); the reassembled result is
+        identical either way."""
         raise NotImplementedError
 
     def allreduce_sum(self, value):
@@ -81,7 +88,7 @@ class LocalCluster(ClusterContext):
     def localize(self, partitions):
         return partitions
 
-    def exchange(self, frames):
+    def exchange(self, frames, batch_size=None, max_frame_bytes=None):
         raise RuntimeError("the local cluster has no peers to exchange with")
 
     def allreduce_sum(self, value):
@@ -137,23 +144,88 @@ class WorkerCluster(ClusterContext):
     # ------------------------------------------------------------------
     # collectives
 
-    def exchange(self, frames):
+    def exchange(self, frames, batch_size=None, max_frame_bytes=None):
+        """All-to-all exchange; optionally chunked.
+
+        The monolithic mode (both bounds ``None``) pickles each target
+        frame whole — one fabric frame per peer.  The chunked mode
+        splits each target frame into runs of ``batch_size`` records,
+        sends every run as a ``("c", chunk)`` frame — bisecting any run
+        whose pickled size exceeds ``max_frame_bytes`` — and closes the
+        stream with an ``("e", n_chunks)`` terminator the receiver
+        verifies.  Chunks of one ``(source, tag)`` stream arrive in
+        FIFO order, so reassembly by concatenation reproduces the
+        monolithic result exactly.
+        """
         if len(frames) != self.size:
             raise ValueError(
                 f"exchange needs one frame per worker ({self.size}), "
                 f"got {len(frames)}"
             )
         tag = self._next_tag()
+        chunked = batch_size is not None or max_frame_bytes is not None
         for target in range(self.size):
-            if target != self.rank:
+            if target == self.rank:
+                continue
+            if chunked:
+                self._send_chunked(
+                    target, tag, frames[target], batch_size, max_frame_bytes
+                )
+            else:
                 self.endpoint.send(target, tag, frames[target])
         received = []
         for source in range(self.size):
             if source == self.rank:
                 received.append(list(frames[self.rank]))
+            elif chunked:
+                received.append(self._recv_chunked(source, tag))
             else:
                 received.append(self.endpoint.recv(source, tag))
         return received
+
+    def _send_chunked(self, target, tag, frame, batch_size, max_frame_bytes):
+        frame = list(frame)
+        if batch_size is None or batch_size >= len(frame):
+            runs = [frame] if frame else []
+        else:
+            runs = [
+                frame[i:i + batch_size]
+                for i in range(0, len(frame), batch_size)
+            ]
+        sent = 0
+        for run in runs:
+            sent += self._send_run(target, tag, run, max_frame_bytes)
+        self.endpoint.send(target, tag, ("e", sent))
+
+    def _send_run(self, target, tag, run, max_frame_bytes) -> int:
+        blob = pickle.dumps(("c", run), protocol=pickle.HIGHEST_PROTOCOL)
+        if (
+            max_frame_bytes is not None
+            and len(blob) > max_frame_bytes
+            and len(run) > 1
+        ):
+            mid = len(run) // 2
+            return (
+                self._send_run(target, tag, run[:mid], max_frame_bytes)
+                + self._send_run(target, tag, run[mid:], max_frame_bytes)
+            )
+        self.endpoint.send_raw(target, tag, blob)
+        return 1
+
+    def _recv_chunked(self, source, tag) -> list:
+        records: list = []
+        chunks = 0
+        while True:
+            kind, payload = self.endpoint.recv(source, tag)
+            if kind == "e":
+                if payload != chunks:
+                    raise RuntimeError(
+                        f"chunked exchange stream from worker {source} "
+                        f"announced {payload} chunks but {chunks} arrived"
+                    )
+                return records
+            records.extend(payload)
+            chunks += 1
 
     def allgather(self, value):
         tag = self._next_tag()

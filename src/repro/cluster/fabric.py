@@ -59,9 +59,21 @@ class Endpoint:
         self.frames_received = 0
 
     def send(self, target: int, tag, payload):
+        self.send_raw(
+            target, tag,
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+    def send_raw(self, target: int, tag, blob: bytes):
+        """Send an already-pickled frame.
+
+        The chunked exchange pickles a chunk once to probe its wire
+        size against ``max_frame_bytes``; sending the probed blob
+        directly avoids pickling twice.  ``blob`` must unpickle to the
+        frame payload, exactly as :meth:`send` would have produced.
+        """
         if target == self.rank:
             raise ValueError("a worker does not send frames to itself")
-        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         self.bytes_sent += len(blob)
         self.frames_sent += 1
         self._mailboxes[target].put((self.rank, tag, blob))

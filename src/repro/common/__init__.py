@@ -5,6 +5,7 @@ field positions.  This mirrors the flat record model of the Stratosphere /
 PACT system the paper builds on.
 """
 
+from repro.common.batch import RecordBatch, iter_batches
 from repro.common.errors import (
     DataflowError,
     InvalidPlanError,
@@ -24,6 +25,8 @@ __all__ = [
     "NotConvergedError",
     "OptimizerError",
     "PartialOrder",
+    "RecordBatch",
     "is_chain_descending",
+    "iter_batches",
     "normalize_key_fields",
 ]

@@ -1,0 +1,210 @@
+"""Record batches: the unit of movement on the data plane.
+
+The paper's runtime ships serialized *buffers* between Nephele tasks
+(Sections 3, 4.2) — records are framed into fixed-size chunks, and every
+per-record cost (hashing, routing, serialization setup) is paid once per
+buffer, amortized over its records.  A :class:`RecordBatch` is this
+reproduction's buffer: an immutable chunk of tuple records that knows
+its schema's key fields and lazily computes — and caches — the vector of
+key values and the vector of their stable hash codes.
+
+Layers that move or group records (the shipping channels, the physical
+join/aggregation drivers, the solution-set index, the SPMD fabric
+framing) consume batches instead of looping a :class:`KeyExtractor` and
+:func:`stable_hash` over individual records: one pass builds the key
+vector, one pass the hash vector, and the scatter/build loops run over
+plain ``zip`` streams.  Setting ``batch_size=1`` degenerates to honest
+record-at-a-time execution — every record pays the full per-batch
+framing overhead, which is exactly the regime the batched data plane
+exists to escape (and what the ``dataplane`` microbenchmark measures).
+
+Batches are *immutable by contract*: after construction the record list
+must not be mutated (the cached vectors would go stale).  Datasets at
+rest remain plain partition lists — the partition-count contract and all
+public APIs are unchanged; batches live inside the hot paths.
+"""
+
+from __future__ import annotations
+
+from repro.common.hashing import stable_hash
+from repro.common.keys import KeyExtractor, normalize_key_fields
+
+
+class RecordBatch:
+    """An immutable chunk of records with cached key and hash vectors.
+
+    ``records`` is adopted, not copied — the caller transfers ownership
+    and must not mutate it afterwards.  ``keys[i]`` is the key value of
+    ``records[i]`` under ``key_fields`` (bare value for single-field
+    keys, tuple for composite keys — the :class:`KeyExtractor`
+    convention); ``hashes[i]`` is ``stable_hash(keys[i])``.  Both
+    vectors are computed on first access and cached, so a batch that is
+    hashed for routing and again for an index build pays the hash pass
+    once.
+    """
+
+    __slots__ = ("records", "key_fields", "_keys", "_hashes")
+
+    def __init__(self, records, key_fields=None, _keys=None, _hashes=None):
+        self.records = records
+        self.key_fields = (
+            normalize_key_fields(key_fields) if key_fields is not None
+            else None
+        )
+        self._keys = _keys
+        self._hashes = _hashes
+
+    # ------------------------------------------------------------------
+    # construction
+
+    @classmethod
+    def wrap(cls, records, key_fields=None) -> "RecordBatch":
+        """Adopt ``records`` (idempotent: re-wraps an existing batch).
+
+        Re-wrapping a batch whose ``key_fields`` already match reuses
+        its cached vectors; a different key schema drops them.
+        """
+        if isinstance(records, RecordBatch):
+            if key_fields is None:
+                return records
+            fields = normalize_key_fields(key_fields)
+            if records.key_fields == fields:
+                return records
+            return cls(records.records, fields)
+        return cls(list(records) if not isinstance(records, list)
+                   else records, key_fields)
+
+    # ------------------------------------------------------------------
+    # cached vectors
+
+    @property
+    def keys(self) -> list:
+        """The key value of every record (one extraction pass, cached)."""
+        if self._keys is None:
+            if self.key_fields is None:
+                raise ValueError(
+                    "this batch carries no key fields — keys are undefined"
+                )
+            extract = KeyExtractor(self.key_fields)
+            self._keys = [extract(record) for record in self.records]
+        return self._keys
+
+    @property
+    def hashes(self) -> list[int]:
+        """``stable_hash`` of every key (one hash pass, cached)."""
+        if self._hashes is None:
+            self._hashes = [stable_hash(k) for k in self.keys]
+        return self._hashes
+
+    def partition_targets(self, parallelism: int) -> list[int]:
+        """The owning partition of every record (``hash % parallelism``)."""
+        return [h % parallelism for h in self.hashes]
+
+    # ------------------------------------------------------------------
+    # sequence protocol
+
+    def __len__(self):
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __getitem__(self, index):
+        return self.records[index]
+
+    def __eq__(self, other):
+        if isinstance(other, RecordBatch):
+            return self.records == other.records
+        if isinstance(other, list):
+            return self.records == other
+        return NotImplemented
+
+    def __repr__(self):
+        return (f"RecordBatch({len(self.records)} records, "
+                f"key_fields={self.key_fields})")
+
+    # ------------------------------------------------------------------
+    # reshaping
+
+    def split(self, max_records) -> list["RecordBatch"]:
+        """Chunk into batches of at most ``max_records`` records.
+
+        Record order is preserved across the chunk sequence; cached key
+        and hash vectors are sliced, not recomputed.  ``None`` (or a
+        bound covering the whole batch) returns ``[self]`` without
+        copying.
+        """
+        n = len(self.records)
+        if max_records is None or max_records >= n:
+            return [self]
+        if max_records < 1:
+            raise ValueError(
+                f"batch split size must be >= 1, got {max_records}"
+            )
+        keys, hashes = self._keys, self._hashes
+        return [
+            RecordBatch(
+                self.records[i:i + max_records],
+                self.key_fields,
+                _keys=None if keys is None else keys[i:i + max_records],
+                _hashes=(
+                    None if hashes is None else hashes[i:i + max_records]
+                ),
+            )
+            for i in range(0, n, max_records)
+        ]
+
+    @classmethod
+    def merge(cls, batches) -> "RecordBatch":
+        """Concatenate batches (same key schema) into one.
+
+        Cached vectors are concatenated when every input carries them;
+        one cold batch makes the merged vector lazy again.
+        """
+        batches = list(batches)
+        if not batches:
+            return cls([], None)
+        key_fields = batches[0].key_fields
+        for batch in batches[1:]:
+            if batch.key_fields != key_fields:
+                raise ValueError(
+                    f"cannot merge batches keyed on {batch.key_fields} "
+                    f"into a batch keyed on {key_fields}"
+                )
+        records: list = []
+        keys: list | None = []
+        hashes: list | None = []
+        for batch in batches:
+            records.extend(batch.records)
+            if keys is not None and batch._keys is not None:
+                keys.extend(batch._keys)
+            else:
+                keys = None
+            if hashes is not None and batch._hashes is not None:
+                hashes.extend(batch._hashes)
+            else:
+                hashes = None
+        fields = (
+            tuple(key_fields) if key_fields is not None else None
+        )
+        return cls(records, fields, _keys=keys, _hashes=hashes)
+
+    @classmethod
+    def rechunk(cls, batches, max_records) -> list["RecordBatch"]:
+        """Re-frame a batch sequence to a new chunk bound.
+
+        Equivalent to ``merge(batches).split(max_records)``: the record
+        stream is unchanged, only the framing moves.
+        """
+        return cls.merge(batches).split(max_records)
+
+
+def iter_batches(records, key_fields, batch_size):
+    """Frame a record list (or batch) into key-carrying chunks.
+
+    The workhorse of the batched hot paths: yields
+    :class:`RecordBatch` chunks of at most ``batch_size`` records
+    (``None`` = one batch).  ``batch_size=1`` is the degenerate
+    record-at-a-time framing.
+    """
+    yield from RecordBatch.wrap(records, key_fields).split(batch_size)

@@ -132,10 +132,26 @@ class ExecutionEnvironment:
         self.failure_injector = None
         #: populated after a run when checkpointing was active
         self.last_checkpoint_store = None
-        #: asynchronous execution: how many queue elements one partition
-        #: drains per polling round (interleaving granularity; any value
-        #: must converge to the same fixpoint)
-        self.async_poll_batch: int = 64
+
+    @property
+    def async_poll_batch(self) -> int:
+        """Asynchronous execution: how many queue elements one partition
+        drains per polling round (interleaving granularity; any value
+        must converge to the same fixpoint).
+
+        This is a validated first-class field of
+        :class:`~repro.runtime.config.RuntimeConfig`; assigning here
+        rebuilds the environment's config (configs may be shared across
+        environments, so the session never mutates one in place).
+        """
+        return self.config.async_poll_batch
+
+    @async_poll_batch.setter
+    def async_poll_batch(self, value):
+        import dataclasses
+        self.config = dataclasses.replace(
+            self.config, async_poll_batch=value
+        )
 
     # ------------------------------------------------------------------
     # sources

@@ -15,6 +15,7 @@ is a successor state and discards regressive updates.
 
 from __future__ import annotations
 
+from repro.common.batch import RecordBatch
 from repro.common.keys import KeyExtractor
 from repro.common.hashing import partition_index
 
@@ -23,6 +24,7 @@ class SolutionSetIndex:
     """Hash-indexed, key-partitioned solution set with counted accesses."""
 
     def __init__(self, key_fields, parallelism, metrics=None, should_replace=None):
+        self.key_fields = key_fields
         self.key = KeyExtractor(key_fields)
         self.parallelism = parallelism
         self.metrics = metrics
@@ -34,21 +36,27 @@ class SolutionSetIndex:
 
     @classmethod
     def build(cls, records, key_fields, parallelism, metrics=None,
-              should_replace=None):
+              should_replace=None, batch_size=None):
         """Build the index from a flat or partitioned record collection.
 
         Records are routed to partitions by the stable hash of their key,
         matching the runtime's hash partitioner, so solution-join probes
-        arriving over a hash channel land in the right partition.
+        arriving over a hash channel land in the right partition.  The
+        routing works batch-at-a-time from each chunk's cached key and
+        hash vectors (``batch_size=None`` = one chunk).
         """
         index = cls(key_fields, parallelism, metrics, should_replace)
         if records and isinstance(records[0], list):
-            flat = (record for part in records for record in part)
+            flat = [record for part in records for record in part]
         else:
-            flat = iter(records)
-        for record in flat:
-            k = index.key(record)
-            index._partitions[partition_index(k, parallelism)][k] = record
+            flat = list(records)
+        if flat:
+            partitions = index._partitions
+            for chunk in RecordBatch.wrap(flat, key_fields).split(batch_size):
+                for k, h, record in zip(
+                    chunk.keys, chunk.hashes, chunk.records
+                ):
+                    partitions[h % parallelism][k] = record
         return index
 
     # ------------------------------------------------------------------
@@ -107,43 +115,61 @@ class SolutionSetIndex:
             self.metrics.add_solution_update()
         return record
 
-    def apply_delta(self, records) -> list:
+    def apply_delta(self, records, batch_size=None) -> list:
         """Apply a batch of delta records; returns the accepted records.
 
-        Under invariant checking, the batch is audited: ``|S|`` must move
-        by exactly accepted-minus-replaced records, and every probed
-        record must have been counted as a solution access.
+        The delta is consumed in record-batch chunks: the replaced-record
+        pre-check works from each chunk's cached key and hash vectors,
+        while the actual ∪̇ application still goes through
+        :meth:`apply_record` one record at a time — the per-record path
+        stays the oracle the audit (and subclass instrumentation) hooks.
+
+        Under invariant checking, every chunk's cached vectors are
+        audited against per-record recomputation, ``|S|`` must move by
+        exactly accepted-minus-replaced records, and every probed record
+        must have been counted as a solution access.
         """
+        records = records if isinstance(records, list) else list(records)
         checker = (
             self.metrics.invariants if self.metrics is not None else None
         )
-        if checker is not None:
-            size_before = len(self)
-            accesses_before = self.metrics.solution_accesses
         applied = []
         replaced = 0
-        for record in records:
-            if checker is not None and self.contains(self.key(record)):
-                existing = True
-            else:
-                existing = False
-            accepted = self.apply_record(record)
-            if accepted is not None:
-                applied.append(accepted)
-                if existing:
-                    replaced += 1
-        if checker is not None:
-            checker.check_delta_application(
-                "apply_delta",
-                size_before,
-                len(self),
-                accepted=len(applied),
-                replaced=replaced,
-                probed=len(records),
-                accesses_counted=(
-                    self.metrics.solution_accesses - accesses_before
-                ),
-            )
+        if checker is None:
+            for record in records:
+                accepted = self.apply_record(record)
+                if accepted is not None:
+                    applied.append(accepted)
+            return applied
+        size_before = len(self)
+        accesses_before = self.metrics.solution_accesses
+        partitions = self._partitions
+        parallelism = self.parallelism
+        if records:
+            for chunk in RecordBatch.wrap(records, self.key_fields).split(
+                batch_size
+            ):
+                checker.check_batch(chunk)
+                for k, h, record in zip(
+                    chunk.keys, chunk.hashes, chunk.records
+                ):
+                    existing = k in partitions[h % parallelism]
+                    accepted = self.apply_record(record)
+                    if accepted is not None:
+                        applied.append(accepted)
+                        if existing:
+                            replaced += 1
+        checker.check_delta_application(
+            "apply_delta",
+            size_before,
+            len(self),
+            accepted=len(applied),
+            replaced=replaced,
+            probed=len(records),
+            accesses_counted=(
+                self.metrics.solution_accesses - accesses_before
+            ),
+        )
         return applied
 
     # ------------------------------------------------------------------

@@ -47,6 +47,7 @@ SPAN_COUNTERS = (
     "solution_accesses",
     "solution_updates",
     "bytes_shipped",
+    "batches_shipped",
     "cache_hits",
     "cache_builds",
 )
@@ -144,6 +145,7 @@ class Tracer:
             m.solution_accesses,
             m.solution_updates,
             m.bytes_shipped,
+            m.batches_shipped,
             m.cache_hits,
             m.cache_builds,
         )

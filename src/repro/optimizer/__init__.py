@@ -26,6 +26,26 @@ __all__ = [
 ]
 
 
+def _calibrated_weights(env) -> CostWeights:
+    """Default weights tuned to the session's data-plane batch size.
+
+    The per-batch framing overhead amortizes over
+    ``RuntimeConfig.batch_size``, so a record-at-a-time session
+    (``batch_size=1``) prices every shipped record at the full
+    per-frame cost while the default batched plane pays almost none.
+    Explicit ``env.cost_weights`` always win — this only fills in the
+    default.
+    """
+    import dataclasses
+
+    config = getattr(env, "config", None)
+    if config is None or config.batch_size == int(DEFAULT_WEIGHTS.batch_size):
+        return DEFAULT_WEIGHTS
+    return dataclasses.replace(
+        DEFAULT_WEIGHTS, batch_size=float(config.batch_size)
+    )
+
+
 def optimize_plan(logical_plan, env) -> ExecutionPlan:
     """Produce the cost-optimal execution plan for ``logical_plan``."""
     tracer = env.metrics.tracer
@@ -39,7 +59,7 @@ def optimize_plan(logical_plan, env) -> ExecutionPlan:
 
 
 def _optimize_plan(logical_plan, env, tracer) -> ExecutionPlan:
-    weights = env.cost_weights or DEFAULT_WEIGHTS
+    weights = env.cost_weights or _calibrated_weights(env)
     stats = Statistics()
     enumerator = Enumerator(env.parallelism, weights, stats, tracer=tracer)
     outer_nodes = _outer_region(logical_plan)

@@ -43,23 +43,63 @@ class CostWeights:
     #: replicated to every partition (a 1.7B-edge matrix does not fit in
     #: one node's heap, whatever the network cost says)
     broadcast_limit: float = 50_000.0
+    #: data-plane framing: every record a channel moves pays a small
+    #: handling cost, and every :class:`~repro.common.batch.RecordBatch`
+    #: chunk pays a fixed framing cost.  The per-batch term is amortized
+    #: over ``batch_size`` records, so the effective per-record overhead
+    #: is ``per_record_overhead + per_batch_overhead / batch_size`` —
+    #: large at ``batch_size=1`` (record-at-a-time, one frame per
+    #: record), near ``per_record_overhead`` at the default 1024.  The
+    #: optimizer calibrates ``batch_size`` from the session's
+    #: :class:`~repro.runtime.config.RuntimeConfig` unless explicit
+    #: weights are supplied.
+    per_record_overhead: float = 0.001
+    per_batch_overhead: float = 0.5
+    batch_size: float = 1024.0
 
 
 DEFAULT_WEIGHTS = CostWeights()
 
 
-def ship_cost(kind: ShipKind, size: float, parallelism: int,
-              weights: CostWeights) -> float:
-    """Network cost of moving ``size`` records under a shipping strategy."""
+def _framed_records(kind: ShipKind, size: float, parallelism: int) -> float:
+    """How many records a ship frames into batches (broadcast frames one
+    copy per destination; forward never reframes)."""
     if kind is ShipKind.FORWARD:
         return 0.0
+    if kind is ShipKind.BROADCAST:
+        return size * parallelism
+    return size  # PARTITION_HASH, GATHER
+
+
+def framing_cost(kind: ShipKind, size: float, parallelism: int,
+                 weights: CostWeights) -> float:
+    """Amortized batch-framing cost of a ship.
+
+    Kept linear in ``size`` (the per-batch term is spread over the
+    configured batch size rather than rounded up per chunk), so the
+    model stays comparable across cardinalities while still charging
+    record-at-a-time plans the full per-frame price.
+    """
+    amortized = weights.per_record_overhead + (
+        weights.per_batch_overhead / max(1.0, weights.batch_size)
+    )
+    return _framed_records(kind, size, parallelism) * amortized
+
+
+def ship_cost(kind: ShipKind, size: float, parallelism: int,
+              weights: CostWeights) -> float:
+    """Cost of moving ``size`` records under a shipping strategy:
+    network transfer plus batch-framing overhead."""
+    if kind is ShipKind.FORWARD:
+        return 0.0
+    framing = framing_cost(kind, size, parallelism, weights)
     if kind is ShipKind.PARTITION_HASH:
         remote = size * (parallelism - 1) / parallelism
-        return weights.network * remote
+        return weights.network * remote + framing
     if kind is ShipKind.BROADCAST:
-        return weights.network * size * (parallelism - 1)
+        return weights.network * size * (parallelism - 1) + framing
     if kind is ShipKind.GATHER:
-        return weights.network * size * (parallelism - 1) / parallelism
+        return weights.network * size * (parallelism - 1) / parallelism + framing
     raise ValueError(f"unknown ship kind {kind}")
 
 

@@ -20,6 +20,18 @@ partitionings diverged.
 Hashing is deterministic across processes so that plans, tests, and
 benchmarks are reproducible.
 
+**Batched data plane.**  Ships move records in
+:class:`~repro.common.batch.RecordBatch` chunks of ``batch_size``
+records: the hash channel computes one key/hash vector per chunk and
+scatters from it (one hash pass per batch instead of one
+extract+hash call per record), and under SPMD the exchange splits
+frames into size-bounded chunks instead of one monolithic pickle.
+``batch_size=None`` keeps the whole partition in one chunk;
+``batch_size=1`` is the degenerate record-at-a-time mode.  Chunking
+never changes results, record order, or the local/remote split — only
+the framing — and the number of framed chunks is counted on
+``metrics.batches_shipped`` identically in both backends.
+
 When the shipping metrics collector carries an
 :class:`~repro.runtime.invariants.InvariantChecker`, every ship is
 audited after the fact: conservation (records out equal records in),
@@ -29,8 +41,7 @@ the local/remote split recomputed independently per record.
 
 from __future__ import annotations
 
-from repro.common.hashing import partition_index
-from repro.common.keys import KeyExtractor
+from repro.common.batch import RecordBatch
 from repro.runtime.plan import ShipKind
 
 
@@ -38,7 +49,17 @@ def empty_partitions(parallelism: int) -> list[list]:
     return [[] for _ in range(parallelism)]
 
 
-def ship(partitions, strategy, parallelism, metrics=None, cluster=None):
+def _chunk_count(n: int, batch_size) -> int:
+    """How many batch chunks a partition of ``n`` records frames."""
+    if n == 0:
+        return 0
+    if batch_size is None:
+        return 1
+    return -(-n // batch_size)
+
+
+def ship(partitions, strategy, parallelism, metrics=None, cluster=None,
+         batch_size=None, max_frame_bytes=None):
     """Move ``partitions`` according to ``strategy``; returns new partitions.
 
     Enforces the partition-count contract above: ``partitions`` must hold
@@ -50,6 +71,10 @@ def ship(partitions, strategy, parallelism, metrics=None, cluster=None):
     records over the cluster's real all-to-all exchange instead of
     in-process list shuffling; forward ships never cross partitions, so
     they take the local path even under SPMD.
+
+    ``batch_size`` frames the move in record-batch chunks (see the
+    module docstring); ``max_frame_bytes`` additionally bounds the
+    serialized size of one SPMD fabric frame.
     """
     if len(partitions) != parallelism:
         raise ValueError(
@@ -66,7 +91,7 @@ def ship(partitions, strategy, parallelism, metrics=None, cluster=None):
     if tracer is not None:
         span = tracer.begin(
             f"ship:{kind.value}", category="channel", kind=kind.value,
-            fanout=parallelism,
+            fanout=parallelism, batch_size=batch_size or 0,
         )
     try:
         if (
@@ -76,22 +101,31 @@ def ship(partitions, strategy, parallelism, metrics=None, cluster=None):
             and kind is not ShipKind.FORWARD
         ):
             return _ship_spmd(
-                partitions, strategy, parallelism, metrics, cluster
+                partitions, strategy, parallelism, metrics, cluster,
+                batch_size=batch_size, max_frame_bytes=max_frame_bytes,
             )
         if kind is ShipKind.FORWARD:
             out, local, remote = _ship_forward(partitions)
+            batches = 0
         elif kind is ShipKind.PARTITION_HASH:
-            out, local, remote = _ship_hash(
-                partitions, strategy.key_fields, parallelism
+            out, local, remote, batches = _ship_hash(
+                partitions, strategy.key_fields, parallelism,
+                batch_size=batch_size, metrics=metrics,
             )
         elif kind is ShipKind.BROADCAST:
             out, local, remote = _ship_broadcast(partitions, parallelism)
+            batches = parallelism * sum(
+                _chunk_count(len(p), batch_size) for p in partitions
+            )
         elif kind is ShipKind.GATHER:
             out, local, remote = _ship_gather(partitions, parallelism)
+            batches = sum(_chunk_count(len(p), batch_size) for p in partitions)
         else:
             raise ValueError(f"unknown ship kind {kind}")
         if metrics is not None:
             metrics.add_shipped(local=local, remote=remote)
+            if batches:
+                metrics.add_batches_shipped(batches)
             checker = metrics.invariants
             if checker is not None:
                 checker.check_ship(
@@ -108,22 +142,30 @@ def _ship_forward(partitions):
     return [list(p) for p in partitions], total, 0
 
 
-def _ship_hash(partitions, key_fields, parallelism):
-    extract = KeyExtractor(key_fields)
+def _ship_hash(partitions, key_fields, parallelism, batch_size=None,
+               metrics=None):
     out = empty_partitions(parallelism)
+    appends = [p.append for p in out]
     local = 0
     remote = 0
+    batches = 0
+    checker = metrics.invariants if metrics is not None else None
     # source_index and target index refer to the same partitioning: the
     # contract in ship() guarantees len(partitions) == parallelism
     for source_index, part in enumerate(partitions):
-        for record in part:
-            target = partition_index(extract(record), parallelism)
-            out[target].append(record)
-            if target == source_index:
-                local += 1
-            else:
-                remote += 1
-    return out, local, remote
+        if not part:
+            continue
+        for chunk in RecordBatch.wrap(part, key_fields).split(batch_size):
+            if checker is not None:
+                checker.check_batch(chunk)
+            targets = chunk.partition_targets(parallelism)
+            for target, record in zip(targets, chunk.records):
+                appends[target](record)
+            here = targets.count(source_index)
+            local += here
+            remote += len(targets) - here
+            batches += 1
+    return out, local, remote, batches
 
 
 def _ship_broadcast(partitions, parallelism):
@@ -140,7 +182,8 @@ def _ship_gather(partitions, parallelism):
     return out, local, remote
 
 
-def _ship_spmd(partitions, strategy, parallelism, metrics, cluster):
+def _ship_spmd(partitions, strategy, parallelism, metrics, cluster,
+               batch_size=None, max_frame_bytes=None):
     """One SPMD worker's side of a ship: frame, exchange, reassemble.
 
     The worker owns only ``partitions[rank]`` (the other slots are empty
@@ -150,32 +193,51 @@ def _ship_spmd(partitions, strategy, parallelism, metrics, cluster):
     same order the in-process channels produce by scanning source
     partitions, which is what keeps SPMD results and counters bitwise
     identical to the simulator's.
+
+    The worker frames its slot in ``batch_size`` chunks (one key-hash
+    vector per chunk, same as the in-process hash channel) and the
+    exchange ships each target frame as chunked, size-bounded fabric
+    payloads instead of one monolithic pickle.  The number of chunks
+    framed from the local slot matches what the simulator counts for
+    this partition, so ``batches_shipped`` agrees across backends.
     """
     rank = cluster.rank
     local_in = partitions[rank]
     n_in = len(local_in)
     kind = strategy.kind
+    checker = metrics.invariants if metrics is not None else None
     frames: list[list] = [[] for _ in range(parallelism)]
     if kind is ShipKind.PARTITION_HASH:
-        extract = KeyExtractor(strategy.key_fields)
-        for record in local_in:
-            frames[partition_index(extract(record), parallelism)].append(
-                record
-            )
+        appends = [f.append for f in frames]
+        batches = 0
+        if local_in:
+            wrapped = RecordBatch.wrap(local_in, strategy.key_fields)
+            for chunk in wrapped.split(batch_size):
+                if checker is not None:
+                    checker.check_batch(chunk)
+                for target, record in zip(
+                    chunk.partition_targets(parallelism), chunk.records
+                ):
+                    appends[target](record)
+                batches += 1
         local = len(frames[rank])
         remote = n_in - local
     elif kind is ShipKind.BROADCAST:
         frames = [list(local_in) for _ in range(parallelism)]
         local = n_in
         remote = n_in * (parallelism - 1)
+        batches = parallelism * _chunk_count(n_in, batch_size)
     elif kind is ShipKind.GATHER:
         frames[0] = list(local_in)
         local = n_in if rank == 0 else 0
         remote = 0 if rank == 0 else n_in
+        batches = _chunk_count(n_in, batch_size)
     else:
         raise ValueError(f"unknown ship kind {kind}")
     bytes_before = cluster.bytes_sent
-    received_frames = cluster.exchange(frames)
+    received_frames = cluster.exchange(
+        frames, batch_size=batch_size, max_frame_bytes=max_frame_bytes
+    )
     out = empty_partitions(parallelism)
     out[rank] = [
         record for frame in received_frames for record in frame
@@ -183,7 +245,8 @@ def _ship_spmd(partitions, strategy, parallelism, metrics, cluster):
     if metrics is not None:
         metrics.add_bytes_shipped(cluster.bytes_sent - bytes_before)
         metrics.add_shipped(local=local, remote=remote)
-        checker = metrics.invariants
+        if batches:
+            metrics.add_batches_shipped(batches)
         if checker is not None:
             checker.check_exchange(
                 strategy, local_in, frames, out[rank], parallelism, rank,
@@ -199,10 +262,14 @@ def merge(partitions) -> list:
 
 def partition_records(records, key_fields, parallelism) -> list[list]:
     """Hash-partition a flat record list (used to load initial datasets)."""
-    extract = KeyExtractor(key_fields)
     out = empty_partitions(parallelism)
-    for record in records:
-        out[partition_index(extract(record), parallelism)].append(record)
+    if not records:
+        return out
+    batch = RecordBatch.wrap(records, key_fields)
+    for target, record in zip(
+        batch.partition_targets(parallelism), batch.records
+    ):
+        out[target].append(record)
     return out
 
 

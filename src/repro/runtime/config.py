@@ -40,6 +40,25 @@ def invariant_checking_default() -> bool:
     return "pytest" in sys.modules
 
 
+def batch_size_default() -> int:
+    """Records per :class:`~repro.common.batch.RecordBatch` on the data
+    plane; ``REPRO_BATCH_SIZE`` overrides (``1`` = record-at-a-time)."""
+    override = os.environ.get("REPRO_BATCH_SIZE")
+    if override is None:
+        return 1024
+    try:
+        value = int(override)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_BATCH_SIZE must be a positive integer, got {override!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(
+            f"REPRO_BATCH_SIZE must be >= 1, got {value}"
+        )
+    return value
+
+
 def tracing_default() -> bool:
     """Tracing is opt-in: off unless ``REPRO_TRACE`` enables it.
 
@@ -82,8 +101,39 @@ class RuntimeConfig:
     truthy value turns it on, a falsy value off, and any other value is
     treated as *on* plus the path of a JSONL event log to write
     (``trace_path``) when the session executes a plan.
+
+    ``batch_size`` — how many records one
+    :class:`~repro.common.batch.RecordBatch` carries on the data plane:
+    channels frame their scatter in chunks of this size, drivers build
+    key vectors per chunk, and the SPMD fabric splits exchange payloads
+    into per-chunk frames.  ``1`` is the degenerate record-at-a-time
+    mode (every record pays the full per-batch framing overhead);
+    results and logical counters are identical at every setting.
+
+    ``max_frame_bytes`` — upper bound on one serialized fabric frame;
+    a batch chunk whose pickle exceeds it is bisected before transport
+    (multiprocess backend only — the simulator never serializes).
+
+    ``async_poll_batch`` — how many queue elements one partition drains
+    per polling round in asynchronous delta iterations (interleaving
+    granularity; any value must converge to the same fixpoint).
     """
 
     check_invariants: bool = field(default_factory=invariant_checking_default)
     trace: bool = field(default_factory=tracing_default)
     trace_path: str | None = field(default_factory=trace_path_default)
+    batch_size: int = field(default_factory=batch_size_default)
+    max_frame_bytes: int = 1 << 20
+    async_poll_batch: int = 64
+
+    def __post_init__(self):
+        for name in ("batch_size", "max_frame_bytes", "async_poll_batch"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise TypeError(
+                    f"RuntimeConfig.{name} must be an int, got {value!r}"
+                )
+            if value < 1:
+                raise ValueError(
+                    f"RuntimeConfig.{name} must be >= 1, got {value}"
+                )

@@ -9,14 +9,23 @@ Join and aggregation drivers come in hash- and sort-based flavours; the
 optimizer picks between them (Section 4.3), and the sort-based flavours
 establish sort order as a physical property downstream operators can
 reuse.
+
+Keyed drivers are **batch-at-a-time**: each consumes its input as
+:class:`~repro.common.batch.RecordBatch` chunks of ``batch_size``
+records and works from the chunk's cached key vector — one extraction
+pass per chunk instead of one :class:`KeyExtractor` call per probe,
+build insert, or sort comparison.  ``batch_size=None`` processes the
+whole partition as one chunk; any value produces identical outputs in
+identical order, because chunking only changes how the key vectors are
+materialized, never the record order they are consumed in.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 
+from repro.common.batch import RecordBatch
 from repro.common.errors import InvalidPlanError
-from repro.common.keys import KeyExtractor
 from repro.dataflow.contracts import Contract
 from repro.runtime.plan import LocalStrategy
 
@@ -28,6 +37,31 @@ def _emit_join_result(result, flat, out):
         out.extend(result)
     else:
         out.append(result)
+
+
+def _key_chunks(records, key_fields, batch_size):
+    """Yield ``(records, keys)`` pairs, one per batch chunk."""
+    if not records:
+        return
+    for chunk in RecordBatch.wrap(records, key_fields).split(batch_size):
+        yield chunk.records, chunk.keys
+
+
+def _keyed(records, key_fields, batch_size):
+    """The full ``(records, keys)`` vectors, extracted chunk-wise.
+
+    Sort-based drivers need the whole partition's key vector at once
+    (a sort is global); this concatenates the per-chunk vectors so the
+    extraction still happens one batch at a time.
+    """
+    recs: list = []
+    keys: list = []
+    for chunk_records, chunk_keys in _key_chunks(
+        records, key_fields, batch_size
+    ):
+        recs.extend(chunk_records)
+        keys.extend(chunk_keys)
+    return recs, keys
 
 
 # ----------------------------------------------------------------------
@@ -68,56 +102,65 @@ def run_union(node, inputs, metrics):
 # joins
 
 
-def run_hash_join(node, inputs, metrics, build_left: bool):
+def run_hash_join(node, inputs, metrics, build_left: bool,
+                  batch_size=None):
     left, right = inputs
     metrics.add_processed(node.name, len(left) + len(right))
-    left_key = KeyExtractor(node.key_fields[0])
-    right_key = KeyExtractor(node.key_fields[1])
     fn = node.udf
     flat = getattr(node, "flat", False)
     out = []
     if build_left:
-        table = defaultdict(list)
-        for record in left:
-            table[left_key(record)].append(record)
-        for probe in right:
-            for build in table.get(right_key(probe), ()):
-                _emit_join_result(fn(build, probe), flat, out)
+        build_in, build_fields = left, node.key_fields[0]
+        probe_in, probe_fields = right, node.key_fields[1]
     else:
-        table = defaultdict(list)
-        for record in right:
-            table[right_key(record)].append(record)
-        for probe in left:
-            for build in table.get(left_key(probe), ()):
-                _emit_join_result(fn(probe, build), flat, out)
+        build_in, build_fields = right, node.key_fields[1]
+        probe_in, probe_fields = left, node.key_fields[0]
+    table = defaultdict(list)
+    for records, keys in _key_chunks(build_in, build_fields, batch_size):
+        for k, record in zip(keys, records):
+            table[k].append(record)
+    lookup = table.get
+    for records, keys in _key_chunks(probe_in, probe_fields, batch_size):
+        if build_left:
+            for k, probe in zip(keys, records):
+                for build in lookup(k, ()):
+                    _emit_join_result(fn(build, probe), flat, out)
+        else:
+            for k, probe in zip(keys, records):
+                for build in lookup(k, ()):
+                    _emit_join_result(fn(probe, build), flat, out)
     return out
 
 
-def run_sort_merge_join(node, inputs, metrics):
+def run_sort_merge_join(node, inputs, metrics, batch_size=None):
     left, right = inputs
     metrics.add_processed(node.name, len(left) + len(right))
-    left_key = KeyExtractor(node.key_fields[0])
-    right_key = KeyExtractor(node.key_fields[1])
     fn = node.udf
     flat = getattr(node, "flat", False)
-    lsorted = sorted(left, key=left_key)
-    rsorted = sorted(right, key=right_key)
+    lrecs, lkeys = _keyed(left, node.key_fields[0], batch_size)
+    rrecs, rkeys = _keyed(right, node.key_fields[1], batch_size)
+    lorder = sorted(range(len(lrecs)), key=lkeys.__getitem__)
+    rorder = sorted(range(len(rrecs)), key=rkeys.__getitem__)
+    lsorted = [lrecs[i] for i in lorder]
+    lsk = [lkeys[i] for i in lorder]
+    rsorted = [rrecs[i] for i in rorder]
+    rsk = [rkeys[i] for i in rorder]
     out = []
     i = j = 0
     nl, nr = len(lsorted), len(rsorted)
     while i < nl and j < nr:
-        lk = left_key(lsorted[i])
-        rk = right_key(rsorted[j])
+        lk = lsk[i]
+        rk = rsk[j]
         if lk < rk:
             i += 1
         elif rk < lk:
             j += 1
         else:
             i_end = i
-            while i_end < nl and left_key(lsorted[i_end]) == lk:
+            while i_end < nl and lsk[i_end] == lk:
                 i_end += 1
             j_end = j
-            while j_end < nr and right_key(rsorted[j_end]) == rk:
+            while j_end < nr and rsk[j_end] == rk:
                 j_end += 1
             for a in range(i, i_end):
                 for b in range(j, j_end):
@@ -130,31 +173,33 @@ def run_sort_merge_join(node, inputs, metrics):
 # aggregations and groupings
 
 
-def run_hash_aggregate(node, inputs, metrics):
+def run_hash_aggregate(node, inputs, metrics, batch_size=None):
     """Combinable REDUCE via an updateable hash table."""
     records = inputs[0]
     metrics.add_processed(node.name, len(records))
-    key = KeyExtractor(node.key_fields[0])
     fn = node.udf
     table = {}
-    for record in records:
-        k = key(record)
-        held = table.get(k)
-        table[k] = record if held is None else fn(held, record)
+    get = table.get
+    for chunk, keys in _key_chunks(records, node.key_fields[0], batch_size):
+        for k, record in zip(keys, chunk):
+            held = get(k)
+            table[k] = record if held is None else fn(held, record)
     return list(table.values())
 
 
-def run_sort_aggregate(node, inputs, metrics):
+def run_sort_aggregate(node, inputs, metrics, batch_size=None):
     """Combinable REDUCE over key-sorted runs; output is key-sorted."""
     records = inputs[0]
     metrics.add_processed(node.name, len(records))
-    key = KeyExtractor(node.key_fields[0])
     fn = node.udf
+    recs, keys = _keyed(records, node.key_fields[0], batch_size)
+    order = sorted(range(len(recs)), key=keys.__getitem__)
     out = []
-    current_key = _SENTINEL = object()
+    current_key = object()
     acc = None
-    for record in sorted(records, key=key):
-        k = key(record)
+    for index in order:
+        k = keys[index]
+        record = recs[index]
         if k != current_key:
             if acc is not None:
                 out.append(acc)
@@ -166,32 +211,32 @@ def run_sort_aggregate(node, inputs, metrics):
     return out
 
 
-def run_reduce_group(node, inputs, metrics):
+def run_reduce_group(node, inputs, metrics, batch_size=None):
     records = inputs[0]
     metrics.add_processed(node.name, len(records))
-    key = KeyExtractor(node.key_fields[0])
     fn = node.udf
     groups = defaultdict(list)
-    for record in records:
-        groups[key(record)].append(record)
+    for chunk, keys in _key_chunks(records, node.key_fields[0], batch_size):
+        for k, record in zip(keys, chunk):
+            groups[k].append(record)
     out = []
     for k, group in groups.items():
         out.extend(fn(k, group))
     return out
 
 
-def run_cogroup(node, inputs, metrics, inner: bool):
+def run_cogroup(node, inputs, metrics, inner: bool, batch_size=None):
     left, right = inputs
     metrics.add_processed(node.name, len(left) + len(right))
-    left_key = KeyExtractor(node.key_fields[0])
-    right_key = KeyExtractor(node.key_fields[1])
     fn = node.udf
     left_groups = defaultdict(list)
-    for record in left:
-        left_groups[left_key(record)].append(record)
+    for chunk, keys in _key_chunks(left, node.key_fields[0], batch_size):
+        for k, record in zip(keys, chunk):
+            left_groups[k].append(record)
     right_groups = defaultdict(list)
-    for record in right:
-        right_groups[right_key(record)].append(record)
+    for chunk, keys in _key_chunks(right, node.key_fields[1], batch_size):
+        for k, record in zip(keys, chunk):
+            right_groups[k].append(record)
     if inner:
         keys = left_groups.keys() & right_groups.keys()
     else:
@@ -219,17 +264,17 @@ def run_cross(node, inputs, metrics):
 # combiner (pre-shuffle partial aggregation for combinable REDUCE)
 
 
-def apply_combiner(node, partitions, metrics):
+def apply_combiner(node, partitions, metrics, batch_size=None):
     """Partially aggregate each partition before shipping (Sec. 6.1)."""
-    key = KeyExtractor(node.key_fields[0])
     fn = node.udf
     combined = []
     for part in partitions:
         table = {}
-        for record in part:
-            k = key(record)
-            held = table.get(k)
-            table[k] = record if held is None else fn(held, record)
+        get = table.get
+        for chunk, keys in _key_chunks(part, node.key_fields[0], batch_size):
+            for k, record in zip(keys, chunk):
+                held = get(k)
+                table[k] = record if held is None else fn(held, record)
         metrics.add_processed(f"{node.name}.combine", len(part))
         combined.append(list(table.values()))
     return combined
@@ -239,15 +284,18 @@ def apply_combiner(node, partitions, metrics):
 # dispatch
 
 
-def run_driver(node, local_strategy, inputs, metrics):
+def run_driver(node, local_strategy, inputs, metrics, batch_size=None):
     """Run one operator on one partition's inputs.
+
+    ``batch_size`` frames the keyed drivers' key-vector extraction in
+    record-batch chunks (outputs are identical at any setting).
 
     When an invariant checker is attached to ``metrics``, the output
     record count is audited against the contract's conservation bound
     (Map: one out per in; Filter: never grows; Union: bag sum;
     combinable Reduce: at most one record per input).
     """
-    out = _dispatch(node, local_strategy, inputs, metrics)
+    out = _dispatch(node, local_strategy, inputs, metrics, batch_size)
     checker = metrics.invariants if metrics is not None else None
     if checker is not None:
         checker.check_driver(
@@ -256,7 +304,7 @@ def run_driver(node, local_strategy, inputs, metrics):
     return out
 
 
-def _dispatch(node, local_strategy, inputs, metrics):
+def _dispatch(node, local_strategy, inputs, metrics, batch_size=None):
     contract = node.contract
     if contract is Contract.MAP:
         return run_map(node, inputs, metrics)
@@ -268,22 +316,34 @@ def _dispatch(node, local_strategy, inputs, metrics):
         return run_union(node, inputs, metrics)
     if contract is Contract.MATCH:
         if local_strategy is LocalStrategy.HASH_BUILD_LEFT:
-            return run_hash_join(node, inputs, metrics, build_left=True)
+            return run_hash_join(
+                node, inputs, metrics, build_left=True, batch_size=batch_size
+            )
         if local_strategy is LocalStrategy.HASH_BUILD_RIGHT:
-            return run_hash_join(node, inputs, metrics, build_left=False)
+            return run_hash_join(
+                node, inputs, metrics, build_left=False, batch_size=batch_size
+            )
         if local_strategy is LocalStrategy.SORT_MERGE:
-            return run_sort_merge_join(node, inputs, metrics)
+            return run_sort_merge_join(
+                node, inputs, metrics, batch_size=batch_size
+            )
         raise InvalidPlanError(f"{node.name}: no join strategy assigned")
     if contract is Contract.REDUCE:
         if local_strategy is LocalStrategy.SORT_AGGREGATE:
-            return run_sort_aggregate(node, inputs, metrics)
-        return run_hash_aggregate(node, inputs, metrics)
+            return run_sort_aggregate(
+                node, inputs, metrics, batch_size=batch_size
+            )
+        return run_hash_aggregate(node, inputs, metrics, batch_size=batch_size)
     if contract is Contract.REDUCE_GROUP:
-        return run_reduce_group(node, inputs, metrics)
+        return run_reduce_group(node, inputs, metrics, batch_size=batch_size)
     if contract is Contract.COGROUP:
-        return run_cogroup(node, inputs, metrics, inner=False)
+        return run_cogroup(
+            node, inputs, metrics, inner=False, batch_size=batch_size
+        )
     if contract is Contract.INNER_COGROUP:
-        return run_cogroup(node, inputs, metrics, inner=True)
+        return run_cogroup(
+            node, inputs, metrics, inner=True, batch_size=batch_size
+        )
     if contract is Contract.CROSS:
         return run_cross(node, inputs, metrics)
     raise InvalidPlanError(f"no driver for contract {contract.value}")

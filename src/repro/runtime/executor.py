@@ -26,6 +26,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.cluster.context import LOCAL
+from repro.common.batch import RecordBatch
 from repro.common.errors import InvalidPlanError, MicrostepViolation
 from repro.common.keys import KeyExtractor
 from repro.dataflow.contracts import Contract
@@ -75,10 +76,17 @@ class Executor:
     """Interprets an :class:`~repro.runtime.plan.ExecutionPlan`."""
 
     def __init__(self, env):
+        from repro.runtime.config import RuntimeConfig
+
         self.env = env
         self.parallelism = env.parallelism
         self.metrics = env.metrics
         self.tracer = env.metrics.tracer
+        #: data-plane framing knobs; every ship, keyed driver, and SPMD
+        #: exchange frames its work in batches of this many records
+        self.config = getattr(env, "config", None) or RuntimeConfig()
+        self.batch_size = self.config.batch_size
+        self.max_frame_bytes = self.config.max_frame_bytes
         #: where this executor runs: the local simulator context, or one
         #: SPMD worker's view of its forked peers (multiprocess backend)
         self.cluster = getattr(env, "cluster", None) or LOCAL
@@ -167,7 +175,8 @@ class Executor:
         """Ship through this executor's cluster context."""
         return channels.ship(
             partitions, strategy, self.parallelism, self.metrics,
-            cluster=self.cluster,
+            cluster=self.cluster, batch_size=self.batch_size,
+            max_frame_bytes=self.max_frame_bytes,
         )
 
     def _resolve_placeholder(self, node, scope):
@@ -224,7 +233,9 @@ class Executor:
             # combiners run *before* shipping, so only the pre-aggregated
             # (smaller) data pays network cost (cf. Combiners, Sec. 6.1)
             raw = self._evaluate(node.inputs[0], step_memo, scope)
-            combined = drivers.apply_combiner(node, raw, self.metrics)
+            combined = drivers.apply_combiner(
+                node, raw, self.metrics, batch_size=self.batch_size
+            )
             strategy = ann.ship.get(0, FORWARD)
             shipped = [self._ship(combined, strategy)]
         else:
@@ -232,7 +243,10 @@ class Executor:
         out = []
         for p in range(self.parallelism):
             inputs = [s[p] for s in shipped]
-            out.append(drivers.run_driver(node, ann.local, inputs, self.metrics))
+            out.append(drivers.run_driver(
+                node, ann.local, inputs, self.metrics,
+                batch_size=self.batch_size,
+            ))
         return out
 
     def _run_match(self, node, step_memo, scope):
@@ -250,12 +264,15 @@ class Executor:
         tables = scope.table_cache.get(node.id)
         if tables is None:
             shipped = self._ship_one_input(node, build_idx, step_memo, scope)
-            key = KeyExtractor(node.key_fields[build_idx])
+            build_fields = node.key_fields[build_idx]
             tables = []
             for part in shipped:
                 table = {}
-                for record in part:
-                    table.setdefault(key(record), []).append(record)
+                for records, keys in drivers._key_chunks(
+                    part, build_fields, self.batch_size
+                ):
+                    for k, record in zip(keys, records):
+                        table.setdefault(k, []).append(record)
                 tables.append(table)
             scope.table_cache[node.id] = tables
             self.metrics.add_cache_build()
@@ -265,20 +282,28 @@ class Executor:
 
         probe_idx = 1 - build_idx
         probe_parts = self._ship_one_input(node, probe_idx, step_memo, scope)
-        probe_key = KeyExtractor(node.key_fields[probe_idx])
+        probe_fields = node.key_fields[probe_idx]
         fn = node.udf
         flat = getattr(node, "flat", False)
         out = []
         for p in range(self.parallelism):
             table = tables[p]
+            lookup = table.get
             results = []
             self.metrics.add_processed(node.name, len(probe_parts[p]))
-            for probe in probe_parts[p]:
-                for build in table.get(probe_key(probe), ()):
-                    if build_left:
-                        drivers._emit_join_result(fn(build, probe), flat, results)
-                    else:
-                        drivers._emit_join_result(fn(probe, build), flat, results)
+            for records, keys in drivers._key_chunks(
+                probe_parts[p], probe_fields, self.batch_size
+            ):
+                for k, probe in zip(keys, records):
+                    for build in lookup(k, ()):
+                        if build_left:
+                            drivers._emit_join_result(
+                                fn(build, probe), flat, results
+                            )
+                        else:
+                            drivers._emit_join_result(
+                                fn(probe, build), flat, results
+                            )
             out.append(results)
         return out
 
@@ -467,6 +492,7 @@ class Executor:
         index = SolutionSetIndex.build(
             routed, node.solution_key, self.parallelism,
             metrics=self.metrics, should_replace=node.should_replace,
+            batch_size=self.batch_size,
         )
         workset = self._evaluate(node.inputs[1], outer_memo, outer_scope)
         scope = _IterationScope(
@@ -575,18 +601,20 @@ class Executor:
         accepted_parts = []
         for p, part in enumerate(routed_parts):
             winners: dict = {}
-            for record in part:
-                k = index.key(record)
-                incumbent = winners.get(k)
-                if incumbent is None:
-                    incumbent = index.lookup(p, k)
-                if (
-                    incumbent is not None
-                    and node.should_replace is not None
-                    and not node.should_replace(record, incumbent)
-                ):
-                    continue
-                winners[k] = record
+            for records, keys in drivers._key_chunks(
+                part, node.solution_key, self.batch_size
+            ):
+                for k, record in zip(keys, records):
+                    incumbent = winners.get(k)
+                    if incumbent is None:
+                        incumbent = index.lookup(p, k)
+                    if (
+                        incumbent is not None
+                        and node.should_replace is not None
+                        and not node.should_replace(record, incumbent)
+                    ):
+                        continue
+                    winners[k] = record
             staged.append(winners)
             accepted_parts.append(list(winners.values()))
         return staged, accepted_parts
@@ -627,14 +655,14 @@ class Executor:
         # lockstep before any queue exists
         to_delta = _compile_chain(self, node, scope, report.chain_to_delta)
         to_workset = _compile_chain(self, node, scope, report.chain_to_workset)
-        route_key = KeyExtractor(
-            report.workset_route_fields or node.solution_key
-        )
+        route_fields = report.workset_route_fields or node.solution_key
+        route_key = KeyExtractor(route_fields)
 
         if not self.cluster.is_local and self.cluster.size > 1:
             if synchronous:
                 return self._spmd_micro_supersteps(
-                    node, scope, index, route_key, to_delta, to_workset
+                    node, scope, index, route_key, route_fields,
+                    to_delta, to_workset,
                 )
             return self._spmd_micro_async(
                 node, scope, index, route_key, to_delta, to_workset
@@ -652,10 +680,23 @@ class Executor:
             else:
                 self.metrics.add_shipped(local=0, remote=1)
 
+        # seed the queues batch-at-a-time: one hash vector per chunk,
+        # same queue contents and counter totals as per-record enqueue
         initial = scope.bindings[node.workset_placeholder.id]
         for p, part in enumerate(initial):
-            for record in part:
-                enqueue(record, p)
+            if not part:
+                continue
+            for chunk in RecordBatch.wrap(part, route_fields).split(
+                self.batch_size
+            ):
+                targets = chunk.partition_targets(self.parallelism)
+                for target, record in zip(targets, chunk.records):
+                    queues[target].append(record)
+                detector.sent(len(targets))
+                here = targets.count(p)
+                self.metrics.add_shipped(
+                    local=here, remote=len(targets) - here
+                )
 
         if synchronous:
             return self._micro_supersteps(node, index, queues, route_key,
@@ -784,7 +825,7 @@ class Executor:
 
         store, injector = self._recovery_hooks()
 
-        batch = max(1, int(getattr(self.env, "async_poll_batch", 64)))
+        batch = self.config.async_poll_batch
         rounds = 0
         label = f"{node.name}.microstep"
         max_rounds = node.max_iterations * max(
@@ -839,7 +880,7 @@ class Executor:
     # SPMD microstep execution (multiprocess backend)
 
     def _spmd_micro_supersteps(self, node, scope, index, route_key,
-                               to_delta, to_workset):
+                               route_fields, to_delta, to_workset):
         """One worker's side of microstep-with-supersteps execution.
 
         The worker owns one buffering queue; produced records are framed
@@ -863,16 +904,22 @@ class Executor:
         initial = scope.bindings[node.workset_placeholder.id]
         frames = [[] for _ in range(parallelism)]
         seed_local = seed_remote = 0
-        for record in initial[rank]:
-            target = partition_index(route_key(record), parallelism)
-            frames[target].append(record)
-            if target == rank:
-                seed_local += 1
-            else:
-                seed_remote += 1
+        if initial[rank]:
+            for chunk in RecordBatch.wrap(initial[rank], route_fields).split(
+                self.batch_size
+            ):
+                targets = chunk.partition_targets(parallelism)
+                for target, record in zip(targets, chunk.records):
+                    frames[target].append(record)
+                here = targets.count(rank)
+                seed_local += here
+                seed_remote += len(targets) - here
         queue = deque()
         bytes_before = cluster.bytes_sent
-        for frame in cluster.exchange(frames):
+        for frame in cluster.exchange(
+            frames, batch_size=self.batch_size,
+            max_frame_bytes=self.max_frame_bytes,
+        ):
             queue.extend(frame)
         self.metrics.add_bytes_shipped(cluster.bytes_sent - bytes_before)
         self.metrics.add_shipped(local=seed_local, remote=seed_remote)
@@ -921,7 +968,10 @@ class Executor:
                 continue
             self.metrics.add_shipped(local=shipped[0], remote=shipped[1])
             bytes_before = cluster.bytes_sent
-            for frame in cluster.exchange(buffers):
+            for frame in cluster.exchange(
+                buffers, batch_size=self.batch_size,
+                max_frame_bytes=self.max_frame_bytes,
+            ):
                 queue.extend(frame)
             self.metrics.add_bytes_shipped(cluster.bytes_sent - bytes_before)
             self.metrics.end_superstep(
@@ -955,7 +1005,7 @@ class Executor:
         size = cluster.size
         parallelism = self.parallelism
         label = f"{node.name}.microstep"
-        batch = max(1, int(getattr(self.env, "async_poll_batch", 64)))
+        batch = self.config.async_poll_batch
 
         if getattr(self.env, "checkpoint_interval", 0) or \
                 getattr(self.env, "failure_injector", None) is not None:
@@ -1174,12 +1224,14 @@ def _compile_match_stage(executor, scope, op, chain_ids):
     dyn_idx = _dynamic_input_of(scope, op)
     const_idx = 1 - dyn_idx
     shipped = executor._ship_one_input(op, const_idx, scope.iter_memo, scope)
-    const_key = KeyExtractor(op.key_fields[const_idx])
     tables = []
     for part in shipped:
         table: dict = {}
-        for record in part:
-            table.setdefault(const_key(record), []).append(record)
+        for records, keys in drivers._key_chunks(
+            part, op.key_fields[const_idx], executor.batch_size
+        ):
+            for k, record in zip(keys, records):
+                table.setdefault(k, []).append(record)
         tables.append(table)
     dyn_key = KeyExtractor(op.key_fields[dyn_idx])
     fn = op.udf

@@ -65,6 +65,7 @@ ATTRIBUTED_COUNTERS = (
     "solution_accesses",
     "solution_updates",
     "bytes_shipped",
+    "batches_shipped",
     "cache_hits",
     "cache_builds",
 )
@@ -78,6 +79,7 @@ _TRACE_RECONCILED = (
     ("solution_accesses", "solution_accesses"),
     ("solution_updates", "solution_updates"),
     ("bytes_shipped", "bytes_shipped"),
+    ("batches_shipped", "batches_shipped"),
     ("cache_hits", "cache_hits"),
     ("cache_builds", "cache_builds"),
     ("workset_size", "workset_size"),
@@ -106,6 +108,7 @@ class InvariantChecker:
         self.driver_checks = 0
         self.delta_checks = 0
         self.trace_checks = 0
+        self.batch_checks = 0
 
     def reset(self):
         self._inside = dict.fromkeys(ATTRIBUTED_COUNTERS, 0)
@@ -314,6 +317,40 @@ class InvariantChecker:
             )
 
     # ------------------------------------------------------------------
+    # batch audit
+
+    def check_batch(self, batch):
+        """A batch's cached key/hash vectors match per-record recomputation.
+
+        The batched data plane routes through
+        :class:`~repro.common.batch.RecordBatch` vectors computed in one
+        pass; this law re-derives both vectors record by record with the
+        plain :class:`KeyExtractor`/:func:`stable_hash` machinery —
+        independent of the batch's own caching — so a stale or misaligned
+        vector (e.g. a mutated batch) trips a check instead of silently
+        misrouting records.
+        """
+        from repro.common.hashing import stable_hash
+
+        self.batch_checks += 1
+        if batch.key_fields is None:
+            self._fail("audited batch carries no key fields")
+        extract = KeyExtractor(batch.key_fields)
+        expected_keys = [extract(record) for record in batch.records]
+        if batch.keys != expected_keys:
+            self._fail(
+                f"batch key vector diverges from per-record extraction "
+                f"on fields {batch.key_fields} — the cached vector is "
+                "stale or misaligned"
+            )
+        expected_hashes = [stable_hash(k) for k in expected_keys]
+        if batch.hashes != expected_hashes:
+            self._fail(
+                "batch hash vector diverges from per-record stable_hash "
+                "recomputation — the cached vector is stale or misaligned"
+            )
+
+    # ------------------------------------------------------------------
     # driver audit
 
     def check_driver(self, name, contract, input_sizes, output_size):
@@ -407,6 +444,7 @@ class InvariantChecker:
             "solution_accesses": sum(s.solution_accesses for s in log),
             "solution_updates": sum(s.solution_updates for s in log),
             "bytes_shipped": sum(s.bytes_shipped for s in log),
+            "batches_shipped": sum(s.batches_shipped for s in log),
             "cache_hits": sum(s.cache_hits for s in log),
             "cache_builds": sum(s.cache_builds for s in log),
         }
@@ -417,6 +455,7 @@ class InvariantChecker:
             "solution_accesses": metrics.solution_accesses,
             "solution_updates": metrics.solution_updates,
             "bytes_shipped": metrics.bytes_shipped,
+            "batches_shipped": metrics.batches_shipped,
             "cache_hits": metrics.cache_hits,
             "cache_builds": metrics.cache_builds,
         }
@@ -504,6 +543,7 @@ class InvariantChecker:
         self.driver_checks += other.driver_checks
         self.delta_checks += other.delta_checks
         self.trace_checks += other.trace_checks
+        self.batch_checks += other.batch_checks
         return self
 
 

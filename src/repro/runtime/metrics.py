@@ -32,6 +32,10 @@ class IterationStats:
     #: serialized bytes this superstep put on the wire (multiprocess
     #: backend only — the simulator never serializes records)
     bytes_shipped: int = 0
+    #: :class:`~repro.common.batch.RecordBatch` chunks the channels
+    #: framed this superstep (physical, like bytes: the chunking depends
+    #: on the backend's partition localization)
+    batches_shipped: int = 0
     cache_hits: int = 0
     cache_builds: int = 0
 
@@ -53,6 +57,7 @@ class IterationStats:
             "solution_accesses": self.solution_accesses,
             "solution_updates": self.solution_updates,
             "bytes_shipped": self.bytes_shipped,
+            "batches_shipped": self.batches_shipped,
             "cache_hits": self.cache_hits,
             "cache_builds": self.cache_builds,
             "messages": self.messages,
@@ -74,6 +79,9 @@ class MetricsCollector:
     #: serialized bytes actually put on the wire (multiprocess backend
     #: only; the in-process simulator never serializes records)
     bytes_shipped: int = 0
+    #: RecordBatch chunks framed by the shipping channels (physical:
+    #: per-worker localization changes how records fall into chunks)
+    batches_shipped: int = 0
     iteration_log: list[IterationStats] = field(default_factory=list)
     #: optional :class:`~repro.runtime.invariants.InvariantChecker`; when
     #: attached (``RuntimeConfig.check_invariants``), every counter hook
@@ -136,6 +144,18 @@ class MetricsCollector:
         if self.invariants is not None:
             self.invariants.on_counter(
                 "bytes_shipped", count, self._open_superstep is not None
+            )
+
+    def add_batches_shipped(self, count: int = 1):
+        """RecordBatch chunks framed on a channel (the batched data
+        plane's per-batch overhead unit; the cost model's
+        ``per_batch_overhead`` term prices exactly these)."""
+        self.batches_shipped += count
+        if self._open_superstep is not None:
+            self._open_superstep.batches_shipped += count
+        if self.invariants is not None:
+            self.invariants.on_counter(
+                "batches_shipped", count, self._open_superstep is not None
             )
 
     def add_cache_hit(self, count: int = 1):
@@ -253,6 +273,7 @@ class MetricsCollector:
         self.cache_hits += other.cache_hits
         self.cache_builds += other.cache_builds
         self.bytes_shipped += other.bytes_shipped
+        self.batches_shipped += other.batches_shipped
         if align_supersteps:
             if len(self.iteration_log) != len(other.iteration_log) or \
                     self.supersteps != other.supersteps:
@@ -276,6 +297,7 @@ class MetricsCollector:
                 mine.solution_accesses += theirs.solution_accesses
                 mine.solution_updates += theirs.solution_updates
                 mine.bytes_shipped += theirs.bytes_shipped
+                mine.batches_shipped += theirs.batches_shipped
                 mine.cache_hits += theirs.cache_hits
                 mine.cache_builds += theirs.cache_builds
                 mine.duration_s = max(mine.duration_s, theirs.duration_s)
@@ -308,6 +330,7 @@ class MetricsCollector:
         self.cache_hits = 0
         self.cache_builds = 0
         self.bytes_shipped = 0
+        self.batches_shipped = 0
         self.iteration_log.clear()
         self._open_superstep = None
         self._superstep_span = None
@@ -330,5 +353,6 @@ class MetricsCollector:
             "cache_hits": self.cache_hits,
             "cache_builds": self.cache_builds,
             "bytes_shipped": self.bytes_shipped,
+            "batches_shipped": self.batches_shipped,
             "iteration_log": [s.as_dict() for s in self.iteration_log],
         }

@@ -51,14 +51,15 @@ class PregelMaster:
         #: master over its own vertex range, exchanging messages and
         #: halting votes through this cluster context
         self.cluster = cluster or LOCAL
+        from repro.runtime.config import RuntimeConfig
+        #: data-plane framing bounds for the SPMD message exchange
+        self.config = config or RuntimeConfig()
         if metrics is None:
-            from repro.runtime.config import RuntimeConfig
-            config = config or RuntimeConfig()
             metrics = MetricsCollector()
-            if config.check_invariants:
+            if self.config.check_invariants:
                 from repro.runtime.invariants import attach_checker
                 attach_checker(metrics)
-            if config.trace:
+            if self.config.trace:
                 from repro.observability import attach_tracer
                 attach_tracer(metrics, rank=self.cluster.rank)
         self.metrics = metrics
@@ -183,8 +184,12 @@ class PregelMaster:
                 total_messages += local + remote
             if spmd:
                 # ascending sender order = the local master's partition
-                # scan, so per-target message order is identical
-                for frame in cluster.exchange(frames):
+                # scan, so per-target message order is identical; frames
+                # travel as size-bounded batch chunks over the fabric
+                for frame in cluster.exchange(
+                    frames, batch_size=self.config.batch_size,
+                    max_frame_bytes=self.config.max_frame_bytes,
+                ):
                     for target, value in frame:
                         next_inbox[target].append(value)
             self.metrics.add_bytes_shipped(cluster.bytes_sent - bytes_before)

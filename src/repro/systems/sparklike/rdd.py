@@ -147,8 +147,11 @@ class RDD:
                 local=sum(len(p) for p in parts), remote=0
             )
             return parts
+        config = self.ctx.config
         return channels.ship(parts, _PARTITION_KEY0, self.ctx.parallelism,
-                             self.ctx.metrics, cluster=self.ctx.cluster)
+                             self.ctx.metrics, cluster=self.ctx.cluster,
+                             batch_size=config.batch_size,
+                             max_frame_bytes=config.max_frame_bytes)
 
     def reduce_by_key(self, fn) -> "RDD":
         """Merge values of equal keys with ``fn(v1, v2)``; map-side combine."""

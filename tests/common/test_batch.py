@@ -1,0 +1,135 @@
+"""RecordBatch: the data plane's buffer abstraction (hypothesis).
+
+The batched hot paths are only sound if reframing a record stream —
+splitting, merging, rechunking — never changes the stream or the cached
+key/hash vectors.  These properties drive random records, key schemas,
+and chunk bounds through every reshaping operation and hold the cached
+vectors to a per-record recomputation (the same oracle the invariant
+checker uses at runtime).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.batch import RecordBatch, iter_batches
+from repro.common.hashing import stable_hash
+from repro.common.keys import KeyExtractor
+
+keys = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.booleans(),
+    st.text(max_size=8),
+)
+records = st.lists(st.tuples(keys, st.integers()), max_size=60)
+key_schemas = st.sampled_from([(0,), (1,), (0, 1)])
+chunk_bounds = st.integers(min_value=1, max_value=70)
+
+
+def _oracle(recs, key_fields):
+    extract = KeyExtractor(key_fields)
+    expect_keys = [extract(r) for r in recs]
+    return expect_keys, [stable_hash(k) for k in expect_keys]
+
+
+class TestCachedVectors:
+    @given(records, key_schemas)
+    @settings(max_examples=100)
+    def test_vectors_match_per_record_recomputation(self, recs, fields):
+        batch = RecordBatch.wrap(list(recs), fields)
+        expect_keys, expect_hashes = _oracle(recs, fields)
+        assert batch.keys == expect_keys
+        assert batch.hashes == expect_hashes
+
+    @given(records, key_schemas, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=100)
+    def test_partition_targets_match_stable_hash_mod(
+            self, recs, fields, parallelism):
+        batch = RecordBatch.wrap(list(recs), fields)
+        _, hashes = _oracle(recs, fields)
+        assert batch.partition_targets(parallelism) == \
+            [h % parallelism for h in hashes]
+
+    def test_keys_require_a_schema(self):
+        with pytest.raises(ValueError, match="no key fields"):
+            RecordBatch.wrap([(1, 2)]).keys
+
+
+class TestWrap:
+    def test_wrap_is_idempotent(self):
+        batch = RecordBatch.wrap([(1, 2)], (0,))
+        assert RecordBatch.wrap(batch) is batch
+        assert RecordBatch.wrap(batch, (0,)) is batch
+
+    def test_rewrap_with_new_schema_drops_cached_vectors(self):
+        batch = RecordBatch.wrap([(1, 2)], (0,))
+        assert batch.keys == [1]
+        rekeyed = RecordBatch.wrap(batch, (1,))
+        assert rekeyed is not batch
+        assert rekeyed.keys == [2]
+
+
+class TestReshaping:
+    @given(records, key_schemas, chunk_bounds)
+    @settings(max_examples=100)
+    def test_split_merge_round_trips(self, recs, fields, bound):
+        batch = RecordBatch.wrap(list(recs), fields)
+        chunks = batch.split(bound)
+        assert all(1 <= len(c) <= bound for c in chunks) or not recs
+        merged = RecordBatch.merge(chunks)
+        assert merged.records == list(recs)
+        assert merged.keys == batch.keys
+        assert merged.hashes == batch.hashes
+
+    @given(records, key_schemas, chunk_bounds, chunk_bounds)
+    @settings(max_examples=100)
+    def test_rechunk_preserves_the_record_stream(
+            self, recs, fields, first, second):
+        chunks = RecordBatch.wrap(list(recs), fields).split(first)
+        rechunked = RecordBatch.rechunk(chunks, second)
+        flattened = [r for c in rechunked for r in c.records]
+        assert flattened == list(recs)
+        assert all(len(c) <= second for c in rechunked)
+
+    @given(records, key_schemas, chunk_bounds)
+    @settings(max_examples=100)
+    def test_split_slices_cached_vectors_without_recomputation(
+            self, recs, fields, bound):
+        batch = RecordBatch.wrap(list(recs), fields)
+        batch.keys, batch.hashes  # force the caches
+        for chunk in batch.split(bound):
+            # sliced eagerly from the parent, not recomputed lazily
+            assert chunk._keys is not None
+            assert chunk._hashes is not None
+            expect_keys, expect_hashes = _oracle(chunk.records, fields)
+            assert chunk._keys == expect_keys
+            assert chunk._hashes == expect_hashes
+
+    def test_split_none_returns_self_uncopied(self):
+        batch = RecordBatch.wrap([(1, 2), (3, 4)], (0,))
+        assert batch.split(None) == [batch]
+        assert batch.split(None)[0] is batch
+
+    def test_split_rejects_non_positive_bounds(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            RecordBatch.wrap([(1,), (2,)], (0,)).split(0)
+
+    def test_merge_rejects_mismatched_key_schemas(self):
+        a = RecordBatch.wrap([(1, 2)], (0,))
+        b = RecordBatch.wrap([(3, 4)], (1,))
+        with pytest.raises(ValueError, match="cannot merge"):
+            RecordBatch.merge([a, b])
+
+    def test_merge_nothing_is_an_empty_batch(self):
+        assert RecordBatch.merge([]).records == []
+
+
+class TestIterBatches:
+    @given(records, key_schemas,
+           st.one_of(st.none(), chunk_bounds))
+    @settings(max_examples=100)
+    def test_frames_cover_the_stream_in_order(self, recs, fields, bound):
+        chunks = list(iter_batches(list(recs), fields, bound))
+        assert [r for c in chunks for r in c.records] == list(recs)
+        if bound is not None:
+            assert all(len(c) <= bound for c in chunks)

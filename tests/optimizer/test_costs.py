@@ -48,5 +48,38 @@ class TestLocalCosts:
         )
 
     def test_weights_are_configurable(self):
-        free = CostWeights(network=0.0)
+        free = CostWeights(network=0.0, per_record_overhead=0.0,
+                           per_batch_overhead=0.0)
         assert costs.ship_cost(ShipKind.BROADCAST, 1000, 4, free) == 0.0
+
+
+class TestFramingCosts:
+    def test_forward_frames_nothing(self):
+        assert costs.framing_cost(
+            ShipKind.FORWARD, 1000, 4, DEFAULT_WEIGHTS
+        ) == 0.0
+
+    def test_record_at_a_time_pays_full_frame_price(self):
+        batched = CostWeights(batch_size=1024.0)
+        degenerate = CostWeights(batch_size=1.0)
+        hash_batched = costs.framing_cost(
+            ShipKind.PARTITION_HASH, 1000, 4, batched
+        )
+        hash_degenerate = costs.framing_cost(
+            ShipKind.PARTITION_HASH, 1000, 4, degenerate
+        )
+        assert hash_degenerate > 100 * hash_batched
+
+    def test_framing_linear_in_size(self):
+        small = costs.framing_cost(ShipKind.PARTITION_HASH, 100, 4,
+                                   DEFAULT_WEIGHTS)
+        large = costs.framing_cost(ShipKind.PARTITION_HASH, 200, 4,
+                                   DEFAULT_WEIGHTS)
+        assert abs(large - 2 * small) < 1e-9
+
+    def test_broadcast_frames_one_copy_per_destination(self):
+        one = costs.framing_cost(ShipKind.PARTITION_HASH, 1000, 4,
+                                 DEFAULT_WEIGHTS)
+        bc = costs.framing_cost(ShipKind.BROADCAST, 1000, 4,
+                                DEFAULT_WEIGHTS)
+        assert abs(bc - 4 * one) < 1e-9

@@ -60,7 +60,8 @@ class TestShipAudit:
         index, so the local/remote split it reports disagrees with the
         checker's per-record recomputation.
         """
-        def buggy_hash(partitions, key_fields, parallelism):
+        def buggy_hash(partitions, key_fields, parallelism,
+                       batch_size=None, metrics=None):
             out = [[] for _ in range(parallelism)]
             local = remote = 0
             for _, part in enumerate(partitions):
@@ -71,7 +72,7 @@ class TestShipAudit:
                         local += 1
                     else:
                         remote += 1
-            return out, local, remote
+            return out, local, remote, len(partitions)
 
         monkeypatch.setattr(channels, "_ship_hash", buggy_hash)
         metrics = checked_metrics()
@@ -81,7 +82,7 @@ class TestShipAudit:
     def test_rejects_record_loss(self):
         checker = InvariantChecker()
         in_parts = spread(RECORDS)
-        out, local, remote = channels._ship_hash(in_parts, (0,), 4)
+        out, local, remote, _ = channels._ship_hash(in_parts, (0,), 4)
         out[0] = out[0][:-1]  # drop a record in transit
         with pytest.raises(InvariantViolation, match="lost or fabricated"):
             checker.check_ship(HASH, in_parts, out, 4, local - 1, remote)
@@ -89,7 +90,7 @@ class TestShipAudit:
     def test_rejects_misplaced_hash_record(self):
         checker = InvariantChecker()
         in_parts = spread(RECORDS)
-        out, local, remote = channels._ship_hash(in_parts, (0,), 4)
+        out, local, remote, _ = channels._ship_hash(in_parts, (0,), 4)
         moved = out[0].pop()
         wrong = (partition_index(moved[0], 4) + 1) % 4
         out[wrong].append(moved)
