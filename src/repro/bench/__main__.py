@@ -24,8 +24,8 @@ import time
 def _registry():
     from repro.bench import audit
     from repro.bench.experiments import (
-        dataplane, extensions, fig2, fig4, fig7, fig8, fig9, fig10, fig11,
-        fig12, scaling, table1, table2,
+        chaining, dataplane, extensions, fig2, fig4, fig7, fig8, fig9,
+        fig10, fig11, fig12, scaling, table1, table2,
     )
     return {
         "audit": ("Differential audit — engines agree, invariants hold",
@@ -34,6 +34,8 @@ def _registry():
                     scaling.run),
         "dataplane": ("Data plane — batched vs record-at-a-time framing",
                       dataplane.run),
+        "chaining": ("Chain fusion — fused vs unfused forward pipelines",
+                     chaining.run),
         "table1": ("Table 1 — iteration templates", table1.run),
         "table2": ("Table 2 — dataset properties", table2.run),
         "fig2": ("Figure 2 — CC effective work (FOAF)", fig2.run),

@@ -1,0 +1,250 @@
+"""Chain-fusion microbenchmark: fused vs unfused forward pipelines.
+
+Two workloads, both run end-to-end through the public environment API
+once with operator chaining on (the default) and once with
+``chaining=False`` (the ``REPRO_NO_CHAIN=1`` configuration):
+
+* **pipeline** (gating) — a 5-operator map/filter pipeline over a few
+  million generated records.  Unfused, every edge materializes a full
+  intermediate partition list and pays a forward ship; fused, each
+  ``RecordBatch``-sized chunk runs the whole chain while hot in cache
+  and no intermediate dataset ever exists.  The gap widens with input
+  size because the unfused intermediates evict each other from cache
+  and churn the allocator.
+* **cc dynamic path** (reporting) — connected components as a delta
+  iteration whose per-superstep candidate path carries a fused
+  map→filter normalization chain: the speedup fusion buys *inside* an
+  iteration's dynamic data path, where the chain re-runs every
+  superstep.
+
+The run fails (``ok=False``, nonzero exit under ``python -m repro.bench
+chaining``) if the pipeline row's fused speedup falls below
+``SPEEDUP_FLOOR`` — that regression would mean fusion no longer pays
+for itself.  Both modes must also agree on the collected results; a
+mismatch fails the run outright.
+
+The JSON artifact lands in ``benchmarks/results/BENCH_chaining.json``.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import statistics
+import time
+from dataclasses import dataclass, field
+
+from repro.bench.reporting import format_quantity, render_table, results_dir
+from repro.graphs.generators import erdos_renyi
+from repro.runtime.config import RuntimeConfig
+
+ARTIFACT = "BENCH_chaining.json"
+
+#: fused wall-clock below this multiple of the unfused path on the
+#: pipeline row fails the benchmark
+SPEEDUP_FLOOR = 1.5
+
+
+@dataclass
+class ChainingResult:
+    records: int
+    cc_vertices: int
+    cc_edges: int
+    parallelism: int
+    rounds: int
+    rows: list[dict] = field(default_factory=list)
+    ok: bool = True
+    artifact_path: str = ""
+
+    def report(self) -> str:
+        table_rows = [
+            [row["workload"],
+             format_quantity(row["records"]),
+             f"{row['fused_s'] * 1000:.0f} ms",
+             f"{row['unfused_s'] * 1000:.0f} ms",
+             f"{row['speedup']:.2f}x",
+             ("yes" if row["speedup"] >= SPEEDUP_FLOOR else "NO")
+             if row["gating"] else "-"]
+            for row in self.rows
+        ]
+        table = render_table(
+            f"Chain fusion — fused vs REPRO_NO_CHAIN=1 "
+            f"(parallelism={self.parallelism}, median of {self.rounds})",
+            ["workload", "records", "fused", "unfused", "speedup",
+             f">={SPEEDUP_FLOOR:.1f}x"],
+            table_rows,
+        )
+        verdict = (
+            "OK: the fused pipeline clears the "
+            f"{SPEEDUP_FLOOR:.1f}x speedup floor."
+            if self.ok else
+            "FAIL: fused execution fell below "
+            f"{SPEEDUP_FLOOR:.1f}x the unfused path (or modes disagreed)."
+        )
+        return table + "\n\n" + verdict + f"\nArtifact: {self.artifact_path}"
+
+
+def _environment(parallelism: int, chaining: bool):
+    from repro.dataflow.environment import ExecutionEnvironment
+    return ExecutionEnvironment(
+        parallelism=parallelism,
+        config=RuntimeConfig(
+            check_invariants=False, trace=False, chaining=chaining,
+        ),
+    )
+
+
+def _pipeline(env, records: int):
+    """The 5-operator map/filter chain the planner fuses end-to-end."""
+    ds = env.generate_sequence(records, lambda i: (i, i & 1023))
+    return (
+        ds.map(lambda r: (r[0] + 1, r[1]))
+        .filter(lambda r: r[1] != 7)
+        .map(lambda r: (r[0], r[1] + 1))
+        .map(lambda r: (r[0] ^ 5, r[1]))
+        .filter(lambda r: r[0] % 5 != 0)
+    )
+
+
+def _run_pipeline(records: int, parallelism: int, chaining: bool):
+    env = _environment(parallelism, chaining)
+    out = _pipeline(env, records)
+    gc.collect()
+    started = time.perf_counter()
+    result = env.collect(out)
+    return time.perf_counter() - started, result
+
+
+def _cc_chained(env, graph, max_iterations: int = 1_000):
+    """Delta-iterative CC with a fusable chain on the dynamic path.
+
+    The candidate path normalizes each propagated label and drops
+    candidates that provably cannot improve (a vertex's label never
+    exceeds its id), so every superstep re-runs a map→filter chain over
+    the freshly produced workset.
+    """
+    vertices = env.from_iterable(
+        ((v, v) for v in range(graph.num_vertices)), name="vertices"
+    )
+    edges = env.from_iterable(graph.edge_tuples(), name="edges")
+    initial_workset = env.from_iterable(
+        ((int(dst), src) for src, dst in graph.edge_tuples()),
+        name="initial_candidates",
+    )
+    iteration = env.iterate_delta(
+        vertices, initial_workset, key_fields=0,
+        max_iterations=max_iterations, name="cc_chained",
+    )
+
+    def min_candidate(vid, candidates, stored):
+        current = stored[0][1]
+        best = min(candidate for (_v, candidate) in candidates)
+        if best < current:
+            yield (vid, best)
+
+    delta = iteration.workset.cogroup(
+        iteration.solution_set, 0, 0, min_candidate, name="update"
+    )
+    next_workset = (
+        delta.join(edges, 0, 0, lambda d, e: (e[1], d[1]),
+                   name="new_candidates")
+        .map(lambda c: (c[0], c[1]), name="normalize")
+        .filter(lambda c: c[1] < c[0], name="improving_only")
+    )
+    result = iteration.close(
+        delta, next_workset,
+        should_replace=lambda new, old: new[1] < old[1],
+        mode="superstep",
+    )
+    return result
+
+
+def _run_cc(graph, parallelism: int, chaining: bool):
+    env = _environment(parallelism, chaining)
+    out = _cc_chained(env, graph)
+    gc.collect()
+    started = time.perf_counter()
+    result = sorted(env.collect(out))
+    return time.perf_counter() - started, result
+
+
+def _measure(bench, rounds: int):
+    """Interleaved fused/unfused medians plus a result-equality check."""
+    bench(True)  # warm both modes before timing
+    bench(False)
+    fused_times, unfused_times = [], []
+    fused_result = unfused_result = None
+    for _ in range(rounds):
+        elapsed, fused_result = bench(True)
+        fused_times.append(elapsed)
+        elapsed, unfused_result = bench(False)
+        unfused_times.append(elapsed)
+    return (
+        statistics.median(fused_times),
+        statistics.median(unfused_times),
+        sorted(fused_result) == sorted(unfused_result),
+    )
+
+
+def run(records: int = 3_000_000, cc_vertices: int = 20_000,
+        cc_avg_degree: float = 4.0, parallelism: int = 4, rounds: int = 3,
+        save_artifact: bool = True) -> ChainingResult:
+    graph = erdos_renyi(cc_vertices, cc_avg_degree, seed=17, name="chaining")
+    result = ChainingResult(
+        records=records,
+        cc_vertices=graph.num_vertices,
+        cc_edges=graph.num_edges,
+        parallelism=parallelism,
+        rounds=rounds,
+    )
+
+    cases = [
+        ("pipeline (5-op map/filter)", True, records,
+         lambda chaining: _run_pipeline(records, parallelism, chaining)),
+        ("cc dynamic path (delta iteration)", False,
+         graph.num_vertices + graph.num_edges,
+         lambda chaining: _run_cc(graph, parallelism, chaining)),
+    ]
+    for name, gating, size, bench in cases:
+        fused_s, unfused_s, agree = _measure(bench, rounds)
+        speedup = unfused_s / fused_s if fused_s > 0 else float("inf")
+        result.rows.append({
+            "workload": name,
+            "gating": gating,
+            "records": size,
+            "fused_s": fused_s,
+            "unfused_s": unfused_s,
+            "speedup": speedup,
+            "results_agree": agree,
+        })
+        if not agree:
+            result.ok = False
+        if gating and speedup < SPEEDUP_FLOOR:
+            result.ok = False
+
+    if save_artifact:
+        payload = {
+            "experiment": "chaining",
+            "records": records,
+            "cc_vertices": result.cc_vertices,
+            "cc_edges": result.cc_edges,
+            "parallelism": parallelism,
+            "rounds": rounds,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "ok": result.ok,
+            "note": (
+                "Both modes run the identical plan through the public "
+                "API; only RuntimeConfig.chaining differs.  Rows report "
+                "the median of interleaved rounds; 'gating' rows must "
+                "clear the speedup floor and both modes must collect "
+                "identical results."
+            ),
+            "rows": result.rows,
+        }
+        path = os.path.join(results_dir(), ARTIFACT)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        result.artifact_path = path
+    return result

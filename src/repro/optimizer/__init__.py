@@ -61,7 +61,10 @@ def optimize_plan(logical_plan, env) -> ExecutionPlan:
 def _optimize_plan(logical_plan, env, tracer) -> ExecutionPlan:
     weights = env.cost_weights or _calibrated_weights(env)
     stats = Statistics()
-    enumerator = Enumerator(env.parallelism, weights, stats, tracer=tracer)
+    config = getattr(env, "config", None)
+    chaining = config.chaining if config is not None else True
+    enumerator = Enumerator(env.parallelism, weights, stats, tracer=tracer,
+                            chaining=chaining)
     outer_nodes = _outer_region(logical_plan)
     enumerator.count_consumers(outer_nodes)
 

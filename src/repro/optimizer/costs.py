@@ -103,6 +103,24 @@ def ship_cost(kind: ShipKind, size: float, parallelism: int,
     raise ValueError(f"unknown ship kind {kind}")
 
 
+def forward_edge_cost(size: float, weights: CostWeights) -> float:
+    """Materialization-and-reframing overhead of an *unfused* forward edge.
+
+    A forward edge never moves records between partitions, but in the
+    node-at-a-time interpreter it still costs work: the producer's
+    output is materialized into the memo, copied by the forward ship,
+    and reframed into batches by the consumer.  Chain fusion
+    (:mod:`repro.optimizer.chaining`) eliminates exactly this overhead,
+    so the enumerator charges it only on forward edges that will *not*
+    be fused away — which is what lets plan selection prefer fusable
+    shapes when chaining is enabled.
+    """
+    amortized = weights.per_record_overhead + (
+        weights.per_batch_overhead / max(1.0, weights.batch_size)
+    )
+    return size * amortized
+
+
 def sort_cost(size: float, parallelism: int, weights: CostWeights) -> float:
     per_partition = max(1.0, size / parallelism)
     return weights.sort * size * math.log2(per_partition + 1.0)

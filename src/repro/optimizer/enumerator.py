@@ -97,7 +97,7 @@ class Enumerator:
 
     def __init__(self, parallelism, weights, stats, interesting=None,
                  dynamic_ids=frozenset(), iteration_weight=1.0,
-                 placeholder_props=None, tracer=None):
+                 placeholder_props=None, tracer=None, chaining=True):
         self.parallelism = parallelism
         self.weights = weights
         self.stats = stats
@@ -106,6 +106,11 @@ class Enumerator:
         self.iteration_weight = iteration_weight
         self.placeholder_props = placeholder_props or {}
         self.tracer = tracer
+        #: when chain fusion is on, forward edges that will fuse away
+        #: (see :mod:`repro.optimizer.chaining`) stop paying the
+        #: per-edge materialization overhead — plan selection can then
+        #: prefer fusable shapes
+        self.chaining = chaining
         self._memo: dict[int, list[Candidate]] = {}
         self._consumer_counts: dict[int, int] = {}
 
@@ -129,6 +134,28 @@ class Enumerator:
         if producer.id in self.dynamic_ids or producer.is_placeholder():
             return self.iteration_weight
         return 1.0
+
+    def _forward_overhead(self, consumer, producer, size) -> float:
+        """Edge-weighted materialization overhead of one forward edge.
+
+        Zero when chain fusion will collapse the edge: both endpoints
+        record-wise, single consumer, and the same constant/dynamic
+        classification — mirroring the fusability rule of
+        :mod:`repro.optimizer.chaining` as far as this region can see.
+        """
+        from repro.optimizer.chaining import CHAINABLE_CONTRACTS
+        if (
+            self.chaining
+            and producer.contract in CHAINABLE_CONTRACTS
+            and consumer.contract in CHAINABLE_CONTRACTS
+            and self._consumer_counts.get(producer.id, 0) <= 1
+            and (consumer.id in self.dynamic_ids)
+            == (producer.id in self.dynamic_ids)
+        ):
+            return 0.0
+        return self._edge_weight(consumer, producer) * (
+            costs.forward_edge_cost(size, self.weights)
+        )
 
     # ------------------------------------------------------------------
 
@@ -191,9 +218,13 @@ class Enumerator:
         out = []
         size = self.stats.size(node.inputs[0])
         weight = self._node_weight(node)
+        edge_overhead = self._forward_overhead(node, node.inputs[0], size)
         for child in self.candidates(node.inputs[0]):
             props = props_through(node, 0, child.props)
-            cost = child.cost + weight * costs.streaming_cost(size, self.weights)
+            cost = (
+                child.cost + edge_overhead
+                + weight * costs.streaming_cost(size, self.weights)
+            )
             out.append(Candidate(node, props, cost,
                                  ships={0: FORWARD}, children=(child,)))
         return out
@@ -202,6 +233,11 @@ class Enumerator:
         out = []
         weight = self._node_weight(node)
         size = self.stats.size(node)
+        edge_overhead = self._forward_overhead(
+            node, node.inputs[0], self.stats.size(node.inputs[0])
+        ) + self._forward_overhead(
+            node, node.inputs[1], self.stats.size(node.inputs[1])
+        )
         for lc in self.candidates(node.inputs[0]):
             for rc in self.candidates(node.inputs[1]):
                 if (
@@ -211,8 +247,9 @@ class Enumerator:
                     props = PhysicalProps(partitioned_on=lc.props.partitioned_on)
                 else:
                     props = NO_PROPS
-                cost = lc.cost + rc.cost + weight * costs.streaming_cost(
-                    size, self.weights
+                cost = (
+                    lc.cost + rc.cost + edge_overhead
+                    + weight * costs.streaming_cost(size, self.weights)
                 )
                 out.append(Candidate(node, props, cost,
                                      ships={0: FORWARD, 1: FORWARD},
@@ -556,11 +593,12 @@ class Enumerator:
                                   iteration=node.name):
                 body_plans, body_cost, out_props = _optimize_body(
                     node, self.parallelism, self.weights, self.stats,
-                    tracer=self.tracer,
+                    tracer=self.tracer, chaining=self.chaining,
                 )
         else:
             body_plans, body_cost, out_props = _optimize_body(
                 node, self.parallelism, self.weights, self.stats,
+                chaining=self.chaining,
             )
         total = sum(c.cost for c in best_inputs) + body_cost
         ships = {}
@@ -574,7 +612,7 @@ class Enumerator:
 
 
 def _optimize_body(iteration, parallelism, weights, outer_stats,
-                   tracer=None):
+                   tracer=None, chaining=True):
     """Optimize an iteration's step function in a nested context.
 
     Returns ``(list of (node, Candidate) picks, body cost, output props)``.
@@ -612,6 +650,7 @@ def _optimize_body(iteration, parallelism, weights, outer_stats,
         dynamic_ids=dynamic,
         iteration_weight=expected,
         tracer=tracer,
+        chaining=chaining,
     )
     enumerator.count_consumers(body)
 

@@ -59,6 +59,28 @@ def batch_size_default() -> int:
     return value
 
 
+def chaining_default() -> bool:
+    """Operator chain fusion is on unless ``REPRO_NO_CHAIN`` disables it.
+
+    ``REPRO_NO_CHAIN`` is an escape hatch: a truthy value (``1/true/
+    yes/on``) turns fusion *off* (every operator materializes and every
+    forward edge ships, the pre-fusion behaviour), a falsy value keeps
+    it on.  Results and logical counters are identical in both modes.
+    """
+    override = os.environ.get("REPRO_NO_CHAIN")
+    if override is None:
+        return True
+    value = override.strip().lower()
+    if value in _TRUTHY:
+        return False
+    if value in _FALSY:
+        return True
+    raise ValueError(
+        f"REPRO_NO_CHAIN must be one of {_TRUTHY + _FALSY}, "
+        f"got {override!r}"
+    )
+
+
 def tracing_default() -> bool:
     """Tracing is opt-in: off unless ``REPRO_TRACE`` enables it.
 
@@ -117,6 +139,14 @@ class RuntimeConfig:
     ``async_poll_batch`` — how many queue elements one partition drains
     per polling round in asynchronous delta iterations (interleaving
     granularity; any value must converge to the same fixpoint).
+
+    ``chaining`` — fuse maximal runs of record-wise, forward-shipped
+    operators into single batch-at-a-time chain drivers (see
+    :mod:`repro.optimizer.chaining` and
+    :mod:`repro.runtime.fusion`).  On by default; ``REPRO_NO_CHAIN=1``
+    is the escape hatch.  Fusion changes neither results nor logical
+    counters — only how many memo entries and forward ships the
+    interpreter materializes.
     """
 
     check_invariants: bool = field(default_factory=invariant_checking_default)
@@ -125,6 +155,7 @@ class RuntimeConfig:
     batch_size: int = field(default_factory=batch_size_default)
     max_frame_bytes: int = 1 << 20
     async_poll_batch: int = 64
+    chaining: bool = field(default_factory=chaining_default)
 
     def __post_init__(self):
         for name in ("batch_size", "max_frame_bytes", "async_poll_batch"):
@@ -137,3 +168,8 @@ class RuntimeConfig:
                 raise ValueError(
                     f"RuntimeConfig.{name} must be >= 1, got {value}"
                 )
+        if not isinstance(self.chaining, bool):
+            raise TypeError(
+                f"RuntimeConfig.chaining must be a bool, "
+                f"got {self.chaining!r}"
+            )

@@ -34,7 +34,7 @@ from repro.dataflow.graph import dynamic_path_nodes, iteration_body_nodes
 from repro.iterations.microstep import analyze_microstep
 from repro.iterations.solution_set import SolutionSetIndex
 from repro.iterations.termination import AsyncTerminationDetector
-from repro.runtime import channels, drivers
+from repro.runtime import channels, drivers, fusion
 from repro.common.hashing import partition_index
 from repro.runtime.plan import (
     FORWARD,
@@ -116,9 +116,13 @@ class Executor:
         memo = self._memo_for(node, step_memo, scope)
         cached = memo.get(node.id)
         if cached is not None:
+            if memo is step_memo:
+                self._note_step_read(node, step_memo, scope)
             return cached
         result = self._compute(node, step_memo, scope)
         memo[node.id] = result
+        if memo is step_memo:
+            self._note_step_read(node, step_memo, scope)
         return result
 
     def _memo_for(self, node, step_memo, scope):
@@ -128,12 +132,84 @@ class Executor:
             return scope.iter_memo
         return self._memo
 
+    # ------------------------------------------------------------------
+    # superstep-memo eviction
+    #
+    # The step memo would otherwise keep every dynamic node's full output
+    # alive until the superstep barrier.  Each superstep starts with a
+    # consumer-refcount per node (how many times the interpreter will
+    # read it); the last read evicts the partitions immediately.  The
+    # template may only ever *over*count reads (an unread entry is merely
+    # retained until the barrier) — an undercount would evict live data
+    # and recompute it, inflating logical counters.
+
+    def _note_step_read(self, node, step_memo, scope):
+        if scope is None:
+            return
+        counts = getattr(scope, "step_refcounts", None)
+        if counts is None:
+            return
+        remaining = counts.get(node.id)
+        if remaining is None:
+            return
+        if remaining <= 1:
+            del counts[node.id]
+            step_memo.pop(node.id, None)
+        else:
+            counts[node.id] = remaining - 1
+
+    def _step_refcount_template(self, scope):
+        cached = getattr(scope, "_refcount_template", None)
+        if cached is not None:
+            return cached
+        counts: dict[int, int] = {}
+
+        def bump(producer):
+            # only dynamic body nodes live in the step memo (constant
+            # nodes sit in iter_memo across supersteps, outer nodes in
+            # the run-wide memo) — nothing else is evictable
+            if (producer.id in scope.dynamic_ids
+                    and producer.id in scope.body_ids):
+                counts[producer.id] = counts.get(producer.id, 0) + 1
+
+        for member in iteration_body_nodes(scope.iteration):
+            if member.id in self.plan.fused_ids:
+                continue  # never evaluated: fused into a chain interior
+            chain = self.plan.chains.get(member.id)
+            if chain is not None:
+                # a chain tail reads its head's inputs and union taps
+                reads = fusion.chain_reads(chain)
+            else:
+                reads = [
+                    p for p in member.inputs
+                    if p.contract is not Contract.SOLUTION_SET
+                ]
+            for producer in reads:
+                bump(producer)
+        # the executor reads iteration roots by name once per superstep
+        iteration = scope.iteration
+        if iteration.contract is Contract.BULK_ITERATION:
+            bump(iteration.body_output)
+            if iteration.termination is not None:
+                bump(iteration.termination)
+        else:
+            bump(iteration.delta_output)
+            bump(iteration.workset_output)
+        scope._refcount_template = counts
+        return counts
+
     def _compute(self, node, step_memo, scope):
         contract = node.contract
         if contract is Contract.SOURCE:
             return self._load_source(node)
         if node.is_placeholder():
             return self._resolve_placeholder(node, scope)
+        chain = self.plan.chains.get(node.id)
+        if chain is not None and chain.combine_node is None:
+            # the tail of a fused chain: one chain span replaces the
+            # operator span (combine chains key on the reduce and run
+            # inside its combiner branch instead)
+            return fusion.run_fused_chain(self, chain, step_memo, scope)
         # sources and placeholders stay span-free (pure memo/binding
         # lookups); everything else is a traced operator execution
         if self.tracer is None:
@@ -232,10 +308,17 @@ class Executor:
         if ann.combiner and node.contract is Contract.REDUCE:
             # combiners run *before* shipping, so only the pre-aggregated
             # (smaller) data pays network cost (cf. Combiners, Sec. 6.1)
-            raw = self._evaluate(node.inputs[0], step_memo, scope)
-            combined = drivers.apply_combiner(
-                node, raw, self.metrics, batch_size=self.batch_size
-            )
+            chain = self.plan.chains.get(node.id)
+            if chain is not None:
+                # fused upstream spine: the combine pass runs in-stream
+                combined = fusion.run_fused_chain(
+                    self, chain, step_memo, scope
+                )
+            else:
+                raw = self._evaluate(node.inputs[0], step_memo, scope)
+                combined = drivers.apply_combiner(
+                    node, raw, self.metrics, batch_size=self.batch_size
+                )
             strategy = ann.ship.get(0, FORWARD)
             shipped = [self._ship(combined, strategy)]
         else:
@@ -428,6 +511,9 @@ class Executor:
                 if injector is not None:
                     injector(step)
                 step_memo = {}
+                scope.step_refcounts = dict(
+                    self._step_refcount_template(scope)
+                )
                 new_parts = self._evaluate(node.body_output, step_memo, scope)
                 stop = False
                 if node.termination is not None:
@@ -583,6 +669,7 @@ class Executor:
     def _delta_one_superstep(self, node, scope, index):
         """Evaluate Δ once: returns (next workset, applied delta count)."""
         step_memo = {}
+        scope.step_refcounts = dict(self._step_refcount_template(scope))
         delta_parts = self._evaluate(node.delta_output, step_memo, scope)
         # Stage the delta: route by solution key, resolve collisions
         # with the comparator, but do not mutate S until the barrier.

@@ -77,6 +77,55 @@ class OperatorAnnotation:
     dams: set[int] = field(default_factory=set)
 
 
+@dataclass(frozen=True)
+class FusedChain:
+    """A maximal run of record-wise operators executed as one driver.
+
+    ``nodes`` is the chain's *spine* in producer→consumer order: each
+    member is a MAP, FLAT_MAP, FILTER, or UNION node whose fused input
+    is fed directly by the previous spine member instead of through the
+    memo and a forward ship.  ``spine_inputs[i]`` names which input slot
+    of ``nodes[i]`` the spine feeds (always ``0`` for unary operators;
+    for a UNION it is the fused side — the other side, the *tap*, is
+    shipped normally).  ``combine_node``, when set, is a combinable
+    REDUCE whose per-record combine pass consumes the spine's output
+    in-stream (Sec. 6.1 combiners); the reduce itself still runs as an
+    ordinary operator on the combined partitions.
+
+    The chain is keyed in :attr:`ExecutionPlan.chains` by its *tail* —
+    ``combine_node`` when present, else ``nodes[-1]`` — because that is
+    the node whose evaluation triggers the fused run.  Every other
+    spine id appears in :attr:`ExecutionPlan.fused_ids`: those nodes
+    never get memo entries, operator spans, or ship calls of their own.
+    """
+
+    nodes: tuple  # tuple[LogicalNode, ...], producer→consumer order
+    spine_inputs: tuple[int, ...]  # per nodes[i>0]: input slot fed by spine
+    combine_node: object | None = None  # combinable REDUCE tail, if fused
+
+    def __post_init__(self):
+        if len(self.spine_inputs) != len(self.nodes) - 1:
+            raise ValueError(
+                "spine_inputs must name one input slot per non-head spine "
+                f"node: {len(self.nodes)} nodes, "
+                f"{len(self.spine_inputs)} slots"
+            )
+        if len(self.nodes) < 2 and self.combine_node is None:
+            raise ValueError("a fused chain needs at least two operators")
+
+    @property
+    def tail(self):
+        """The node whose evaluation runs the whole chain."""
+        return self.combine_node if self.combine_node is not None else self.nodes[-1]
+
+    def describe(self) -> str:
+        """Stable deterministic name: ``chain[map→filter→map]``."""
+        parts = [node.contract.value for node in self.nodes]
+        if self.combine_node is not None:
+            parts.append("combine")
+        return "chain[" + "→".join(parts) + "]"
+
+
 @dataclass
 class ExecutionPlan:
     """A logical plan plus every physical annotation needed to run it."""
@@ -87,6 +136,11 @@ class ExecutionPlan:
     iteration_modes: dict[int, str] = field(default_factory=dict)
     #: optimizer cost estimate, for tests and plan dumps
     estimated_cost: float = 0.0
+    #: fused operator chains keyed by tail node id (see :class:`FusedChain`)
+    chains: dict[int, FusedChain] = field(default_factory=dict)
+    #: ids of non-tail chain members — the executor never evaluates these
+    #: directly (no memo entry, no operator span, no forward ship)
+    fused_ids: frozenset[int] = frozenset()
 
     def annotation(self, node) -> OperatorAnnotation:
         ann = self.annotations.get(node.id)
@@ -117,4 +171,10 @@ class ExecutionPlan:
                 extras.append(f"dam{sorted(ann.dams)}")
             extra = (" [" + ", ".join(extras) + "]") if extras else ""
             lines.append(f"{node.name}: {ann.local.value} ({ships}){extra}")
+        for tail_id in sorted(self.chains):
+            chain = self.chains[tail_id]
+            members = "→".join(node.name for node in chain.nodes)
+            if chain.combine_node is not None:
+                members += f"→{chain.combine_node.name}.combine"
+            lines.append(f"{chain.describe()}: {members}")
         return "\n".join(lines)

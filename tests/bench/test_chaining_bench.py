@@ -1,0 +1,54 @@
+"""The chain-fusion microbenchmark: artifact shape and gating logic."""
+
+import json
+import os
+
+from repro.bench.experiments import chaining
+
+
+def _small_run(**kwargs):
+    params = dict(records=20_000, cc_vertices=300, cc_avg_degree=3.0,
+                  parallelism=2, rounds=1)
+    params.update(kwargs)
+    return chaining.run(**params)
+
+
+class TestChainingExperiment:
+    def test_small_run_reports_and_gates(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(chaining, "results_dir", lambda: str(tmp_path))
+        result = _small_run()
+        assert [row["workload"] for row in result.rows] == [
+            "pipeline (5-op map/filter)",
+            "cc dynamic path (delta iteration)",
+        ]
+        # only the pipeline row gates; the iteration row reports
+        assert [row["gating"] for row in result.rows] == [True, False]
+        for row in result.rows:
+            assert row["records"] > 0
+            assert row["fused_s"] > 0 and row["unfused_s"] > 0
+            assert row["speedup"] > 0
+            assert row["results_agree"] is True
+
+        report = result.report()
+        assert "Chain fusion" in report
+        assert "REPRO_NO_CHAIN=1" in report
+
+        with open(os.path.join(str(tmp_path), chaining.ARTIFACT)) as handle:
+            payload = json.load(handle)
+        assert payload["experiment"] == "chaining"
+        assert payload["speedup_floor"] == chaining.SPEEDUP_FLOOR
+        assert payload["rows"] == result.rows
+        assert payload["ok"] == result.ok
+
+    def test_no_artifact_when_disabled(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(chaining, "results_dir", lambda: str(tmp_path))
+        result = _small_run(save_artifact=False)
+        assert result.artifact_path == ""
+        assert not os.listdir(str(tmp_path))
+
+    def test_ok_false_when_speedup_floor_missed(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(chaining, "results_dir", lambda: str(tmp_path))
+        monkeypatch.setattr(chaining, "SPEEDUP_FLOOR", float("inf"))
+        result = _small_run(save_artifact=False)
+        assert result.ok is False
+        assert "FAIL" in result.report()
