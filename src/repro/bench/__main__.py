@@ -72,9 +72,23 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--backends", default=None, metavar="NAMES",
         help="comma-separated execution backends for the audit and trace "
-             "commands (e.g. 'simulated,multiprocess')",
+             "commands (e.g. 'simulated,multiprocess,pool')",
+    )
+    parser.add_argument(
+        "--workers", default=None, metavar="COUNTS",
+        help="comma-separated worker counts for the scaling experiment "
+             "(e.g. '1,2'); default 1,2,4,8",
     )
     args = parser.parse_args(argv)
+
+    worker_counts = None
+    if args.workers:
+        try:
+            worker_counts = tuple(
+                int(part) for part in args.workers.split(",") if part.strip()
+            )
+        except ValueError:
+            parser.error(f"--workers must be integers, got {args.workers!r}")
 
     backends = None
     if args.backends:
@@ -137,6 +151,8 @@ def main(argv=None) -> int:
         started = time.perf_counter()
         if backends and name == "audit":
             result = run(backends=backends)
+        elif worker_counts and name == "scaling":
+            result = run(worker_counts=worker_counts)
         else:
             result = run()
         elapsed = time.perf_counter() - started

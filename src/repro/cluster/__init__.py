@@ -1,11 +1,14 @@
 """Pluggable execution backends over one cluster-context abstraction.
 
 ``repro.cluster`` makes the engine/abstraction split of the paper's
-Nephele substrate real: the same plans and driver programs run either
-on the in-process simulator (:class:`SimulatedBackend`, the reference)
-or on one forked worker process per partition
-(:class:`MultiprocessBackend`), shipping records between workers as
-pickled channel frames with barrier-synchronized supersteps.
+Nephele substrate real: the same plans and driver programs run on the
+in-process simulator (:class:`SimulatedBackend`, the reference), on one
+forked worker process per partition and per job
+(:class:`MultiprocessBackend`), or on a **persistent pool** of
+long-lived workers exchanging frames through reusable shared-memory
+segments (:class:`PoolBackend`, backend name ``"pool"``) — with
+barrier-synchronized supersteps and bitwise-identical results and
+logical counters across all three.
 """
 
 from repro.cluster.backends import (
@@ -17,7 +20,8 @@ from repro.cluster.backends import (
     resolve_backend,
 )
 from repro.cluster.context import LOCAL, ClusterContext, LocalCluster, WorkerCluster
-from repro.cluster.fabric import Endpoint, Fabric, FabricTimeout
+from repro.cluster.fabric import Endpoint, Fabric, FabricTimeout, FrameRing
+from repro.cluster.pool import PoolBackend, WorkerPool
 
 __all__ = [
     "BACKENDS",
@@ -26,11 +30,14 @@ __all__ = [
     "ExecutionBackend",
     "Fabric",
     "FabricTimeout",
+    "FrameRing",
     "LOCAL",
     "LocalCluster",
     "MultiprocessBackend",
+    "PoolBackend",
     "SimulatedBackend",
     "WorkerCluster",
     "WorkerCrash",
+    "WorkerPool",
     "resolve_backend",
 ]

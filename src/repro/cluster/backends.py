@@ -12,8 +12,12 @@ driver program) runs; the plans themselves are backend-agnostic.
   supersteps synchronized by collective barriers.  Workers are forked
   *after* plan compilation so UDF closures transfer by inheritance;
   only records are serialized.
+* :class:`~repro.cluster.pool.PoolBackend` (in its own module) — the
+  persistent variant: workers fork once and serve many jobs, frames
+  travel through shared-memory rings, and jobs cross by value through
+  the closure-capable :mod:`~repro.cluster.codec`.
 
-Both backends run the *same* executor code — a worker simply sees
+Every backend runs the *same* executor code — a worker simply sees
 localized datasets (its slot populated, peers' slots empty) and a
 :class:`~repro.cluster.context.WorkerCluster` whose collectives reach
 its peers.  Per-worker metric collectors are merged superstep-aligned
@@ -26,6 +30,7 @@ from __future__ import annotations
 import multiprocessing
 import pickle
 import queue as queue_module
+import time
 import traceback
 
 from repro.cluster.context import LOCAL, WorkerCluster
@@ -123,23 +128,7 @@ class MultiprocessBackend(ExecutionBackend):
             }
 
         payloads = _run_spmd(body, env.parallelism, self.timeout)
-        merged, timelines = _merge_worker_metrics(payloads)
-        env.last_worker_traces = timelines
-        env.metrics.merge(merged, align_supersteps=False)
-        env.metrics.verify_invariants()
-        env.last_executor = _ExecutorShim(payloads[0]["summaries"])
-        if payloads[0]["checkpoint_store"] is not None:
-            env.last_checkpoint_store = payloads[0]["checkpoint_store"]
-        # sinks may be gathered (all records on rank 0) or forwarded
-        # (still partitioned); concatenating by rank covers both and
-        # reproduces the simulator's partition-scan merge order
-        results: dict[int, list] = {}
-        for sink_id in payloads[0]["results"]:
-            records: list = []
-            for payload in payloads:
-                records.extend(payload["results"][sink_id])
-            results[sink_id] = records
-        return results
+        return absorb_plan_payloads(env, payloads)
 
     def run_program(self, program, parallelism):
         def body(cluster):
@@ -150,6 +139,33 @@ class MultiprocessBackend(ExecutionBackend):
         merged, timelines = _merge_worker_metrics(payloads)
         self.last_worker_traces = timelines
         return payloads[0]["results"], merged
+
+
+def absorb_plan_payloads(env, payloads):
+    """Fold per-worker ``execute_plan`` payloads into the parent's env.
+
+    Shared by every SPMD backend (forked-per-job and persistent-pool):
+    merges worker collectors superstep-aligned into ``env.metrics``,
+    surfaces iteration summaries and checkpoint stores, and rebuilds
+    each sink's record list.
+    """
+    merged, timelines = _merge_worker_metrics(payloads)
+    env.last_worker_traces = timelines
+    env.metrics.merge(merged, align_supersteps=False)
+    env.metrics.verify_invariants()
+    env.last_executor = _ExecutorShim(payloads[0]["summaries"])
+    if payloads[0]["checkpoint_store"] is not None:
+        env.last_checkpoint_store = payloads[0]["checkpoint_store"]
+    # sinks may be gathered (all records on rank 0) or forwarded
+    # (still partitioned); concatenating by rank covers both and
+    # reproduces the simulator's partition-scan merge order
+    results: dict[int, list] = {}
+    for sink_id in payloads[0]["results"]:
+        records: list = []
+        for payload in payloads:
+            records.extend(payload["results"][sink_id])
+        results[sink_id] = records
+    return results
 
 
 def _merge_worker_metrics(payloads):
@@ -209,20 +225,34 @@ def _run_spmd(body, size, timeout):
         workers.append(process)
 
     payloads: dict[int, dict] = {}
+    # overall gather deadline: generous slack over the fabric timeout so
+    # in-worker FabricTimeouts surface first, but the parent can never
+    # spin forever on a worker that will not report
+    deadline = time.monotonic() + timeout * 1.5 + 5.0
     try:
         while len(payloads) < size:
             try:
                 kind, rank, data = fabric.results.get(timeout=0.25)
             except queue_module.Empty:
+                # a worker that is dead without a result is a crash no
+                # matter its exit code — a silent ``exit(0)`` would
+                # otherwise hang this gather loop forever
                 dead = [
                     w.name for r, w in enumerate(workers)
                     if r not in payloads and not w.is_alive()
-                    and w.exitcode != 0
                 ]
                 if dead:
                     raise WorkerCrash(
                         f"worker(s) {', '.join(dead)} died without "
                         "reporting a result"
+                    )
+                if time.monotonic() >= deadline:
+                    missing = sorted(
+                        r for r in range(size) if r not in payloads
+                    )
+                    raise WorkerCrash(
+                        f"gave up waiting for worker(s) {missing} after "
+                        f"{timeout:.0f}s: no result and no exit"
                     )
                 continue
             if kind == "error":
@@ -231,16 +261,32 @@ def _run_spmd(body, size, timeout):
                 )
             payloads[rank] = pickle.loads(data)
     finally:
-        for worker in workers:
-            if worker.is_alive() and len(payloads) < size:
-                worker.terminate()
-        for worker in workers:
-            worker.join(timeout=5.0)
+        reap_workers(workers, incomplete=len(payloads) < size)
         fabric.close()
     return [payloads[rank] for rank in range(size)]
 
 
-#: registry for the ``Environment(backend=...)`` / CLI string spellings
+def reap_workers(workers, incomplete: bool = True,
+                 join_timeout: float = 5.0) -> None:
+    """Terminate and join worker processes, escalating to ``kill``.
+
+    ``join(timeout)`` alone can time out silently — a worker stuck in an
+    unkillable syscall or a queue feeder thread would leak as a zombie
+    across bench runs.  Any worker still alive after the join window is
+    killed (SIGKILL) and joined again.
+    """
+    for worker in workers:
+        if worker.is_alive() and incomplete:
+            worker.terminate()
+    for worker in workers:
+        worker.join(timeout=join_timeout)
+        if worker.is_alive():
+            worker.kill()
+            worker.join(timeout=join_timeout)
+
+
+#: registry for the ``Environment(backend=...)`` / CLI string spellings;
+#: :mod:`repro.cluster.pool` registers ``"pool"`` on import
 BACKENDS = {
     "simulated": SimulatedBackend,
     "multiprocess": MultiprocessBackend,
@@ -252,6 +298,10 @@ def resolve_backend(spec) -> ExecutionBackend:
     if spec is None:
         return SimulatedBackend()
     if isinstance(spec, str):
+        if spec not in BACKENDS:
+            # the pool backend lives in its own module (it imports this
+            # one); pull it in so its registration is always visible
+            import repro.cluster.pool  # noqa: F401
         try:
             return BACKENDS[spec]()
         except KeyError:

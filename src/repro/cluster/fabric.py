@@ -1,10 +1,36 @@
-"""Inter-worker transport for the multiprocess backend.
+"""Inter-worker transport: shared-memory frame rings + control queues.
 
 A :class:`Fabric` is created by the parent process *before* forking: it
-owns one mailbox queue per worker plus a results queue back to the
-parent.  Each forked worker obtains its :class:`Endpoint`, through which
-every payload crossing a process boundary travels as a pickled frame —
-the serialization cost the in-process simulator never pays.
+owns one mailbox queue per worker, a results queue back to the parent,
+and — the data plane — one :class:`FrameRing` of reusable
+``multiprocessing.shared_memory`` slots per worker.  Because the rings
+are allocated pre-fork, every worker inherits the same mappings and a
+frame crosses processes as **one memcpy into a shared slot plus a tiny
+pickled control message**, instead of being squeezed through a pipe in
+64 KiB feeder-thread writes.  Small frames (below
+``SHM_THRESHOLD_BYTES``) still ride the control queue inline — at that
+size the queue copy is cheaper than slot bookkeeping.
+
+**Ownership handoff.**  A ring's slots belong to their owning rank: the
+owner acquires free slots, writes the frame, and announces
+``(slots, nbytes)`` to the receiver's mailbox; the receiver deserializes
+straight out of shared memory and posts an ack back to the owner's
+mailbox, returning the slots to the owner's free list.  A slot is never
+rewritten before its ack arrives.  Frames larger than one slot span
+several; frames larger than the whole ring fall back to the inline
+path, so any size is always deliverable.
+
+**Overlap.**  Sends are posted without waiting (the superstep's
+exchange posts every outgoing frame before its first receive), and
+:meth:`Endpoint.recv` drains *everything* already queued — acks and
+early frames from fast peers — each time it touches the mailbox, so
+communication progresses while the worker computes.
+
+**Job epochs.**  Persistent pool workers run many jobs over one fabric.
+Every frame carries the sender's job epoch; frames from a superseded
+job (a crashed peer's leftovers) are dropped on receipt — their slots
+still acked — instead of being misdelivered into the next job's tag
+space.
 
 Frames are tagged ``(source, tag)`` so that out-of-order arrivals (a
 fast peer racing ahead to the next collective) are buffered rather than
@@ -19,44 +45,177 @@ import pickle
 import queue as queue_module
 import time
 from collections import deque
+from multiprocessing import shared_memory
 
 
 class FabricTimeout(RuntimeError):
     """A worker waited too long for a peer's frame (peer likely dead)."""
 
 
-class Fabric:
-    """Parent-side factory for one worker cluster's mailboxes."""
+#: pickled frames at least this large travel through a shared-memory
+#: slot; smaller ones ride the control queue inline
+SHM_THRESHOLD_BYTES = 16 << 10
 
-    def __init__(self, size: int, mp_context, timeout: float = 120.0):
+#: default capacity of one ring slot
+DEFAULT_SLOT_BYTES = 1 << 20
+
+
+class FrameRing:
+    """One rank's ring of reusable shared-memory slots (created pre-fork).
+
+    Only the owning rank writes to (or acquires) its slots; every other
+    rank may map them read-only to deserialize an announced frame.  The
+    free list is meaningful in the owner's process only — each forked
+    worker mutates its inherited copy of its *own* ring.
+    """
+
+    def __init__(self, owner: int, slots: int, slot_bytes: int):
+        self.owner = owner
+        self.slot_bytes = slot_bytes
+        self._segments = [
+            shared_memory.SharedMemory(create=True, size=slot_bytes)
+            for _ in range(slots)
+        ]
+        self._free = list(range(slots))
+        self._destroyed = False
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    @property
+    def free_slots(self) -> int:
+        return len(self._free)
+
+    def try_acquire(self, count: int):
+        """Take ``count`` free slots, or ``None`` if not enough are free."""
+        if count > len(self._free):
+            return None
+        taken = self._free[:count]
+        del self._free[:count]
+        return taken
+
+    def release(self, slots):
+        self._free.extend(slots)
+
+    def write(self, slot: int, data) -> None:
+        self._segments[slot].buf[: len(data)] = data
+
+    def view(self, slot: int, nbytes: int) -> memoryview:
+        return self._segments[slot].buf[:nbytes]
+
+    def destroy(self):
+        """Unlink every segment; idempotent and safe after partial teardown."""
+        if self._destroyed:
+            return
+        self._destroyed = True
+        for segment in self._segments:
+            try:
+                segment.close()
+            except Exception:  # pragma: no cover - exported buffers
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+
+class Fabric:
+    """Parent-side factory for one worker cluster's transport."""
+
+    def __init__(self, size: int, mp_context, timeout: float = 120.0,
+                 slot_bytes: int = DEFAULT_SLOT_BYTES,
+                 slots_per_worker: int | None = None,
+                 use_shared_memory: bool = True):
         self.size = size
         self.timeout = timeout
         self._mailboxes = [mp_context.Queue() for _ in range(size)]
         #: workers report completion payloads / errors here
         self.results = mp_context.Queue()
+        self._rings = None
+        if use_shared_memory and size > 1:
+            if slots_per_worker is None:
+                # one all-to-all posts size-1 frames before any ack can
+                # return; double that so the next exchange can overlap
+                slots_per_worker = max(4, 2 * (size - 1))
+            rings: list[FrameRing] = []
+            try:
+                for rank in range(size):
+                    rings.append(FrameRing(rank, slots_per_worker,
+                                           slot_bytes))
+                self._rings = rings
+            except (OSError, ValueError):  # pragma: no cover - no /dev/shm
+                for ring in rings:
+                    ring.destroy()
+                self._rings = None
+        self._closed = False
 
     def endpoint(self, rank: int) -> "Endpoint":
-        return Endpoint(rank, self._mailboxes, self.timeout)
+        return Endpoint(rank, self._mailboxes, self.timeout,
+                        rings=self._rings)
 
     def close(self):
-        for q in self._mailboxes:
-            q.close()
-        self.results.close()
+        """Tear down queues and rings.
+
+        Idempotent, and safe after a *partial* teardown — crashed
+        workers, queues with unread frames, rings whose segments were
+        already unlinked — so crash-handling paths can always call it.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for q in [*self._mailboxes, self.results]:
+            try:
+                q.cancel_join_thread()
+            except Exception:  # pragma: no cover - defensive
+                pass
+            try:
+                q.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+        if self._rings:
+            for ring in self._rings:
+                ring.destroy()
 
 
 class Endpoint:
-    """One worker's view of the fabric: tagged send/recv of pickled frames."""
+    """One worker's view of the fabric: tagged send/recv of frames."""
 
-    def __init__(self, rank: int, mailboxes, timeout: float):
+    def __init__(self, rank: int, mailboxes, timeout: float, rings=None,
+                 shm_threshold: int = SHM_THRESHOLD_BYTES):
         self.rank = rank
         self._mailboxes = mailboxes
         self.timeout = timeout
+        self._rings = rings
+        self._ring = rings[rank] if rings is not None else None
+        self.shm_threshold = shm_threshold
+        #: the current job's epoch; frames from other epochs are dropped
+        self.epoch = 0
         #: frames that arrived before anyone asked for them, per stream
         self._pending: dict[tuple, deque] = {}
         self.bytes_sent = 0
         self.bytes_received = 0
         self.frames_sent = 0
         self.frames_received = 0
+
+    def begin_job(self, epoch) -> None:
+        """Reset per-job state before running a new job on this endpoint.
+
+        Counters restart at zero, buffered frames from any previous
+        (possibly aborted) job are discarded, and the epoch advances so
+        in-flight leftovers are dropped on receipt — their shared-memory
+        slots still acked back to their owners.
+        """
+        self.epoch = epoch
+        self._pending.clear()
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+
+    # ------------------------------------------------------------------
+    # sending
 
     def send(self, target: int, tag, payload):
         self.send_raw(
@@ -76,7 +235,55 @@ class Endpoint:
             raise ValueError("a worker does not send frames to itself")
         self.bytes_sent += len(blob)
         self.frames_sent += 1
-        self._mailboxes[target].put((self.rank, tag, blob))
+        if self._ring is not None and len(blob) >= self.shm_threshold:
+            slots = self._acquire_slots(len(blob))
+            if slots is not None:
+                view = memoryview(blob)
+                size = self._ring.slot_bytes
+                for index, slot in enumerate(slots):
+                    self._ring.write(slot, view[index * size:
+                                                (index + 1) * size])
+                self._mailboxes[target].put(
+                    ("s", self.epoch, self.rank, tag, len(blob), slots)
+                )
+                return
+        self._mailboxes[target].put(("f", self.epoch, self.rank, tag, blob))
+
+    def _acquire_slots(self, nbytes: int):
+        """Free slots covering ``nbytes``, or ``None`` for inline fallback.
+
+        When every slot is in flight, drain our own mailbox — acks
+        return slots; early data frames are buffered, not lost — until
+        enough come back or the timeout expires.
+        """
+        ring = self._ring
+        needed = -(-nbytes // ring.slot_bytes)
+        if needed > len(ring):
+            return None
+        slots = ring.try_acquire(needed)
+        if slots is not None:
+            return slots
+        deadline = time.monotonic() + self.timeout
+        inbox = self._mailboxes[self.rank]
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise FabricTimeout(
+                    f"worker {self.rank} timed out after "
+                    f"{self.timeout:.0f}s waiting to reclaim "
+                    "shared-memory frame slots (peer likely dead)"
+                )
+            try:
+                message = inbox.get(timeout=min(remaining, 1.0))
+            except queue_module.Empty:
+                continue
+            self._ingest(message)
+            slots = ring.try_acquire(needed)
+            if slots is not None:
+                return slots
+
+    # ------------------------------------------------------------------
+    # receiving
 
     def recv(self, source: int, tag):
         """Block until the next frame of stream ``(source, tag)`` arrives."""
@@ -86,7 +293,11 @@ class Endpoint:
         while True:
             bucket = self._pending.get(key)
             if bucket:
-                return bucket.popleft()
+                payload = bucket.popleft()
+                # opportunistic drain: pull in whatever already arrived
+                # (acks, fast peers' frames) before handing compute back
+                self._drain(inbox)
+                return payload
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise FabricTimeout(
@@ -94,13 +305,59 @@ class Endpoint:
                     f"waiting for frame {tag!r} from worker {source}"
                 )
             try:
-                src, frame_tag, blob = inbox.get(
-                    timeout=min(remaining, 1.0)
-                )
+                message = inbox.get(timeout=min(remaining, 1.0))
             except queue_module.Empty:
                 continue
-            self.bytes_received += len(blob)
-            self.frames_received += 1
-            self._pending.setdefault((src, frame_tag), deque()).append(
-                pickle.loads(blob)
-            )
+            self._ingest(message)
+            self._drain(inbox)
+
+    def _drain(self, inbox) -> None:
+        while True:
+            try:
+                message = inbox.get_nowait()
+            except queue_module.Empty:
+                return
+            self._ingest(message)
+
+    def _ingest(self, message) -> None:
+        kind = message[0]
+        if kind == "a":  # ack: our slots came home
+            self._ring.release(message[1])
+            return
+        if kind == "s":
+            _, epoch, src, tag, nbytes, slots = message
+            payload = None
+            if epoch == self.epoch:
+                payload = self._load_shared(src, nbytes, slots)
+            # handoff complete either way: return the slots to their owner
+            self._mailboxes[src].put(("a", slots))
+            if epoch != self.epoch:
+                return
+        else:
+            _, epoch, src, tag, blob = message
+            if epoch != self.epoch:
+                return
+            nbytes = len(blob)
+            payload = pickle.loads(blob)
+        self.bytes_received += nbytes
+        self.frames_received += 1
+        self._pending.setdefault((src, tag), deque()).append(payload)
+
+    def _load_shared(self, src: int, nbytes: int, slots):
+        """Deserialize a frame straight out of the sender's ring."""
+        ring = self._rings[src]
+        if len(slots) == 1:
+            view = ring.view(slots[0], nbytes)
+            try:
+                return pickle.loads(view)
+            finally:
+                view.release()
+        parts = []
+        remaining = nbytes
+        for slot in slots:
+            take = min(remaining, ring.slot_bytes)
+            view = ring.view(slot, take)
+            parts.append(bytes(view))
+            view.release()
+            remaining -= take
+        return pickle.loads(b"".join(parts))

@@ -1,0 +1,360 @@
+"""Persistent shared-memory worker pool: fork once, run many jobs.
+
+The :class:`~repro.cluster.backends.MultiprocessBackend` forks a fresh
+set of workers for **every** job and pays a full pickle round-trip for
+every frame — which is why `BENCH_backend_scaling.json` showed the
+distributed backend *losing* to the in-process simulator.  This module
+keeps the same SPMD execution model (same executor, same collectives,
+same bitwise-equivalence guarantees) but fixes the runtime plumbing:
+
+* **Workers are long-lived.**  A :class:`WorkerPool` forks its workers
+  once; successive ``execute_plan`` / ``run_program`` jobs (and all
+  their supersteps) are dispatched to the same processes over per-worker
+  job queues.  Jobs cross by value through the closure-capable
+  :mod:`~repro.cluster.codec` — the one thing fork-inheritance used to
+  provide.
+* **Frames travel through shared memory.**  The pool's
+  :class:`~repro.cluster.fabric.Fabric` allocates its reusable
+  shared-memory frame rings before forking, so cross-worker record
+  batches move as one memcpy plus a tiny control message, with explicit
+  slot ownership handoff and receives drained opportunistically (see
+  :mod:`repro.cluster.fabric`).
+* **Crashes are bounded, not hung.**  The gather loop treats any
+  dead-without-result worker as a crash regardless of exit code,
+  enforces an overall deadline, and escalates ``terminate`` → ``kill``
+  on teardown.  A job that fails *cleanly* on every rank (a Python
+  exception, a :class:`~repro.cluster.fabric.FabricTimeout` on a
+  stalled peer) leaves the pool healthy — workers return to their job
+  queue and the next job runs without re-forking; job epochs stop any
+  leftover frames from leaking into it.
+
+Registered as backend ``"pool"``:
+
+    env = ExecutionEnvironment(4, backend="pool")
+
+One pool is created lazily per backend instance (so per
+``ExecutionEnvironment`` when resolved from the string spelling) and
+survives across that environment's jobs; sharing one
+:class:`PoolBackend` instance across environments shares the pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import queue as queue_module
+import time
+import traceback
+import weakref
+
+from repro.cluster import codec
+from repro.cluster.backends import (
+    BACKENDS,
+    ExecutionBackend,
+    WorkerCrash,
+    _merge_worker_metrics,
+    absorb_plan_payloads,
+    reap_workers,
+)
+from repro.cluster.context import WorkerCluster
+from repro.cluster.fabric import Fabric
+
+
+def _pool_worker(job_queue, fabric, rank: int, size: int) -> None:
+    """One long-lived worker: loop jobs until the ``None`` sentinel.
+
+    A job that raises — including a :class:`FabricTimeout` on a dead or
+    stalled peer — reports an error payload and returns to the queue;
+    only process death (or the sentinel) ends the loop.  ``begin_job``
+    resets the endpoint's counters, buffered frames, and epoch, so no
+    state leaks between consecutive jobs.
+    """
+    endpoint = fabric.endpoint(rank)
+    while True:
+        message = job_queue.get()
+        if message is None:
+            return
+        job_id, blob = message
+        endpoint.begin_job(job_id)
+        try:
+            body = codec.loads(blob)
+            cluster = WorkerCluster(endpoint, size)
+            payload = body(cluster)
+            metrics = (
+                payload.get("metrics") if isinstance(payload, dict) else None
+            )
+            if metrics is not None:
+                # control-plane traffic (barrier votes, allgathers) that
+                # no instrumented site attributed; route it through the
+                # hook so the total equals the endpoint's wire counter
+                leftover = endpoint.bytes_sent - metrics.bytes_shipped
+                if leftover > 0:
+                    metrics.add_bytes_shipped(leftover)
+            out = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            fabric.results.put(("ok", job_id, rank, out))
+        except BaseException:
+            fabric.results.put(("error", job_id, rank,
+                                traceback.format_exc()))
+
+
+def _shutdown_pool(workers, job_queues, fabric, force: bool = False) -> None:
+    """Best-effort teardown usable from ``close`` and GC finalization."""
+    if not force:
+        for q in job_queues:
+            try:
+                q.put(None)
+            except Exception:  # pragma: no cover - queue already broken
+                force = True
+                break
+    reap_workers(workers, incomplete=force)
+    for q in job_queues:
+        try:
+            q.cancel_join_thread()
+        except Exception:  # pragma: no cover - defensive
+            pass
+        try:
+            q.close()
+        except Exception:  # pragma: no cover - defensive
+            pass
+    fabric.close()
+
+
+class WorkerPool:
+    """``size`` long-lived SPMD workers over one shared-memory fabric."""
+
+    def __init__(self, size: int, timeout: float = 120.0, mp_context=None):
+        if mp_context is None:
+            try:
+                mp_context = multiprocessing.get_context("fork")
+            except ValueError as exc:  # pragma: no cover - non-POSIX
+                raise RuntimeError(
+                    "the pool backend needs the 'fork' start method "
+                    "(workers inherit loaded modules and shared-memory "
+                    "frame rings)"
+                ) from exc
+        self.size = size
+        self.timeout = timeout
+        self.fabric = Fabric(size, mp_context, timeout)
+        self.job_queues = [mp_context.Queue() for _ in range(size)]
+        self.workers = []
+        for rank in range(size):
+            process = mp_context.Process(
+                target=_pool_worker,
+                args=(self.job_queues[rank], self.fabric, rank, size),
+                daemon=True,
+                name=f"pool-worker-{rank}",
+            )
+            process.start()
+            self.workers.append(process)
+        self._job_seq = 0
+        self.closed = False
+        self._finalizer = weakref.finalize(
+            self, _shutdown_pool, list(self.workers), list(self.job_queues),
+            self.fabric,
+        )
+
+    @property
+    def worker_pids(self) -> list:
+        return [worker.pid for worker in self.workers]
+
+    # ------------------------------------------------------------------
+
+    def run_job(self, body):
+        """Run ``body(cluster)`` on every worker; gather payloads by rank.
+
+        Raises :class:`WorkerCrash` if any rank errors or dies.  When
+        every rank reports (even if some report errors), the pool stays
+        open for the next job; a rank that dies or never reports forces
+        a full teardown.
+        """
+        if self.closed:
+            raise RuntimeError("worker pool is closed")
+        self._job_seq += 1
+        job_id = self._job_seq
+        blob = codec.dumps(body)
+        for q in self.job_queues:
+            q.put((job_id, blob))
+        return self._gather(job_id)
+
+    def _gather(self, job_id):
+        # generous slack over the fabric timeout so a worker's own
+        # FabricTimeout (a recoverable, clean error) fires first
+        deadline = time.monotonic() + self.timeout * 1.5 + 5.0
+        payloads: dict[int, dict] = {}
+        errors: dict[int, str] = {}  # insertion-ordered: arrival order
+        while len(payloads) + len(errors) < self.size:
+            try:
+                kind, jid, rank, data = self.fabric.results.get(timeout=0.25)
+            except queue_module.Empty:
+                dead = [
+                    w.name for r, w in enumerate(self.workers)
+                    if r not in payloads and r not in errors
+                    and not w.is_alive()
+                ]
+                if dead:
+                    # dead without a result is a crash regardless of
+                    # exit code (a silent exit(0) must not hang us)
+                    self.close(force=True)
+                    raise WorkerCrash(
+                        f"worker(s) {', '.join(dead)} died without "
+                        "reporting a result"
+                    )
+                if time.monotonic() >= deadline:
+                    missing = sorted(
+                        set(range(self.size)) - set(payloads) - set(errors)
+                    )
+                    self.close(force=True)
+                    raise WorkerCrash(
+                        f"gave up waiting for worker(s) {missing} after "
+                        f"{self.timeout:.0f}s: no result and no exit"
+                    )
+                continue
+            if jid != job_id:
+                continue  # stale report from an earlier, aborted job
+            if kind == "error":
+                errors[rank] = data
+            else:
+                payloads[rank] = pickle.loads(data)
+        if errors:
+            # the first error to *arrive* is the root cause — a peer's
+            # FabricTimeout on the now-dead collective trails it by a
+            # full timeout window
+            rank, remote_traceback = next(iter(errors.items()))
+            others = [f"worker {r}" for r in errors if r != rank]
+            trailer = (
+                f"\n(also failed: {', '.join(others)})" if others else ""
+            )
+            raise WorkerCrash(
+                f"worker {rank} failed:\n{remote_traceback}{trailer}"
+            )
+        return [payloads[rank] for rank in range(self.size)]
+
+    def close(self, force: bool = False) -> None:
+        """Shut the pool down; idempotent, safe after worker crashes."""
+        if self.closed:
+            return
+        self.closed = True
+        self._finalizer.detach()
+        _shutdown_pool(self.workers, self.job_queues, self.fabric,
+                       force=force)
+
+
+class _WorkerSession:
+    """The slice of an ``ExecutionEnvironment`` a pool worker needs.
+
+    The parent's environment holds the backend — and through it the
+    pool's process handles — so it never crosses the wire; this shim
+    carries exactly the attributes the :class:`Executor` reads.
+    """
+
+    def __init__(self, job, cluster, metrics):
+        self.parallelism = job.parallelism
+        self.config = job.config
+        self.cluster = cluster
+        self.metrics = metrics
+        self.checkpoint_interval = job.checkpoint_interval
+        self.failure_injector = job.failure_injector
+        self.last_checkpoint_store = None
+        self.last_executor = None
+
+
+class _PlanJob:
+    """A compiled plan plus the session knobs its execution needs."""
+
+    def __init__(self, exec_plan, parallelism, config, checkpoint_interval,
+                 failure_injector):
+        self.exec_plan = exec_plan
+        self.parallelism = parallelism
+        self.config = config
+        self.checkpoint_interval = checkpoint_interval
+        self.failure_injector = failure_injector
+
+    def __call__(self, cluster):
+        from repro.runtime.executor import Executor
+        from repro.runtime.metrics import MetricsCollector
+
+        metrics = MetricsCollector()
+        if self.config.check_invariants:
+            from repro.runtime.invariants import attach_checker
+            attach_checker(metrics)
+        if self.config.trace:
+            from repro.observability import attach_tracer
+            attach_tracer(metrics, rank=cluster.rank)
+        session = _WorkerSession(self, cluster, metrics)
+        executor = Executor(session)
+        results = executor.run(self.exec_plan)
+        return {
+            "results": results,
+            "metrics": metrics,
+            "summaries": executor.iteration_summaries,
+            "checkpoint_store": session.last_checkpoint_store,
+        }
+
+
+class _ProgramJob:
+    """A replicated SPMD driver program wrapped into a pool job."""
+
+    def __init__(self, program):
+        self.program = program
+
+    def __call__(self, cluster):
+        result, metrics = self.program(cluster)
+        return {"results": result, "metrics": metrics}
+
+
+class PoolBackend(ExecutionBackend):
+    """Persistent worker pool with shared-memory frame transport."""
+
+    name = "pool"
+
+    def __init__(self, timeout: float = 120.0):
+        self.timeout = timeout
+        self._pool: WorkerPool | None = None
+
+    # the pool (process handles, queues) never pickles; a backend that
+    # rides along inside a pickled closure reconnects lazily
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        return state
+
+    @property
+    def pool(self) -> WorkerPool | None:
+        """The live pool, if one has been created (introspection/tests)."""
+        return self._pool
+
+    def _ensure_pool(self, size: int) -> WorkerPool:
+        pool = self._pool
+        if pool is not None and (pool.closed or pool.size != size):
+            pool.close()
+            pool = self._pool = None
+        if pool is None:
+            pool = self._pool = WorkerPool(size, timeout=self.timeout)
+        return pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    # ------------------------------------------------------------------
+
+    def execute_plan(self, env, exec_plan):
+        job = _PlanJob(
+            exec_plan, env.parallelism, env.config,
+            getattr(env, "checkpoint_interval", 0),
+            getattr(env, "failure_injector", None),
+        )
+        payloads = self._ensure_pool(env.parallelism).run_job(job)
+        return absorb_plan_payloads(env, payloads)
+
+    def run_program(self, program, parallelism):
+        payloads = self._ensure_pool(parallelism).run_job(
+            _ProgramJob(program)
+        )
+        merged, timelines = _merge_worker_metrics(payloads)
+        self.last_worker_traces = timelines
+        return payloads[0]["results"], merged
+
+
+BACKENDS["pool"] = PoolBackend

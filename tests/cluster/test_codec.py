@@ -1,0 +1,98 @@
+"""The closure-capable job codec: functions cross by value.
+
+Pool workers outlive any single job, so fork-inheritance cannot carry
+job closures to them — the codec must round-trip lambdas, nested
+closures, and default arguments that plain pickle rejects, while still
+passing importable module-level functions through by reference.
+"""
+
+import pickle
+
+import pytest
+
+from repro.cluster import codec
+
+
+def module_level(x):
+    return x * 2
+
+
+MODULE_CONSTANT = 17
+
+
+def uses_module_global(x):
+    return x + MODULE_CONSTANT
+
+
+class TestRoundTrips:
+    def test_lambda(self):
+        fn = codec.loads(codec.dumps(lambda x: x + 1))
+        assert fn(41) == 42
+
+    def test_plain_pickle_rejects_what_the_codec_accepts(self):
+        target = lambda x: x + 1  # noqa: E731
+        with pytest.raises(Exception):
+            pickle.dumps(target)
+        assert codec.loads(codec.dumps(target))(1) == 2
+
+    def test_module_level_function_passes_by_reference(self):
+        fn = codec.loads(codec.dumps(module_level))
+        assert fn is module_level
+
+    def test_closure_cells(self):
+        base = 100
+
+        def add_base(x):
+            return x + base
+
+        fn = codec.loads(codec.dumps(add_base))
+        assert fn(5) == 105
+
+    def test_nested_closures(self):
+        def outer(a):
+            def middle(b):
+                def inner(c):
+                    return a + b + c
+                return inner
+            return middle
+
+        fn = codec.loads(codec.dumps(outer(1)(2)))
+        assert fn(3) == 6
+
+    def test_defaults_and_kwdefaults(self):
+        def fn(a, b=10, *, c=20):
+            return a + b + c
+
+        restored = codec.loads(codec.dumps(fn))
+        assert restored(1) == 31
+        assert restored(1, b=2, c=3) == 6
+
+    def test_recursive_closure(self):
+        def factorial(n):
+            return 1 if n <= 1 else n * factorial(n - 1)
+
+        fn = codec.loads(codec.dumps(factorial))
+        assert fn(5) == 120
+
+    def test_module_globals_resolve_in_the_restored_function(self):
+        blob = codec.dumps(lambda x: uses_module_global(x))
+        assert codec.loads(blob)(3) == 20
+
+    def test_containers_of_closures(self):
+        fns = codec.loads(codec.dumps({"double": lambda x: 2 * x,
+                                       "ref": module_level}))
+        assert fns["double"](4) == 8
+        assert fns["ref"] is module_level
+
+    def test_function_attributes_survive(self):
+        def fn():
+            return "tagged"
+
+        fn.marker = "keep-me"
+        restored = codec.loads(codec.dumps(fn))
+        assert restored() == "tagged"
+        assert restored.marker == "keep-me"
+
+    def test_non_function_payloads_use_plain_pickle(self):
+        payload = {"ints": list(range(5)), "text": "hello"}
+        assert codec.loads(codec.dumps(payload)) == payload

@@ -1,10 +1,15 @@
-"""The pickled-frame transport: tagged streams, buffering, timeouts."""
+"""The frame transport: tagged streams, buffering, timeouts, shm rings."""
 
 import multiprocessing
+import pickle
 
 import pytest
 
-from repro.cluster.fabric import Fabric, FabricTimeout
+from repro.cluster.fabric import (
+    SHM_THRESHOLD_BYTES,
+    Fabric,
+    FabricTimeout,
+)
 
 
 @pytest.fixture
@@ -61,3 +66,135 @@ class TestEndpoint:
         b.recv(0, tag=1)
         assert a.bytes_sent > 0
         assert b.bytes_received == a.bytes_sent
+
+
+class TestSharedMemoryRings:
+    """Frames above the threshold travel through shared-memory slots."""
+
+    @pytest.fixture
+    def small_fabric(self):
+        # tiny slots so modest payloads exercise multi-slot spanning
+        ctx = multiprocessing.get_context("fork")
+        fab = Fabric(size=2, mp_context=ctx, timeout=2.0,
+                     slot_bytes=4096, slots_per_worker=4)
+        yield fab
+        fab.close()
+
+    @staticmethod
+    def _endpoints(fab):
+        # drop the shm threshold so the kilobyte-scale payloads these
+        # tests use take the shared-memory path, not the inline one
+        a, b = fab.endpoint(0), fab.endpoint(1)
+        a.shm_threshold = b.shm_threshold = 1024
+        return a, b
+
+    def test_big_payload_round_trips_through_shm(self, fabric):
+        a, b = fabric.endpoint(0), fabric.endpoint(1)
+        payload = list(range(50_000))  # pickles well past the threshold
+        assert len(pickle.dumps(payload)) >= SHM_THRESHOLD_BYTES
+        before = a._ring.free_slots
+        a.send(1, tag="big", payload=payload)
+        assert a._ring.free_slots < before  # slots in flight
+        assert b.recv(0, tag="big") == payload
+        assert b.bytes_received == a.bytes_sent
+
+    def test_small_payload_stays_inline(self, fabric):
+        a, b = fabric.endpoint(0), fabric.endpoint(1)
+        before = a._ring.free_slots
+        a.send(1, tag="small", payload=[1, 2, 3])
+        assert a._ring.free_slots == before  # no slot touched
+        assert b.recv(0, tag="small") == [1, 2, 3]
+
+    def test_frame_spans_multiple_slots(self, small_fabric):
+        a, b = self._endpoints(small_fabric)
+        payload = bytes(range(256)) * 50  # ~12.8 KB over 4 KB slots
+        before = a._ring.free_slots
+        a.send(1, tag="span", payload=payload)
+        assert before - a._ring.free_slots >= 3
+        assert b.recv(0, tag="span") == payload
+
+    def test_oversize_frame_falls_back_inline(self, small_fabric):
+        a, b = self._endpoints(small_fabric)
+        payload = bytes(64 << 10)  # larger than the whole 4-slot ring
+        before = a._ring.free_slots
+        a.send(1, tag="huge", payload=payload)
+        assert a._ring.free_slots == before  # inline path, no slots
+        assert b.recv(0, tag="huge") == payload
+
+    def test_acks_recycle_slots_across_repeated_sends(self, small_fabric):
+        # 8 sends through a 4-slot ring only work if receiving acks the
+        # slots back; the interleaved recv drives that recycling
+        a, b = self._endpoints(small_fabric)
+        payload = bytes(6000)  # 2 slots per frame
+        for i in range(8):
+            a.send(1, tag=i, payload=payload)
+            assert b.recv(0, tag=i) == payload
+        # after rank 0 drains its inbox, every ack has come home
+        a._drain(a._mailboxes[0])
+        assert a._ring.free_slots == len(a._ring)
+
+    def test_sender_blocks_then_raises_when_no_acks_return(self,
+                                                           small_fabric):
+        a, _ = self._endpoints(small_fabric)
+        a.timeout = 0.2
+        payload = bytes(12_000)  # 3 of the 4 slots
+        a.send(1, tag=0, payload=payload)
+        # nobody is receiving, so no acks: the second send cannot get
+        # slots and must time out rather than deadlock silently
+        with pytest.raises(FabricTimeout):
+            a.send(1, tag=1, payload=payload)
+
+    def test_stale_epoch_frames_are_dropped_but_acked(self, small_fabric):
+        a, b = self._endpoints(small_fabric)
+        a.begin_job(1)
+        b.begin_job(1)
+        a.send(1, tag="old", payload=bytes(6000))  # epoch-1 frame, shm path
+        b.begin_job(2)  # receiver moves on before the frame lands
+        with pytest.raises(FabricTimeout):
+            b.timeout = 0.2
+            b.recv(0, tag="old")
+        assert b.frames_received == 0  # dropped, not misdelivered
+        # ...but the slots were still acked back to the sender
+        a._drain(a._mailboxes[0])
+        assert a._ring.free_slots == len(a._ring)
+
+    def test_stale_inline_frames_are_dropped_too(self, fabric):
+        a, b = fabric.endpoint(0), fabric.endpoint(1)
+        a.begin_job(1)
+        b.begin_job(1)
+        a.send(1, tag="old", payload="leftover")
+        b.begin_job(2)
+        a.begin_job(2)
+        a.send(1, tag="fresh", payload="current")
+        assert b.recv(0, tag="fresh") == "current"
+        assert b.frames_received == 1
+
+    def test_begin_job_resets_counters_and_pending(self, fabric):
+        a, b = fabric.endpoint(0), fabric.endpoint(1)
+        a.send(1, tag="x", payload="y")
+        b.recv(0, tag="x")
+        assert b.bytes_received > 0
+        b.begin_job(5)
+        assert (b.bytes_received, b.frames_received, b.bytes_sent,
+                b.frames_sent) == (0, 0, 0, 0)
+        assert not b._pending
+
+    def test_shared_memory_can_be_disabled(self):
+        ctx = multiprocessing.get_context("fork")
+        fab = Fabric(size=2, mp_context=ctx, timeout=2.0,
+                     use_shared_memory=False)
+        try:
+            a, b = fab.endpoint(0), fab.endpoint(1)
+            assert a._ring is None
+            payload = list(range(50_000))
+            a.send(1, tag="big", payload=payload)
+            assert b.recv(0, tag="big") == payload
+        finally:
+            fab.close()
+
+    def test_close_is_idempotent_and_safe_after_partial_use(self,
+                                                            small_fabric):
+        a, _ = self._endpoints(small_fabric)
+        a.send(1, tag="orphan", payload=bytes(6000))  # never received
+        small_fabric.close()
+        small_fabric.close()  # second close: no-op, no raise
