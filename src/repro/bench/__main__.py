@@ -25,7 +25,7 @@ def _registry():
     from repro.bench import audit
     from repro.bench.experiments import (
         chaining, dataplane, extensions, fig2, fig4, fig7, fig8, fig9,
-        fig10, fig11, fig12, scaling, table1, table2,
+        fig10, fig11, fig12, outofcore, scaling, table1, table2,
     )
     return {
         "audit": ("Differential audit — engines agree, invariants hold",
@@ -36,6 +36,8 @@ def _registry():
                       dataplane.run),
         "chaining": ("Chain fusion — fused vs unfused forward pipelines",
                      chaining.run),
+        "outofcore": ("Out-of-core — CC state ~10x the memory budget, "
+                      "RSS-gated", outofcore.run),
         "table1": ("Table 1 — iteration templates", table1.run),
         "table2": ("Table 2 — dataset properties", table2.run),
         "fig2": ("Figure 2 — CC effective work (FOAF)", fig2.run),

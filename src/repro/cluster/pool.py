@@ -254,6 +254,10 @@ class _WorkerSession:
         self.metrics = metrics
         self.checkpoint_interval = job.checkpoint_interval
         self.failure_injector = job.failure_injector
+        # pickled as a non-owning, path-only view of the parent's spill
+        # directory: the worker allocates files inside the parent tree
+        # (which sweeps them) but can never delete it
+        self.storage_session = job.storage_session
         self.last_checkpoint_store = None
         self.last_executor = None
 
@@ -262,12 +266,13 @@ class _PlanJob:
     """A compiled plan plus the session knobs its execution needs."""
 
     def __init__(self, exec_plan, parallelism, config, checkpoint_interval,
-                 failure_injector):
+                 failure_injector, storage_session=None):
         self.exec_plan = exec_plan
         self.parallelism = parallelism
         self.config = config
         self.checkpoint_interval = checkpoint_interval
         self.failure_injector = failure_injector
+        self.storage_session = storage_session
 
     def __call__(self, cluster):
         from repro.runtime.executor import Executor
@@ -344,6 +349,7 @@ class PoolBackend(ExecutionBackend):
             exec_plan, env.parallelism, env.config,
             getattr(env, "checkpoint_interval", 0),
             getattr(env, "failure_injector", None),
+            storage_session=getattr(env, "storage_session", None),
         )
         payloads = self._ensure_pool(env.parallelism).run_job(job)
         return absorb_plan_payloads(env, payloads)

@@ -299,6 +299,12 @@ class DataSet:
         """Optimize, execute, and return this dataset's records as a list."""
         return self._env.collect(self)
 
+    def store(self, name) -> list:
+        """Execute and persist this dataset in the environment's part
+        store under ``name``; returns the written part ids.  Reload it
+        with ``env.from_store(name)``."""
+        return self._env.register_dataset(name, self)
+
     # ------------------------------------------------------------------
 
     def _check_env(self, other):

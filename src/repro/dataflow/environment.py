@@ -132,6 +132,12 @@ class ExecutionEnvironment:
         self.failure_injector = None
         #: populated after a run when checkpointing was active
         self.last_checkpoint_store = None
+        #: out-of-core substrate (repro.storage): the session's spill
+        #: directory, created lazily — eagerly before a run when
+        #: ``config.memory_budget_bytes`` is set, so forked workers nest
+        #: their scratch space inside it — and removed by close()
+        self.storage_session = None
+        self._part_store = None
 
     @property
     def async_poll_batch(self) -> int:
@@ -224,6 +230,10 @@ class ExecutionEnvironment:
         return exec_plan
 
     def _execute_plan(self, plan: LogicalPlan):
+        if self.config.memory_budget_bytes:
+            # created before the backend may fork, so every worker's
+            # spill directory nests inside this session's tree
+            self._ensure_storage_session()
         exec_plan = self._compile(plan)
         # plans are compiled here, backend-agnostically; the backend only
         # decides where the compiled plan is interpreted (and is expected
@@ -251,6 +261,86 @@ class ExecutionEnvironment:
             raise InvalidPlanError("no sinks registered; nothing to execute")
         results = self._execute_plan(LogicalPlan(list(self._sinks)))
         return {sink.name: results[sink.id] for sink in self._sinks}
+
+    # ------------------------------------------------------------------
+    # storage (out-of-core substrate; see repro.storage)
+
+    def _ensure_storage_session(self):
+        if self.storage_session is None or self.storage_session.closed:
+            from repro.storage.session import StorageSession
+            self.storage_session = StorageSession()
+        return self.storage_session
+
+    def attach_part_store(self, root=None):
+        """Create (or return) this session's dataset part store.
+
+        With ``root=None`` the store lives inside the session's spill
+        directory and disappears with it; pass an explicit ``root`` to
+        persist datasets across sessions (the manifest is re-validated
+        against the on-disk format version on reopen).
+        """
+        if self._part_store is None:
+            from repro.storage.partstore import PartStore
+            if root is None:
+                root = self._ensure_storage_session().subdir("parts")
+            self._part_store = PartStore(root)
+        return self._part_store
+
+    @property
+    def part_store(self):
+        return self.attach_part_store()
+
+    def register_dataset(self, name, dataset_or_records) -> list[str]:
+        """Persist a dataset (or record collection) as named parts.
+
+        A :class:`DataSet` argument is executed first; records are then
+        partitioned exactly like a source (round-robin over the
+        session's parallelism) and written to the part store, one
+        stats-tracked, content-addressed part per partition.
+        """
+        from repro.runtime import channels
+        if isinstance(dataset_or_records, DataSet):
+            records = self.collect(dataset_or_records)
+        else:
+            records = list(dataset_or_records)
+        partitions = channels.round_robin(records, self.parallelism)
+        return self.part_store.register(name, partitions)
+
+    def from_store(self, name) -> DataSet:
+        """Source a previously registered dataset from the part store.
+
+        Every part is re-validated (header, cardinality, content hash)
+        on load, so a torn write surfaces here as a loud
+        ``StorageFormatError`` rather than as wrong answers downstream.
+        """
+        parts = self.part_store.load_dataset(name)
+        return self.from_iterable(
+            [record for part in parts for record in part], name=name
+        )
+
+    # ------------------------------------------------------------------
+    # teardown
+
+    def close(self):
+        """Release session resources: spill directory, backend workers.
+
+        Idempotent.  The spill directory is also registered for an
+        ``atexit`` sweep, so even an unclosed environment cannot leak
+        scratch files past process exit.
+        """
+        if self.storage_session is not None:
+            self.storage_session.close()
+        self._part_store = None
+        closer = getattr(self.backend, "close", None)
+        if closer is not None:
+            closer()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
 
     # ------------------------------------------------------------------
     # introspection

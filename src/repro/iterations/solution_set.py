@@ -36,7 +36,7 @@ class SolutionSetIndex:
 
     @classmethod
     def build(cls, records, key_fields, parallelism, metrics=None,
-              should_replace=None, batch_size=None):
+              should_replace=None, batch_size=None, **extra):
         """Build the index from a flat or partitioned record collection.
 
         Records are routed to partitions by the stable hash of their key,
@@ -44,8 +44,12 @@ class SolutionSetIndex:
         arriving over a hash channel land in the right partition.  The
         routing works batch-at-a-time from each chunk's cached key and
         hash vectors (``batch_size=None`` = one chunk).
+
+        ``extra`` keyword arguments pass through to the subclass
+        constructor (the disk-backed variant takes its spill manager
+        this way).
         """
-        index = cls(key_fields, parallelism, metrics, should_replace)
+        index = cls(key_fields, parallelism, metrics, should_replace, **extra)
         if records and isinstance(records[0], list):
             flat = [record for part in records for record in part]
         else:
@@ -187,3 +191,55 @@ class SolutionSetIndex:
         for part in self._partitions:
             merged.update(part)
         return merged
+
+
+class DiskBackedSolutionSetIndex(SolutionSetIndex):
+    """A solution set whose partition state lives on disk.
+
+    Each partition's ``dict`` is swapped for a
+    :class:`~repro.storage.diskdict.DiskDict` — same first-insertion
+    iteration order, same replacement semantics, but records rest in a
+    version-stamped append-only log inside the spill session instead of
+    the heap.  Every read and write still goes through the base class:
+    :meth:`SolutionSetIndex.apply_record` remains the single per-record
+    oracle for the ∪̇ operator and the comparator, so an out-of-core
+    delta iteration takes exactly the in-memory decision sequence and
+    produces bitwise-identical results.
+
+    ``to_partitions`` returns lazy
+    :class:`~repro.storage.diskdict.DiskPartitionView` sequences; a
+    forward ship passes them through unmaterialized, so exporting the
+    converged solution does not re-inflate it into memory.
+    """
+
+    def __init__(self, key_fields, parallelism, metrics=None,
+                 should_replace=None, manager=None):
+        if manager is None:
+            raise ValueError(
+                "DiskBackedSolutionSetIndex requires a SpillManager "
+                "(pass manager=...)"
+            )
+        super().__init__(key_fields, parallelism, metrics, should_replace)
+        from repro.storage.diskdict import DiskDict
+
+        self.manager = manager
+        self._partitions = [
+            DiskDict(
+                manager.session.new_file(
+                    prefix=f"solution-p{p}", suffix=".log"
+                )
+            )
+            for p in range(parallelism)
+        ]
+
+    def to_partitions(self) -> list:
+        from repro.storage.diskdict import DiskPartitionView
+
+        return [DiskPartitionView(part) for part in self._partitions]
+
+    def disk_bytes_written(self) -> int:
+        return sum(part.bytes_written for part in self._partitions)
+
+    def close(self) -> None:
+        for part in self._partitions:
+            part.close()

@@ -50,6 +50,8 @@ SPAN_COUNTERS = (
     "batches_shipped",
     "cache_hits",
     "cache_builds",
+    "records_spilled",
+    "bytes_spilled",
 )
 
 #: the counters that must be identical across backends (physical
@@ -148,6 +150,8 @@ class Tracer:
             m.batches_shipped,
             m.cache_hits,
             m.cache_builds,
+            m.records_spilled,
+            m.bytes_spilled,
         )
 
     def begin(self, name, category: str = "runtime", **attributes) -> Span:

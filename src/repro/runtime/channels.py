@@ -139,7 +139,13 @@ def ship(partitions, strategy, parallelism, metrics=None, cluster=None,
 
 def _ship_forward(partitions):
     total = sum(len(p) for p in partitions)
-    return [list(p) for p in partitions], total, 0
+    # lazy (disk-backed) partitions pass through unmaterialized so a
+    # forward ship out of an out-of-core iteration keeps streaming
+    out = [
+        p if getattr(p, "is_lazy_partition", False) else list(p)
+        for p in partitions
+    ]
+    return out, total, 0
 
 
 def _ship_hash(partitions, key_fields, parallelism, batch_size=None,

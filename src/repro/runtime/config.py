@@ -81,6 +81,33 @@ def chaining_default() -> bool:
     )
 
 
+def memory_budget_default() -> int | None:
+    """Per-process memory budget in bytes; ``None`` means unbounded.
+
+    ``REPRO_MEMORY_BUDGET`` overrides: a positive integer (bytes)
+    activates the out-of-core spill substrate of :mod:`repro.storage`
+    for every session that does not set the field explicitly; an empty
+    value or ``0`` keeps execution fully in-memory.
+    """
+    override = os.environ.get("REPRO_MEMORY_BUDGET")
+    if override is None or not override.strip():
+        return None
+    try:
+        value = int(override)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_MEMORY_BUDGET must be an integer byte count, "
+            f"got {override!r}"
+        ) from None
+    if value == 0:
+        return None
+    if value < 0:
+        raise ValueError(
+            f"REPRO_MEMORY_BUDGET must be >= 0, got {value}"
+        )
+    return value
+
+
 def tracing_default() -> bool:
     """Tracing is opt-in: off unless ``REPRO_TRACE`` enables it.
 
@@ -147,6 +174,17 @@ class RuntimeConfig:
     is the escape hatch.  Fusion changes neither results nor logical
     counters — only how many memo entries and forward ships the
     interpreter materializes.
+
+    ``memory_budget_bytes`` — per-process budget for operator state in
+    bytes, or ``None`` for unbounded in-memory execution (the
+    default).  When set, the executor attaches a
+    :class:`~repro.storage.SpillManager`: keyed drivers take
+    partition-and-spill / external-sort paths once their estimated
+    resident state crosses the budget, and delta iterations keep the
+    solution set in a disk-backed index.  Results and logical counters
+    are bitwise identical at every setting; only the physical
+    ``records_spilled`` / ``bytes_spilled`` counters differ.
+    ``REPRO_MEMORY_BUDGET`` supplies the default.
     """
 
     check_invariants: bool = field(default_factory=invariant_checking_default)
@@ -156,6 +194,9 @@ class RuntimeConfig:
     max_frame_bytes: int = 1 << 20
     async_poll_batch: int = 64
     chaining: bool = field(default_factory=chaining_default)
+    memory_budget_bytes: int | None = field(
+        default_factory=memory_budget_default
+    )
 
     def __post_init__(self):
         for name in ("batch_size", "max_frame_bytes", "async_poll_batch"):
@@ -173,3 +214,15 @@ class RuntimeConfig:
                 f"RuntimeConfig.chaining must be a bool, "
                 f"got {self.chaining!r}"
             )
+        budget = self.memory_budget_bytes
+        if budget is not None:
+            if isinstance(budget, bool) or not isinstance(budget, int):
+                raise TypeError(
+                    f"RuntimeConfig.memory_budget_bytes must be an int "
+                    f"or None, got {budget!r}"
+                )
+            if budget < 1:
+                raise ValueError(
+                    f"RuntimeConfig.memory_budget_bytes must be >= 1, "
+                    f"got {budget}"
+                )

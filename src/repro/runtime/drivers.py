@@ -47,6 +47,22 @@ def _key_chunks(records, key_fields, batch_size):
         yield chunk.records, chunk.keys
 
 
+def _entry_stream(records, key_fields, batch_size):
+    """Yield ``(seq, key, record)`` triples for the spilled algorithms.
+
+    ``seq`` is the arrival index within this input — the tag the
+    out-of-core algorithms use to reassemble the exact record order the
+    in-memory drivers produce.  Extraction is still chunk-wise, so the
+    batched data plane's key-vector framing (and its audit) is
+    identical on both paths.
+    """
+    seq = 0
+    for chunk, keys in _key_chunks(records, key_fields, batch_size):
+        for k, record in zip(keys, chunk):
+            yield seq, k, record
+            seq += 1
+
+
 def _keyed(records, key_fields, batch_size):
     """The full ``(records, keys)`` vectors, extracted chunk-wise.
 
@@ -103,7 +119,7 @@ def run_union(node, inputs, metrics):
 
 
 def run_hash_join(node, inputs, metrics, build_left: bool,
-                  batch_size=None):
+                  batch_size=None, spill=None):
     left, right = inputs
     metrics.add_processed(node.name, len(left) + len(right))
     fn = node.udf
@@ -115,6 +131,21 @@ def run_hash_join(node, inputs, metrics, build_left: bool,
     else:
         build_in, build_fields = right, node.key_fields[1]
         probe_in, probe_fields = left, node.key_fields[0]
+    if spill is not None:
+        from repro.storage.hashtable import spilled_hash_join
+
+        if build_left:
+            def emit(build, probe, results):
+                _emit_join_result(fn(build, probe), flat, results)
+        else:
+            def emit(build, probe, results):
+                _emit_join_result(fn(probe, build), flat, results)
+        return spilled_hash_join(
+            spill, node.name,
+            _entry_stream(build_in, build_fields, batch_size),
+            _entry_stream(probe_in, probe_fields, batch_size),
+            emit,
+        )
     table = defaultdict(list)
     for records, keys in _key_chunks(build_in, build_fields, batch_size):
         for k, record in zip(keys, records):
@@ -132,11 +163,20 @@ def run_hash_join(node, inputs, metrics, build_left: bool,
     return out
 
 
-def run_sort_merge_join(node, inputs, metrics, batch_size=None):
+def run_sort_merge_join(node, inputs, metrics, batch_size=None, spill=None):
     left, right = inputs
     metrics.add_processed(node.name, len(left) + len(right))
     fn = node.udf
     flat = getattr(node, "flat", False)
+    if spill is not None:
+        from repro.storage.external_sort import spilled_sort_merge_join
+
+        return spilled_sort_merge_join(
+            spill, node.name,
+            _entry_stream(left, node.key_fields[0], batch_size),
+            _entry_stream(right, node.key_fields[1], batch_size),
+            fn, flat,
+        )
     lrecs, lkeys = _keyed(left, node.key_fields[0], batch_size)
     rrecs, rkeys = _keyed(right, node.key_fields[1], batch_size)
     lorder = sorted(range(len(lrecs)), key=lkeys.__getitem__)
@@ -173,11 +213,18 @@ def run_sort_merge_join(node, inputs, metrics, batch_size=None):
 # aggregations and groupings
 
 
-def run_hash_aggregate(node, inputs, metrics, batch_size=None):
+def run_hash_aggregate(node, inputs, metrics, batch_size=None, spill=None):
     """Combinable REDUCE via an updateable hash table."""
     records = inputs[0]
     metrics.add_processed(node.name, len(records))
     fn = node.udf
+    if spill is not None:
+        from repro.storage.hashtable import spilled_hash_aggregate
+
+        return spilled_hash_aggregate(
+            spill, node.name,
+            _entry_stream(records, node.key_fields[0], batch_size), fn,
+        )
     table = {}
     get = table.get
     for chunk, keys in _key_chunks(records, node.key_fields[0], batch_size):
@@ -187,11 +234,18 @@ def run_hash_aggregate(node, inputs, metrics, batch_size=None):
     return list(table.values())
 
 
-def run_sort_aggregate(node, inputs, metrics, batch_size=None):
+def run_sort_aggregate(node, inputs, metrics, batch_size=None, spill=None):
     """Combinable REDUCE over key-sorted runs; output is key-sorted."""
     records = inputs[0]
     metrics.add_processed(node.name, len(records))
     fn = node.udf
+    if spill is not None:
+        from repro.storage.external_sort import spilled_sort_aggregate
+
+        return spilled_sort_aggregate(
+            spill, node.name,
+            _entry_stream(records, node.key_fields[0], batch_size), fn,
+        )
     recs, keys = _keyed(records, node.key_fields[0], batch_size)
     order = sorted(range(len(recs)), key=keys.__getitem__)
     out = []
@@ -211,10 +265,17 @@ def run_sort_aggregate(node, inputs, metrics, batch_size=None):
     return out
 
 
-def run_reduce_group(node, inputs, metrics, batch_size=None):
+def run_reduce_group(node, inputs, metrics, batch_size=None, spill=None):
     records = inputs[0]
     metrics.add_processed(node.name, len(records))
     fn = node.udf
+    if spill is not None:
+        from repro.storage.hashtable import spilled_reduce_group
+
+        return spilled_reduce_group(
+            spill, node.name,
+            _entry_stream(records, node.key_fields[0], batch_size), fn,
+        )
     groups = defaultdict(list)
     for chunk, keys in _key_chunks(records, node.key_fields[0], batch_size):
         for k, record in zip(keys, chunk):
@@ -225,10 +286,20 @@ def run_reduce_group(node, inputs, metrics, batch_size=None):
     return out
 
 
-def run_cogroup(node, inputs, metrics, inner: bool, batch_size=None):
+def run_cogroup(node, inputs, metrics, inner: bool, batch_size=None,
+                spill=None):
     left, right = inputs
     metrics.add_processed(node.name, len(left) + len(right))
     fn = node.udf
+    if spill is not None:
+        from repro.storage.hashtable import spilled_cogroup
+
+        return spilled_cogroup(
+            spill, node.name,
+            _entry_stream(left, node.key_fields[0], batch_size),
+            _entry_stream(right, node.key_fields[1], batch_size),
+            fn, inner,
+        )
     left_groups = defaultdict(list)
     for chunk, keys in _key_chunks(left, node.key_fields[0], batch_size):
         for k, record in zip(keys, chunk):
@@ -284,18 +355,24 @@ def apply_combiner(node, partitions, metrics, batch_size=None):
 # dispatch
 
 
-def run_driver(node, local_strategy, inputs, metrics, batch_size=None):
+def run_driver(node, local_strategy, inputs, metrics, batch_size=None,
+               spill=None):
     """Run one operator on one partition's inputs.
 
     ``batch_size`` frames the keyed drivers' key-vector extraction in
     record-batch chunks (outputs are identical at any setting).
+
+    ``spill`` is the session's :class:`~repro.storage.spill.SpillManager`
+    when a memory budget is configured; the keyed drivers then route
+    through the out-of-core algorithms in :mod:`repro.storage`, which
+    produce bit-identical outputs at any budget.
 
     When an invariant checker is attached to ``metrics``, the output
     record count is audited against the contract's conservation bound
     (Map: one out per in; Filter: never grows; Union: bag sum;
     combinable Reduce: at most one record per input).
     """
-    out = _dispatch(node, local_strategy, inputs, metrics, batch_size)
+    out = _dispatch(node, local_strategy, inputs, metrics, batch_size, spill)
     checker = metrics.invariants if metrics is not None else None
     if checker is not None:
         checker.check_driver(
@@ -304,7 +381,8 @@ def run_driver(node, local_strategy, inputs, metrics, batch_size=None):
     return out
 
 
-def _dispatch(node, local_strategy, inputs, metrics, batch_size=None):
+def _dispatch(node, local_strategy, inputs, metrics, batch_size=None,
+              spill=None):
     contract = node.contract
     if contract is Contract.MAP:
         return run_map(node, inputs, metrics)
@@ -317,32 +395,40 @@ def _dispatch(node, local_strategy, inputs, metrics, batch_size=None):
     if contract is Contract.MATCH:
         if local_strategy is LocalStrategy.HASH_BUILD_LEFT:
             return run_hash_join(
-                node, inputs, metrics, build_left=True, batch_size=batch_size
+                node, inputs, metrics, build_left=True, batch_size=batch_size,
+                spill=spill,
             )
         if local_strategy is LocalStrategy.HASH_BUILD_RIGHT:
             return run_hash_join(
-                node, inputs, metrics, build_left=False, batch_size=batch_size
+                node, inputs, metrics, build_left=False, batch_size=batch_size,
+                spill=spill,
             )
         if local_strategy is LocalStrategy.SORT_MERGE:
             return run_sort_merge_join(
-                node, inputs, metrics, batch_size=batch_size
+                node, inputs, metrics, batch_size=batch_size, spill=spill
             )
         raise InvalidPlanError(f"{node.name}: no join strategy assigned")
     if contract is Contract.REDUCE:
         if local_strategy is LocalStrategy.SORT_AGGREGATE:
             return run_sort_aggregate(
-                node, inputs, metrics, batch_size=batch_size
+                node, inputs, metrics, batch_size=batch_size, spill=spill
             )
-        return run_hash_aggregate(node, inputs, metrics, batch_size=batch_size)
+        return run_hash_aggregate(
+            node, inputs, metrics, batch_size=batch_size, spill=spill
+        )
     if contract is Contract.REDUCE_GROUP:
-        return run_reduce_group(node, inputs, metrics, batch_size=batch_size)
+        return run_reduce_group(
+            node, inputs, metrics, batch_size=batch_size, spill=spill
+        )
     if contract is Contract.COGROUP:
         return run_cogroup(
-            node, inputs, metrics, inner=False, batch_size=batch_size
+            node, inputs, metrics, inner=False, batch_size=batch_size,
+            spill=spill,
         )
     if contract is Contract.INNER_COGROUP:
         return run_cogroup(
-            node, inputs, metrics, inner=True, batch_size=batch_size
+            node, inputs, metrics, inner=True, batch_size=batch_size,
+            spill=spill,
         )
     if contract is Contract.CROSS:
         return run_cross(node, inputs, metrics)

@@ -90,6 +90,27 @@ class Executor:
         #: where this executor runs: the local simulator context, or one
         #: SPMD worker's view of its forked peers (multiprocess backend)
         self.cluster = getattr(env, "cluster", None) or LOCAL
+        #: out-of-core substrate: a SpillManager when a memory budget is
+        #: configured (every keyed driver and the solution set then run
+        #: their spillable code paths), else None — no budget, no change
+        self.spill = None
+        if self.config.memory_budget_bytes:
+            from repro.storage.session import StorageSession
+            from repro.storage.spill import SpillManager
+
+            session = getattr(env, "storage_session", None)
+            if session is None:
+                session = StorageSession()
+                env.storage_session = session
+            if not self.cluster.is_local:
+                # each SPMD worker spills under its own subdirectory of
+                # the parent session, so parent cleanup sweeps workers
+                # that died mid-spill
+                session = session.worker_view(self.cluster.rank)
+            self.spill = SpillManager(
+                self.config.memory_budget_bytes, session,
+                metrics=self.metrics,
+            )
         self._memo: dict[int, list] = {}
         self.iteration_summaries: list[IterationSummary] = []
 
@@ -328,7 +349,7 @@ class Executor:
             inputs = [s[p] for s in shipped]
             out.append(drivers.run_driver(
                 node, ann.local, inputs, self.metrics,
-                batch_size=self.batch_size,
+                batch_size=self.batch_size, spill=self.spill,
             ))
         return out
 
@@ -482,7 +503,16 @@ class Executor:
         store = None
         interval = getattr(self.env, "checkpoint_interval", 0)
         if interval:
-            store = CheckpointStore(interval)
+            part_store = None
+            if self.spill is not None:
+                from repro.storage.partstore import PartStore
+
+                # parts live inside the spill session, so checkpoint
+                # files share the session's cleanup guarantees
+                part_store = PartStore(
+                    self.spill.session.subdir("checkpoints")
+                )
+            store = CheckpointStore(interval, part_store=part_store)
             self.env.last_checkpoint_store = store
         injector = getattr(self.env, "failure_injector", None)
         return store, injector
@@ -575,11 +605,22 @@ class Executor:
         sol_parts = self._evaluate(node.inputs[0], outer_memo, outer_scope)
         # route the initial solution set into its index partitioning
         routed = self._ship(sol_parts, partition_on(node.solution_key))
-        index = SolutionSetIndex.build(
-            routed, node.solution_key, self.parallelism,
-            metrics=self.metrics, should_replace=node.should_replace,
-            batch_size=self.batch_size,
-        )
+        if self.spill is not None:
+            from repro.iterations.solution_set import (
+                DiskBackedSolutionSetIndex,
+            )
+
+            index = DiskBackedSolutionSetIndex.build(
+                routed, node.solution_key, self.parallelism,
+                metrics=self.metrics, should_replace=node.should_replace,
+                batch_size=self.batch_size, manager=self.spill,
+            )
+        else:
+            index = SolutionSetIndex.build(
+                routed, node.solution_key, self.parallelism,
+                metrics=self.metrics, should_replace=node.should_replace,
+                batch_size=self.batch_size,
+            )
         workset = self._evaluate(node.inputs[1], outer_memo, outer_scope)
         scope = _IterationScope(
             node,

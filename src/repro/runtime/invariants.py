@@ -34,6 +34,10 @@ Enforced laws:
   that owns the key; a delta application changes ``|S|`` by exactly
   accepted-minus-replaced records and counts one solution access per
   probed delta record.
+* **Spill conservation** — every out-of-core partition or sort pass
+  ends with ``resident + spilled == routed``: a record crossing the
+  memory budget lands in memory or on disk exactly once
+  (``check_spill``).
 * **Attribution totals** — the per-superstep counters in
   ``iteration_log`` plus the out-of-superstep remainder sum exactly to
   the global collector totals (``verify_totals``).
@@ -68,6 +72,8 @@ ATTRIBUTED_COUNTERS = (
     "batches_shipped",
     "cache_hits",
     "cache_builds",
+    "records_spilled",
+    "bytes_spilled",
 )
 
 #: (span counter key, IterationStats field) pairs the trace law
@@ -82,6 +88,8 @@ _TRACE_RECONCILED = (
     ("batches_shipped", "batches_shipped"),
     ("cache_hits", "cache_hits"),
     ("cache_builds", "cache_builds"),
+    ("records_spilled", "records_spilled"),
+    ("bytes_spilled", "bytes_spilled"),
     ("workset_size", "workset_size"),
     ("delta_size", "delta_size"),
 )
@@ -109,6 +117,7 @@ class InvariantChecker:
         self.delta_checks = 0
         self.trace_checks = 0
         self.batch_checks = 0
+        self.spill_checks = 0
 
     def reset(self):
         self._inside = dict.fromkeys(ATTRIBUTED_COUNTERS, 0)
@@ -380,6 +389,32 @@ class InvariantChecker:
             )
 
     # ------------------------------------------------------------------
+    # spill audit
+
+    def check_spill(self, label, routed, resident, spilled):
+        """One partition/sort pass conserved its records across the dam.
+
+        Every record an out-of-core pass routed must end the pass either
+        resident in memory or written to a spill file — exactly once:
+        ``resident + spilled == routed``.  A record dropped on the way
+        to disk (or double-written) breaks the balance here before it
+        can surface as a wrong result.
+        """
+        self.spill_checks += 1
+        if routed < 0 or resident < 0 or spilled < 0:
+            self._fail(
+                f"{label}: negative spill accounting (routed={routed}, "
+                f"resident={resident}, spilled={spilled})"
+            )
+        if resident + spilled != routed:
+            self._fail(
+                f"{label}: spill pass routed {routed} records but ended "
+                f"with resident({resident}) + spilled({spilled}) = "
+                f"{resident + spilled} — records were lost or duplicated "
+                "crossing the memory budget"
+            )
+
+    # ------------------------------------------------------------------
     # solution-set audit
 
     def check_solution_lookup(self, partition, key_value, parallelism):
@@ -447,6 +482,8 @@ class InvariantChecker:
             "batches_shipped": sum(s.batches_shipped for s in log),
             "cache_hits": sum(s.cache_hits for s in log),
             "cache_builds": sum(s.cache_builds for s in log),
+            "records_spilled": sum(s.records_spilled for s in log),
+            "bytes_spilled": sum(s.bytes_spilled for s in log),
         }
         totals = {
             "shipped_local": metrics.records_shipped_local,
@@ -458,6 +495,8 @@ class InvariantChecker:
             "batches_shipped": metrics.batches_shipped,
             "cache_hits": metrics.cache_hits,
             "cache_builds": metrics.cache_builds,
+            "records_spilled": metrics.records_spilled,
+            "bytes_spilled": metrics.bytes_spilled,
         }
         for name in ATTRIBUTED_COUNTERS:
             if logged[name] != self._inside[name]:
@@ -544,6 +583,7 @@ class InvariantChecker:
         self.delta_checks += other.delta_checks
         self.trace_checks += other.trace_checks
         self.batch_checks += other.batch_checks
+        self.spill_checks += other.spill_checks
         return self
 
 

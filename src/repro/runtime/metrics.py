@@ -38,6 +38,11 @@ class IterationStats:
     batches_shipped: int = 0
     cache_hits: int = 0
     cache_builds: int = 0
+    #: records written to spill files this superstep (physical, like
+    #: bytes: spill decisions depend on each process's resident share)
+    records_spilled: int = 0
+    #: bytes written to spill files this superstep
+    bytes_spilled: int = 0
 
     @property
     def messages(self) -> int:
@@ -60,6 +65,8 @@ class IterationStats:
             "batches_shipped": self.batches_shipped,
             "cache_hits": self.cache_hits,
             "cache_builds": self.cache_builds,
+            "records_spilled": self.records_spilled,
+            "bytes_spilled": self.bytes_spilled,
             "messages": self.messages,
         }
 
@@ -82,6 +89,11 @@ class MetricsCollector:
     #: RecordBatch chunks framed by the shipping channels (physical:
     #: per-worker localization changes how records fall into chunks)
     batches_shipped: int = 0
+    #: records / bytes written to spill files by the out-of-core
+    #: substrate (physical: whether state crosses the budget depends on
+    #: each process's resident share, so backends may differ)
+    records_spilled: int = 0
+    bytes_spilled: int = 0
     iteration_log: list[IterationStats] = field(default_factory=list)
     #: optional :class:`~repro.runtime.invariants.InvariantChecker`; when
     #: attached (``RuntimeConfig.check_invariants``), every counter hook
@@ -180,6 +192,18 @@ class MetricsCollector:
         if self.tracer is not None:
             self.tracer.instant("cache:build", category="cache")
 
+    def add_spilled(self, records: int, nbytes: int):
+        """One spill-file frame written by the out-of-core substrate."""
+        self.records_spilled += records
+        self.bytes_spilled += nbytes
+        if self._open_superstep is not None:
+            self._open_superstep.records_spilled += records
+            self._open_superstep.bytes_spilled += nbytes
+        if self.invariants is not None:
+            in_step = self._open_superstep is not None
+            self.invariants.on_counter("records_spilled", records, in_step)
+            self.invariants.on_counter("bytes_spilled", nbytes, in_step)
+
     # ------------------------------------------------------------------
     # superstep scoping
 
@@ -274,6 +298,8 @@ class MetricsCollector:
         self.cache_builds += other.cache_builds
         self.bytes_shipped += other.bytes_shipped
         self.batches_shipped += other.batches_shipped
+        self.records_spilled += other.records_spilled
+        self.bytes_spilled += other.bytes_spilled
         if align_supersteps:
             if len(self.iteration_log) != len(other.iteration_log) or \
                     self.supersteps != other.supersteps:
@@ -300,6 +326,8 @@ class MetricsCollector:
                 mine.batches_shipped += theirs.batches_shipped
                 mine.cache_hits += theirs.cache_hits
                 mine.cache_builds += theirs.cache_builds
+                mine.records_spilled += theirs.records_spilled
+                mine.bytes_spilled += theirs.bytes_spilled
                 mine.duration_s = max(mine.duration_s, theirs.duration_s)
         else:
             self.iteration_log.extend(other.iteration_log)
@@ -331,6 +359,8 @@ class MetricsCollector:
         self.cache_builds = 0
         self.bytes_shipped = 0
         self.batches_shipped = 0
+        self.records_spilled = 0
+        self.bytes_spilled = 0
         self.iteration_log.clear()
         self._open_superstep = None
         self._superstep_span = None
@@ -354,5 +384,7 @@ class MetricsCollector:
             "cache_builds": self.cache_builds,
             "bytes_shipped": self.bytes_shipped,
             "batches_shipped": self.batches_shipped,
+            "records_spilled": self.records_spilled,
+            "bytes_spilled": self.bytes_spilled,
             "iteration_log": [s.as_dict() for s in self.iteration_log],
         }

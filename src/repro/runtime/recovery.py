@@ -56,6 +56,30 @@ class Checkpoint:
     workset: object
 
 
+def _classify_partition(part):
+    """(kind tag, records) for one checkpointed state partition.
+
+    The tag tells ``restore`` what shape to rebuild: a solution-set
+    hash partition (``dict``), its disk-backed twin (``diskdict``), or
+    a plain partial-solution / queue record list (``list``).
+    """
+    if isinstance(part, dict):
+        return "dict", list(part.items())
+    if hasattr(part, "items"):
+        return "diskdict", list(part.items())
+    return "list", list(part)
+
+
+def _rebuild_partition(kind: str, records):
+    if kind == "dict":
+        return dict(records)
+    if kind == "diskdict":
+        from repro.storage.diskdict import _restore
+
+        return _restore(records)
+    return records
+
+
 @dataclass
 class CheckpointStore:
     """Keeps the latest snapshot; ``interval=k`` logs every k supersteps.
@@ -64,9 +88,18 @@ class CheckpointStore:
     every ``restore`` (and every read of :attr:`latest`) deserializes a
     fresh, independent copy — exactly the isolation a log on stable
     storage provides.
+
+    With a :class:`~repro.storage.partstore.PartStore` attached, state
+    partitions are logged as kind-tagged *parts* instead of riding in
+    the blob: the store's content-hash dedup means consecutive
+    checkpoints rewrite only the partitions that actually changed
+    (incremental checkpointing), and ``checkpoint_bytes`` counts only
+    the newly written bytes.  The workset is small and always changing,
+    so it stays in the pickled blob.
     """
 
     interval: int
+    part_store: object = None
     snapshots_taken: int = 0
     recoveries: int = 0
     supersteps_replayed: int = 0
@@ -74,16 +107,29 @@ class CheckpointStore:
     checkpoint_bytes: int = 0
     total_bytes: int = 0
     _blob: bytes | None = field(default=None, repr=False)
+    _state_parts: list | None = field(default=None, repr=False)
     _superstep: int = 0
 
     def due(self, superstep: int) -> bool:
         return self.interval > 0 and (superstep - 1) % self.interval == 0
 
     def take(self, superstep: int, state, workset):
+        state_parts = None
+        part_bytes = 0
+        if self.part_store is not None and isinstance(state, list):
+            state_parts = []
+            for part in state:
+                kind, records = _classify_partition(part)
+                written_before = self.part_store.parts_written
+                part_id = self.part_store.put_part(records)
+                if self.part_store.parts_written > written_before:
+                    part_bytes += self.part_store.part_stats(part_id)["bytes"]
+                state_parts.append((kind, part_id))
+            payload = (None, workset)
+        else:
+            payload = (state, workset)
         try:
-            blob = pickle.dumps(
-                (state, workset), protocol=pickle.HIGHEST_PROTOCOL
-            )
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception as exc:
             raise TypeError(
                 f"checkpoint of superstep {superstep} is not "
@@ -91,16 +137,26 @@ class CheckpointStore:
                 "picklable to be recoverable"
             ) from exc
         self._blob = blob
+        self._state_parts = state_parts
         self._superstep = superstep
-        self.checkpoint_bytes = len(blob)
-        self.total_bytes += len(blob)
+        self.checkpoint_bytes = len(blob) + part_bytes
+        self.total_bytes += len(blob) + part_bytes
         self.snapshots_taken += 1
+
+    def _materialize(self):
+        state, workset = pickle.loads(self._blob)
+        if self._state_parts is not None:
+            state = [
+                _rebuild_partition(kind, self.part_store.load_part(part_id))
+                for kind, part_id in self._state_parts
+            ]
+        return state, workset
 
     @property
     def latest(self) -> Checkpoint | None:
         if self._blob is None:
             return None
-        state, workset = pickle.loads(self._blob)
+        state, workset = self._materialize()
         return Checkpoint(
             superstep=self._superstep, state=state, workset=workset
         )
@@ -112,7 +168,7 @@ class CheckpointStore:
             )
         self.recoveries += 1
         self.supersteps_replayed += failed_superstep - self._superstep
-        state, workset = pickle.loads(self._blob)
+        state, workset = self._materialize()
         return Checkpoint(
             superstep=self._superstep, state=state, workset=workset
         )

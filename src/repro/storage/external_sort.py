@@ -1,0 +1,177 @@
+"""External sort: budget-bounded run generation plus k-way merge.
+
+The sort-based drivers (`run_sort_aggregate`, `run_sort_merge_join`)
+establish order with a *stable* in-memory sort on the key vector, so
+equal keys keep arrival order.  The external equivalent sorts
+``(key, seq, record)`` triples: ``seq`` is the arrival index, unique
+within one sorter, so tuple comparison is exactly "key order, arrival
+order within equal keys" and never compares two records.  That makes
+the k-way :func:`heapq.merge` over sorted runs reproduce the in-memory
+stable sort bit for bit, regardless of how many runs the budget forced.
+
+Runs are written as frames into version-stamped spill files; the spill
+conservation law (``resident + spilled == routed``) is audited when the
+sorter seals.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.storage.spill import estimate_record_bytes
+
+_ENTRY_OVERHEAD = 64
+#: never flush a run smaller than this, however tiny the budget —
+#: degenerate one-record runs would make merge fan-in O(n)
+_MIN_RUN = 16
+_RUN_FRAME = 512
+
+
+class ExternalSorter:
+    """Accumulate entries, spill sorted runs, merge-iterate in order."""
+
+    def __init__(self, manager, operator: str):
+        self.manager = manager
+        self.operator = operator
+        self.entries: list = []  # (key, seq, record)
+        self.runs: list = []
+        self.routed = 0
+        self.spilled = 0
+        self._est = None
+
+    def add(self, seq: int, key, record) -> None:
+        if self._est is None and self.routed >= 15:
+            self._settle_estimate()
+        self.entries.append((key, seq, record))
+        self.routed += 1
+        if self._est is not None:
+            self.manager.reserve(self._est)
+            if (
+                self.manager.over_budget()
+                and len(self.entries) >= _MIN_RUN
+            ):
+                self._flush_run()
+
+    def _settle_estimate(self) -> None:
+        self._est = estimate_record_bytes(
+            [record for (_k, _s, record) in self.entries]
+        ) + _ENTRY_OVERHEAD
+        self.manager.reserve(self._est * len(self.entries))
+
+    def _flush_run(self) -> None:
+        self.entries.sort()
+        run = self.manager.new_spill_file(prefix=f"sort-{self.operator}")
+        for start in range(0, len(self.entries), _RUN_FRAME):
+            frame = self.entries[start:start + _RUN_FRAME]
+            nbytes = run.append(frame)
+            self.manager.note_spill(self.operator, len(frame), nbytes)
+        run.finish()
+        self.runs.append(run)
+        self.spilled += len(self.entries)
+        self.manager.release(self._est * len(self.entries))
+        self.entries = []
+
+    def merge(self):
+        """Seal the sorter; yields entries in ``(key, seq)`` order."""
+        if self._est is None:
+            self._settle_estimate()
+        checker = self.manager.checker
+        if checker is not None:
+            checker.check_spill(
+                self.operator, self.routed, len(self.entries), self.spilled
+            )
+        self.entries.sort()
+        streams = [_run_entries(run) for run in self.runs]
+        streams.append(iter(self.entries))
+        try:
+            if len(streams) == 1:
+                yield from streams[0]
+            else:
+                yield from heapq.merge(*streams)
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        if self.entries:
+            self.manager.release(self._est * len(self.entries))
+            self.entries = []
+        for run in self.runs:
+            run.delete()
+        self.runs = []
+
+
+def _run_entries(run):
+    for frame in run:
+        yield from frame
+
+
+# ----------------------------------------------------------------------
+# driver algorithms
+
+
+def spilled_sort_aggregate(manager, operator: str, entries, fn) -> list:
+    """Combinable REDUCE over externally sorted runs; key-sorted output."""
+    sorter = ExternalSorter(manager, operator)
+    for seq, k, record in entries:
+        sorter.add(seq, k, record)
+    out: list = []
+    current_key = object()
+    acc = None
+    for k, _seq, record in sorter.merge():
+        if k != current_key:
+            if acc is not None:
+                out.append(acc)
+            current_key, acc = k, record
+        else:
+            acc = fn(acc, record)
+    if acc is not None:
+        out.append(acc)
+    return out
+
+
+def spilled_sort_merge_join(manager, operator: str, left_entries,
+                            right_entries, fn, flat) -> list:
+    """Merge join over two externally sorted streams.
+
+    Matches the in-memory driver: advance past unmatched keys, and for
+    each shared key nest left group (outer) over right group (inner),
+    both in stable (arrival) order.
+    """
+    from repro.runtime.drivers import _emit_join_result
+
+    left_sorter = ExternalSorter(manager, f"{operator}.left")
+    for seq, k, record in left_entries:
+        left_sorter.add(seq, k, record)
+    right_sorter = ExternalSorter(manager, f"{operator}.right")
+    for seq, k, record in right_entries:
+        right_sorter.add(seq, k, record)
+
+    out: list = []
+    left = left_sorter.merge()
+    right = right_sorter.merge()
+    lhead = next(left, None)
+    rhead = next(right, None)
+    while lhead is not None and rhead is not None:
+        lk = lhead[0]
+        rk = rhead[0]
+        if lk < rk:
+            lhead = next(left, None)
+        elif rk < lk:
+            rhead = next(right, None)
+        else:
+            lgroup = [lhead[2]]
+            lhead = next(left, None)
+            while lhead is not None and lhead[0] == lk:
+                lgroup.append(lhead[2])
+                lhead = next(left, None)
+            rgroup = [rhead[2]]
+            rhead = next(right, None)
+            while rhead is not None and rhead[0] == rk:
+                rgroup.append(rhead[2])
+                rhead = next(right, None)
+            for a in lgroup:
+                for b in rgroup:
+                    _emit_join_result(fn(a, b), flat, out)
+    left.close()
+    right.close()
+    return out

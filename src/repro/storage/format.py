@@ -1,0 +1,92 @@
+"""Version-stamped on-disk framing shared by the storage subsystem.
+
+Every file the spill substrate writes — spill runs, the disk-backed
+solution-set logs, part-store part files — starts with a four-byte
+magic plus a one-byte format version, and the part-store manifest JSON
+carries ``format_version``.  Readers validate both before trusting a
+single byte and raise :class:`StorageFormatError` with the offending
+path, so a stale spill directory or a file produced by a different
+build fails loudly instead of deserializing garbage.
+
+Payload frames are length-prefixed pickles: ``<u32 little-endian
+length><pickle blob>``.  The framing is deliberately dumb — spill files
+are session-scoped scratch, not an interchange format — but the
+version byte means we can change it without silent corruption.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+
+#: spill run files (hash-partition overflow and sort runs)
+SPILL_MAGIC = b"RSPL"
+SPILL_VERSION = 1
+#: append-only record logs backing the disk-backed solution set
+LOG_MAGIC = b"RLOG"
+LOG_VERSION = 1
+#: part-store part files
+PART_MAGIC = b"RPRT"
+PART_VERSION = 1
+#: part-store manifest JSON ``format_version``
+MANIFEST_VERSION = 1
+
+HEADER_SIZE = 5  # 4 magic bytes + 1 version byte
+_LENGTH = struct.Struct("<I")
+
+
+class StorageFormatError(RuntimeError):
+    """An on-disk storage file failed magic/version validation."""
+
+
+def write_header(fh, magic: bytes, version: int) -> int:
+    """Stamp ``magic`` + ``version`` at the current position."""
+    fh.write(magic + bytes([version]))
+    return HEADER_SIZE
+
+
+def check_header(header: bytes, magic: bytes, version: int,
+                 path: str) -> None:
+    """Validate a read header; raise :class:`StorageFormatError` if off."""
+    if len(header) != HEADER_SIZE or header[:4] != magic:
+        raise StorageFormatError(
+            f"{path}: bad magic {header[:4]!r}, expected {magic!r} — "
+            "not a repro storage file of this kind"
+        )
+    found = header[4]
+    if found != version:
+        raise StorageFormatError(
+            f"{path}: on-disk format version {found} does not match "
+            f"this build's version {version}; the file was written by "
+            "an incompatible build and cannot be read"
+        )
+
+
+def read_header(fh, magic: bytes, version: int, path: str) -> None:
+    check_header(fh.read(HEADER_SIZE), magic, version, path)
+
+
+def write_frame(fh, payload) -> int:
+    """Append one length-prefixed pickle frame; returns bytes written."""
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    fh.write(_LENGTH.pack(len(blob)))
+    fh.write(blob)
+    return _LENGTH.size + len(blob)
+
+
+def read_frame(fh, path: str):
+    """Read the frame at the current position; ``None`` at clean EOF."""
+    prefix = fh.read(_LENGTH.size)
+    if not prefix:
+        return None
+    if len(prefix) != _LENGTH.size:
+        raise StorageFormatError(
+            f"{path}: truncated frame length prefix"
+        )
+    (length,) = _LENGTH.unpack(prefix)
+    blob = fh.read(length)
+    if len(blob) != length:
+        raise StorageFormatError(
+            f"{path}: truncated frame body ({len(blob)}/{length} bytes)"
+        )
+    return pickle.loads(blob)

@@ -1,0 +1,373 @@
+"""Partition-and-spill hash algorithms behind the keyed drivers.
+
+The Grace-style scheme: a *partition pass* routes a stream of
+``(seq, key, record)`` entries into ``FANOUT`` buckets by a slice of
+``stable_hash(key)``; whenever the :class:`~repro.storage.spill.SpillManager`
+reports the budget exceeded, the largest in-memory bucket is flushed to
+a version-stamped spill file.  A bucket that outgrows the budget on its
+own is *recursively repartitioned* with the next hash-bit slice, so a
+key group only has to fit in memory at the leaves (identical keys can
+never split — a pathological single-key bucket stops recursing and is
+processed in memory, exactly what an in-memory engine would be forced
+to do).
+
+**Bitwise parity.**  Every entry carries its arrival sequence number,
+and every bucket preserves arrival order (spilled frames first, then
+the in-memory tail — a bucket spills its *oldest* entries).  Each
+algorithm reassembles exactly the order the in-memory driver produces:
+
+* hash aggregate / reduce-group — first-occurrence key order, via each
+  key's minimal ``seq``;
+* hash join — probe arrival order, via per-probe ``seq`` tags; per-key
+  build lists restricted to a leaf are the global arrival order
+  restricted to that leaf, so match order within one probe agrees too;
+* cogroup — the in-memory driver iterates ``left.keys() & right.keys()``
+  (or ``|``); rebuilding both key dicts in global first-occurrence
+  order and applying the same operator reproduces CPython's set
+  iteration order element for element.
+
+After every partition pass the spill conservation law is audited:
+``resident + spilled == routed`` (:meth:`InvariantChecker.check_spill`).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.common.hashing import stable_hash
+from repro.storage.spill import estimate_record_bytes
+
+FANOUT = 8
+#: deepest repartition level; 3 bits per level over the 31-bit hash
+MAX_LEVEL = 8
+#: a bucket smaller than this is always loaded, never repartitioned
+_RECURSE_MIN_RECORDS = 9
+_ENTRY_OVERHEAD = 64  # the (seq, key, record) wrapper tuple itself
+
+
+def _bucket_of(key, level: int) -> int:
+    return (stable_hash(key) >> (3 * level)) % FANOUT
+
+
+class Partition:
+    """One bucket after a pass: spilled frames plus an in-memory tail."""
+
+    __slots__ = ("file", "tail", "records", "est_entry_bytes")
+
+    def __init__(self):
+        self.file = None
+        self.tail: list = []
+        self.records = 0
+        self.est_entry_bytes = _ENTRY_OVERHEAD
+
+    def stream(self):
+        """Entries in arrival order (oldest were spilled first)."""
+        if self.file is not None:
+            for frame in self.file:
+                yield from frame
+        yield from self.tail
+
+    def est_bytes(self) -> int:
+        return self.records * self.est_entry_bytes
+
+    def release(self, manager) -> None:
+        """Drop the tail reservation and delete the spill file."""
+        if self.tail:
+            manager.release(len(self.tail) * self.est_entry_bytes)
+            self.tail = []
+        if self.file is not None:
+            self.file.delete()
+            self.file = None
+
+
+def partition_pass(manager, operator: str, entries, level: int
+                   ) -> list[Partition]:
+    """Route ``entries`` into ``FANOUT`` buckets, spilling over budget.
+
+    ``entries`` is any iterable of ``(seq, key, record)``; it is
+    consumed streaming, so a pass over a spill file never materializes
+    the file.  Audits ``resident + spilled == routed`` on the way out.
+    """
+    parts = [Partition() for _ in range(FANOUT)]
+    routed = 0
+    spilled = 0
+    est = None
+    iterator = iter(entries)
+    sample: list = []
+    for entry in iterator:
+        sample.append(entry)
+        if len(sample) >= 16:
+            break
+    if sample:
+        est = estimate_record_bytes(
+            [record for (_s, _k, record) in sample]
+        ) + _ENTRY_OVERHEAD
+        for part in parts:
+            part.est_entry_bytes = est
+
+    def feed(entry):
+        nonlocal routed, spilled
+        routed += 1
+        part = parts[_bucket_of(entry[1], level)]
+        part.tail.append(entry)
+        part.records += 1
+        manager.reserve(est)
+        if manager.over_budget():
+            victim = max(parts, key=lambda p: len(p.tail))
+            if victim.tail:
+                spilled += _flush(manager, operator, victim)
+
+    for entry in sample:
+        feed(entry)
+    for entry in iterator:
+        feed(entry)
+
+    checker = manager.checker
+    if checker is not None:
+        resident = sum(len(p.tail) for p in parts)
+        checker.check_spill(operator, routed, resident, spilled)
+    return parts
+
+
+def _flush(manager, operator: str, part: Partition) -> int:
+    """Spill a bucket's in-memory tail as one frame; returns its size."""
+    if part.file is None:
+        part.file = manager.new_spill_file(prefix=f"ht-{operator}")
+    count = len(part.tail)
+    nbytes = part.file.append(part.tail)
+    manager.note_spill(operator, count, nbytes)
+    manager.release(count * part.est_entry_bytes)
+    part.tail = []
+    return count
+
+
+def iter_leaves(manager, operator: str, parts: list[Partition],
+                level: int, parent_records: int):
+    """Yield each bucket's entry list, recursively repartitioning.
+
+    A bucket is repartitioned when its estimated bytes exceed the
+    budget, recursion depth remains, and the parent pass actually split
+    the data (a single-key bucket absorbs everything at every level —
+    recursing on it would never terminate usefully).
+    """
+    for part in parts:
+        if (
+            part.est_bytes() > manager.budget_bytes
+            and part.records >= _RECURSE_MIN_RECORDS
+            and part.records < parent_records
+            and level + 1 <= MAX_LEVEL
+        ):
+            sub = partition_pass(manager, operator, part.stream(), level + 1)
+            part.release(manager)
+            yield from iter_leaves(
+                manager, operator, sub, level + 1, part.records
+            )
+        else:
+            entries = list(part.stream())
+            part.release(manager)
+            yield entries
+
+
+# ----------------------------------------------------------------------
+# driver algorithms
+
+
+def spilled_hash_aggregate(manager, operator: str, entries, fn) -> list:
+    """Combinable REDUCE; output in global first-occurrence key order."""
+    parts = partition_pass(manager, operator, entries, 0)
+    routed = sum(p.records for p in parts)
+    tagged: list = []  # (first seq of key, accumulator)
+    for leaf in iter_leaves(manager, operator, parts, 0, routed):
+        table: dict = {}
+        get = table.get
+        for seq, k, record in leaf:
+            held = get(k)
+            if held is None:
+                table[k] = [seq, record]
+            else:
+                held[1] = fn(held[1], record)
+        tagged.extend(table.values())
+    tagged.sort(key=lambda pair: pair[0])
+    return [acc for _seq, acc in tagged]
+
+
+def spilled_reduce_group(manager, operator: str, entries, fn) -> list:
+    """REDUCE_GROUP; groups emitted in first-occurrence key order."""
+    parts = partition_pass(manager, operator, entries, 0)
+    routed = sum(p.records for p in parts)
+    tagged: list = []  # (first seq of key, key, group records)
+    for leaf in iter_leaves(manager, operator, parts, 0, routed):
+        groups: dict = {}
+        for seq, k, record in leaf:
+            held = groups.get(k)
+            if held is None:
+                groups[k] = [seq, [record]]
+            else:
+                held[1].append(record)
+        tagged.extend(
+            (first, k, group) for k, (first, group) in groups.items()
+        )
+    tagged.sort(key=lambda item: item[0])
+    out: list = []
+    for _seq, k, group in tagged:
+        out.extend(fn(k, group))
+    return out
+
+
+def spilled_hash_join(manager, operator: str, build_entries, probe_entries,
+                      emit) -> list:
+    """Hash join; output in probe arrival order.
+
+    ``emit(build_record, probe_record, out)`` appends one probe-build
+    pairing's results — the caller bakes in build side and flattening.
+    """
+    build_parts = partition_pass(
+        manager, f"{operator}.build", build_entries, 0
+    )
+    probe_parts = partition_pass(
+        manager, f"{operator}.probe", probe_entries, 0
+    )
+    tagged: list = []  # (probe seq, [results])
+    build_routed = sum(p.records for p in build_parts)
+    _join_pairs(manager, operator, build_parts, probe_parts, 0,
+                build_routed, emit, tagged)
+    tagged.sort(key=lambda pair: pair[0])
+    out: list = []
+    for _seq, results in tagged:
+        out.extend(results)
+    return out
+
+
+def _join_pairs(manager, operator, build_parts, probe_parts, level,
+                parent_build_records, emit, tagged):
+    for build_part, probe_part in zip(build_parts, probe_parts):
+        if (
+            build_part.est_bytes() > manager.budget_bytes
+            and build_part.records >= _RECURSE_MIN_RECORDS
+            and build_part.records < parent_build_records
+            and level + 1 <= MAX_LEVEL
+        ):
+            sub_build = partition_pass(
+                manager, f"{operator}.build", build_part.stream(), level + 1
+            )
+            sub_probe = partition_pass(
+                manager, f"{operator}.probe", probe_part.stream(), level + 1
+            )
+            records = build_part.records
+            build_part.release(manager)
+            probe_part.release(manager)
+            _join_pairs(manager, operator, sub_build, sub_probe,
+                        level + 1, records, emit, tagged)
+            continue
+        table = defaultdict(list)
+        for _seq, k, record in build_part.stream():
+            table[k].append(record)
+        build_part.release(manager)
+        lookup = table.get
+        for seq, k, probe in probe_part.stream():
+            matches = lookup(k)
+            if matches is None:
+                continue
+            results: list = []
+            for build in matches:
+                emit(build, probe, results)
+            tagged.append((seq, results))
+        probe_part.release(manager)
+
+
+def spilled_cogroup(manager, operator: str, left_entries, right_entries,
+                    fn, inner: bool) -> list:
+    """COGROUP; reproduces the in-memory driver's key-set iteration.
+
+    Each leaf pair holds every record of its keys, so group contents
+    and per-key outputs are computed leaf-locally; only the two key
+    dictionaries are rebuilt globally (in first-occurrence order) to
+    replay ``keys() & keys()`` / ``keys() | keys()`` exactly.
+    """
+    left_parts = partition_pass(
+        manager, f"{operator}.left", left_entries, 0
+    )
+    right_parts = partition_pass(
+        manager, f"{operator}.right", right_entries, 0
+    )
+    left_seen: list = []   # (first seq, key) per distinct left key
+    right_seen: list = []
+    outputs: dict = {}     # key -> list(fn(...)) results
+    routed = sum(p.records for p in left_parts) + sum(
+        p.records for p in right_parts
+    )
+    _cogroup_pairs(manager, operator, left_parts, right_parts, 0, routed,
+                   fn, inner, left_seen, right_seen, outputs)
+    left_seen.sort(key=lambda pair: pair[0])
+    right_seen.sort(key=lambda pair: pair[0])
+    # the in-memory driver unions two *defaultdict* key views, and
+    # CPython presizes the union set differently for dict-subclass
+    # views than for exact-dict views — which changes set iteration
+    # order; the rebuilt dicts must be the same type to replay it
+    left_keys: defaultdict = defaultdict(list)
+    for _seq, k in left_seen:
+        left_keys[k] = None
+    right_keys: defaultdict = defaultdict(list)
+    for _seq, k in right_seen:
+        right_keys[k] = None
+    if inner:
+        keys = left_keys.keys() & right_keys.keys()
+    else:
+        keys = left_keys.keys() | right_keys.keys()
+    out: list = []
+    for k in keys:
+        out.extend(outputs[k])
+    return out
+
+
+def _cogroup_pairs(manager, operator, left_parts, right_parts, level,
+                   parent_records, fn, inner, left_seen, right_seen,
+                   outputs):
+    for left_part, right_part in zip(left_parts, right_parts):
+        combined = left_part.est_bytes() + right_part.est_bytes()
+        records = left_part.records + right_part.records
+        if (
+            combined > manager.budget_bytes
+            and records >= _RECURSE_MIN_RECORDS
+            and records < parent_records
+            and level + 1 <= MAX_LEVEL
+        ):
+            sub_left = partition_pass(
+                manager, f"{operator}.left", left_part.stream(), level + 1
+            )
+            sub_right = partition_pass(
+                manager, f"{operator}.right", right_part.stream(), level + 1
+            )
+            left_part.release(manager)
+            right_part.release(manager)
+            _cogroup_pairs(manager, operator, sub_left, sub_right,
+                           level + 1, records, fn, inner, left_seen,
+                           right_seen, outputs)
+            continue
+        left_groups: dict = {}
+        for seq, k, record in left_part.stream():
+            held = left_groups.get(k)
+            if held is None:
+                left_groups[k] = [seq, [record]]
+                left_seen.append((seq, k))
+            else:
+                held[1].append(record)
+        left_part.release(manager)
+        right_groups: dict = {}
+        for seq, k, record in right_part.stream():
+            held = right_groups.get(k)
+            if held is None:
+                right_groups[k] = [seq, [record]]
+                right_seen.append((seq, k))
+            else:
+                held[1].append(record)
+        right_part.release(manager)
+        if inner:
+            eligible = [k for k in left_groups if k in right_groups]
+        else:
+            eligible = list(left_groups)
+            eligible.extend(k for k in right_groups if k not in left_groups)
+        for k in eligible:
+            lgroup = left_groups[k][1] if k in left_groups else []
+            rgroup = right_groups[k][1] if k in right_groups else []
+            outputs[k] = list(fn(k, lgroup, rgroup))

@@ -1,0 +1,169 @@
+"""The spill manager: one memory budget, many spillable consumers.
+
+A :class:`SpillManager` is attached to an executor when
+``RuntimeConfig.memory_budget_bytes`` is set.  It does three things:
+
+* **accounting** — consumers ``reserve``/``release`` estimated bytes
+  for the records they hold resident; the estimate is a sampled
+  ``sys.getsizeof`` walk over a handful of records (estimating, not
+  serializing — the budget is a dam height, not an audit),
+* **admission** — ``over_budget()`` is the single question every
+  spillable structure asks before growing,
+* **bookkeeping** — every frame written to disk is counted on the
+  ``records_spilled`` / ``bytes_spilled`` metrics (physical counters:
+  excluded from cross-backend logical comparisons) and marked as an
+  instant on the tracer's open span.
+
+Spill files are version-stamped (:mod:`repro.storage.format`) streams
+of length-prefixed pickle frames, allocated inside the manager's
+:class:`~repro.storage.session.StorageSession` so cleanup is the
+session's problem, not each consumer's.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.storage.format import (
+    SPILL_MAGIC,
+    SPILL_VERSION,
+    read_frame,
+    read_header,
+    write_frame,
+    write_header,
+)
+
+_SIZE_SAMPLE = 16
+
+
+def estimate_record_bytes(records, sample: int = _SIZE_SAMPLE) -> int:
+    """Mean estimated bytes per record over a small prefix sample.
+
+    One level deep: the tuple plus its fields.  Nested containers are
+    charged their shallow size only — cheap and stable is worth more
+    here than exact, since the estimate only decides *when* to spill,
+    never *what the results are*.
+    """
+    if not records:
+        return 0
+    total = 0
+    count = 0
+    for record in records[:sample]:
+        total += sys.getsizeof(record)
+        if isinstance(record, tuple):
+            for field in record:
+                total += sys.getsizeof(field)
+        count += 1
+    return max(1, total // count)
+
+
+class SpillFile:
+    """One write-then-read scratch file of pickle frames."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.frames = 0
+        self.records = 0
+        self.bytes_written = 0
+        self._fh = open(path, "wb")
+        write_header(self._fh, SPILL_MAGIC, SPILL_VERSION)
+
+    def append(self, entries: list) -> int:
+        """Write one frame holding ``entries``; returns frame bytes."""
+        nbytes = write_frame(self._fh, entries)
+        self.frames += 1
+        self.records += len(entries)
+        self.bytes_written += nbytes
+        return nbytes
+
+    def finish(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __iter__(self):
+        """Yield frames (entry lists) in write order."""
+        self.finish()
+        with open(self.path, "rb") as fh:
+            read_header(fh, SPILL_MAGIC, SPILL_VERSION, self.path)
+            while True:
+                frame = read_frame(fh, self.path)
+                if frame is None:
+                    return
+                yield frame
+
+    def read_entries(self) -> list:
+        """All entries, flattened, in write order."""
+        out: list = []
+        for frame in self:
+            out.extend(frame)
+        return out
+
+    def delete(self) -> None:
+        import os
+        self.finish()
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+
+class SpillManager:
+    """Process-wide budget accounting plus spill-file allocation."""
+
+    def __init__(self, budget_bytes: int, session, metrics=None):
+        if budget_bytes < 1:
+            raise ValueError(
+                f"budget_bytes must be >= 1, got {budget_bytes}"
+            )
+        self.budget_bytes = budget_bytes
+        self.session = session
+        self.metrics = metrics
+        self.tracked_bytes = 0
+        self.peak_tracked_bytes = 0
+        self.spill_events = 0
+        self.records_spilled = 0
+        self.bytes_spilled = 0
+
+    @property
+    def checker(self):
+        """The metrics collector's invariant checker, if attached."""
+        if self.metrics is None:
+            return None
+        return self.metrics.invariants
+
+    # ------------------------------------------------------------------
+    # accounting
+
+    def reserve(self, nbytes: int) -> None:
+        self.tracked_bytes += nbytes
+        if self.tracked_bytes > self.peak_tracked_bytes:
+            self.peak_tracked_bytes = self.tracked_bytes
+
+    def release(self, nbytes: int) -> None:
+        self.tracked_bytes -= nbytes
+        if self.tracked_bytes < 0:  # defensive: estimates must pair up
+            self.tracked_bytes = 0
+
+    def over_budget(self) -> bool:
+        return self.tracked_bytes > self.budget_bytes
+
+    # ------------------------------------------------------------------
+    # spilling
+
+    def new_spill_file(self, prefix: str = "spill") -> SpillFile:
+        return SpillFile(self.session.new_file(prefix))
+
+    def note_spill(self, operator: str, records: int, nbytes: int) -> None:
+        """Count one frame written to disk on behalf of ``operator``."""
+        self.spill_events += 1
+        self.records_spilled += records
+        self.bytes_spilled += nbytes
+        if self.metrics is not None:
+            self.metrics.add_spilled(records, nbytes)
+            tracer = self.metrics.tracer
+            if tracer is not None:
+                tracer.instant(
+                    f"spill:{operator}", category="storage",
+                    records=records, bytes=nbytes,
+                )

@@ -2,6 +2,7 @@
 
 import multiprocessing
 import pickle
+import time
 
 import pytest
 
@@ -129,8 +130,16 @@ class TestSharedMemoryRings:
         for i in range(8):
             a.send(1, tag=i, payload=payload)
             assert b.recv(0, tag=i) == payload
-        # after rank 0 drains its inbox, every ack has come home
-        a._drain(a._mailboxes[0])
+        # after rank 0 drains its inbox, every ack has come home; the
+        # acks ride a queue with a feeder thread, so allow them a
+        # moment to arrive before the drain sees them
+        deadline = time.monotonic() + 5.0
+        while (
+            a._ring.free_slots < len(a._ring)
+            and time.monotonic() < deadline
+        ):
+            a._drain(a._mailboxes[0])
+            time.sleep(0.01)
         assert a._ring.free_slots == len(a._ring)
 
     def test_sender_blocks_then_raises_when_no_acks_return(self,
