@@ -26,6 +26,7 @@ def _registry():
     from repro.bench.experiments import (
         chaining, dataplane, extensions, fig2, fig4, fig7, fig8, fig9,
         fig10, fig11, fig12, outofcore, scaling, table1, table2,
+        telemetry_overhead,
     )
     return {
         "audit": ("Differential audit — engines agree, invariants hold",
@@ -38,6 +39,8 @@ def _registry():
                      chaining.run),
         "outofcore": ("Out-of-core — CC state ~10x the memory budget, "
                       "RSS-gated", outofcore.run),
+        "telemetry": ("Telemetry overhead — REPRO_TELEMETRY=1 within "
+                      "5% of off", telemetry_overhead.run),
         "table1": ("Table 1 — iteration templates", table1.run),
         "table2": ("Table 2 — dataset properties", table2.run),
         "fig2": ("Figure 2 — CC effective work (FOAF)", fig2.run),
@@ -81,6 +84,15 @@ def main(argv=None) -> int:
         help="comma-separated worker counts for the scaling experiment "
              "(e.g. '1,2'); default 1,2,4,8",
     )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="monitor command: skip the live frames, evaluate the final "
+             "state once and exit (the CI smoke mode)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=None, metavar="SECONDS",
+        help="monitor command: worker heartbeat cadence (default 0.1)",
+    )
     args = parser.parse_args(argv)
 
     worker_counts = None
@@ -108,6 +120,9 @@ def main(argv=None) -> int:
               "Chrome-trace artifacts\n"
               f"  {''.ljust(width)}  workloads: "
               f"{', '.join(sorted(trace_mod.WORKLOADS))}")
+        print(f"  {'monitor <workload>'.ljust(width)}  "
+              "Live worker-health view of a pool run (heartbeats, "
+              "supersteps, RSS); --once for the smoke check")
         return 0
 
     if args.experiments[0] == "trace":
@@ -135,6 +150,33 @@ def main(argv=None) -> int:
             else:
                 print(report)
             print(f"\n[trace {workload} finished in {elapsed:.1f} s]")
+            if not result.ok:
+                status = 1
+        return status
+
+    if args.experiments[0] == "monitor":
+        from repro.bench import monitor as monitor_mod
+        workloads = args.experiments[1:] or ["connected_components"]
+        unknown = [w for w in workloads if w not in monitor_mod.WORKLOADS]
+        if unknown:
+            parser.error(
+                f"unknown monitor workload(s): {', '.join(unknown)} "
+                f"(available: {', '.join(sorted(monitor_mod.WORKLOADS))})"
+            )
+        status = 0
+        for workload in workloads:
+            print(f"\n### Monitor — {workload}")
+            result = monitor_mod.run(
+                workload,
+                once=args.once,
+                interval_s=args.interval if args.interval else 0.1,
+            )
+            report = result.report()
+            if args.save:
+                from repro.bench.reporting import persist_report
+                persist_report(f"monitor_{workload}", report)
+            else:
+                print(report)
             if not result.ok:
                 status = 1
         return status

@@ -35,7 +35,12 @@ import statistics
 import time
 from dataclasses import dataclass, field
 
-from repro.bench.reporting import format_quantity, render_table, results_dir
+from repro.bench.reporting import (
+    bench_meta,
+    format_quantity,
+    render_table,
+    results_dir,
+)
 from repro.graphs.generators import erdos_renyi
 from repro.runtime.config import RuntimeConfig
 
@@ -226,6 +231,12 @@ def run(records: int = 3_000_000, cc_vertices: int = 20_000,
     if save_artifact:
         payload = {
             "experiment": "chaining",
+            "meta": bench_meta(
+                backend="simulated",
+                parallelism=parallelism,
+                rounds=rounds,
+                chaining="fused-vs-unfused",
+            ),
             "records": records,
             "cc_vertices": result.cc_vertices,
             "cc_edges": result.cc_edges,

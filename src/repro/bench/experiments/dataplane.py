@@ -26,7 +26,12 @@ import os
 import time
 from dataclasses import dataclass, field
 
-from repro.bench.reporting import format_quantity, render_table, results_dir
+from repro.bench.reporting import (
+    bench_meta,
+    format_quantity,
+    render_table,
+    results_dir,
+)
 from repro.graphs.generators import erdos_renyi
 from repro.runtime import channels, drivers
 from repro.runtime.config import RuntimeConfig
@@ -201,6 +206,12 @@ def run(num_vertices: int = 3_000, avg_degree: float = 8.0,
     if save_artifact:
         payload = {
             "experiment": "dataplane",
+            "meta": bench_meta(
+                backend="drivers",
+                batch_size=batch_size,
+                parallelism=parallelism,
+                rounds=rounds,
+            ),
             "workload": "connected-components reference (erdos_renyi)",
             "num_vertices": result.num_vertices,
             "num_edges": result.num_edges,

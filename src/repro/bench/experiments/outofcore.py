@@ -42,7 +42,12 @@ import time
 import traceback
 from dataclasses import dataclass, field
 
-from repro.bench.reporting import format_quantity, render_table, results_dir
+from repro.bench.reporting import (
+    bench_meta,
+    format_quantity,
+    render_table,
+    results_dir,
+)
 
 ARTIFACT = "BENCH_outofcore.json"
 
@@ -323,6 +328,11 @@ def run(save_artifact: bool = True) -> OutOfCoreResult:
     if save_artifact:
         payload = {
             "experiment": "outofcore",
+            "meta": bench_meta(
+                backend="simulated+pool",
+                memory_budget_bytes=BUDGET_BYTES,
+                parallelism=PARALLELISM,
+            ),
             "chains": CHAINS,
             "chain_len": CHAIN_LEN,
             "vertices": vertices,

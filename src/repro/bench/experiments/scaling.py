@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from repro import ExecutionEnvironment
 from repro.algorithms import pagerank as pr
 from repro.bench.reporting import (
+    bench_meta,
     format_seconds,
     render_table,
     results_dir,
@@ -198,6 +199,11 @@ def run(dataset: str = "twitter", iterations: int = 4,
     if save_artifact:
         payload = {
             "experiment": "backend_scaling",
+            "meta": bench_meta(
+                backend="simulated+multiprocess+pool",
+                worker_counts=list(worker_counts),
+                pagerank_iterations=iterations,
+            ),
             "dataset": dataset,
             "num_vertices": result.num_vertices,
             "num_edges": result.num_edges,

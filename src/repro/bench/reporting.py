@@ -3,6 +3,29 @@
 from __future__ import annotations
 
 import os
+import platform
+import sys
+import time
+
+
+def bench_meta(**knobs) -> dict:
+    """The common ``meta`` envelope every ``BENCH_*.json`` payload carries.
+
+    Records the host and interpreter (``host_cpus``, ``python``,
+    ``platform``), a UTC timestamp, and whatever config knobs the
+    experiment passes (batch size, memory budget, backend, ...) — so a
+    result file is comparable across hosts and across the repo's own
+    history without guessing what produced it.
+    """
+    return {
+        "host_cpus": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "timestamp": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+        ),
+        "knobs": {key: value for key, value in sorted(knobs.items())},
+    }
 
 
 def format_seconds(value: float) -> str:

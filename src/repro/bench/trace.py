@@ -69,6 +69,11 @@ class TraceRun:
     result: object
     jsonl_path: str | None = None
     chrome_path: str | None = None
+    #: fabric transport totals from the run's telemetry registry
+    #: (zero on the simulated backend — nothing crosses processes)
+    frames_shm: int = 0
+    frames_inline: int = 0
+    inline_fallbacks: int = 0
 
 
 @dataclass
@@ -103,6 +108,8 @@ class TraceResult:
                     row["shipped_remote"],
                     row["bytes_shipped"],
                     f"{row['cache_hits']}/{row['cache_builds']}",
+                    row["records_spilled"],
+                    row["bytes_spilled"],
                 ]
                 for row in run.profile["rows"][:12]
             ]
@@ -111,9 +118,14 @@ class TraceResult:
                 f"({run.spans} spans, {run.supersteps} supersteps, "
                 f"{format_seconds(run.wall_s)})",
                 ["phase", "count", "self", "share", "processed", "rec/s",
-                 "remote", "bytes", "cache h/b"],
+                 "remote", "bytes", "cache h/b", "spilled", "spill B"],
                 rows,
             ))
+            blocks.append(
+                f"fabric: {run.frames_shm} shm frames, "
+                f"{run.frames_inline} inline, "
+                f"{run.inline_fallbacks} inline fallbacks"
+            )
             artifacts = [p for p in (run.jsonl_path, run.chrome_path) if p]
             if artifacts:
                 blocks.append("artifacts:\n" + "\n".join(
@@ -159,9 +171,14 @@ def run(workload: str = "connected_components",
     out = TraceResult(workload=workload)
     baseline = None
     for backend in backends:
+        # telemetry rides along: the registry feeds the shm-ring report
+        # line and the Chrome trace's counter tracks, and adds no spans,
+        # so the cross-backend structure comparison is unaffected
         env = ExecutionEnvironment(
             parallelism, backend=backend,
-            config=RuntimeConfig(check_invariants=True, trace=True),
+            config=RuntimeConfig(
+                check_invariants=True, trace=True, telemetry=True,
+            ),
         )
         started = time.perf_counter()
         result = runner(env, graph)
@@ -186,7 +203,8 @@ def run(workload: str = "connected_components",
                 stem + ".jsonl", env.trace_timelines, meta=meta
             )
             chrome_path = write_chrome_trace(
-                stem + ".chrome.json", env.trace_timelines
+                stem + ".chrome.json", env.trace_timelines,
+                series=env.telemetry.series,
             )
         run_record = TraceRun(
             backend=env.backend.name,
@@ -198,6 +216,11 @@ def run(workload: str = "connected_components",
             result=_comparable_result(result),
             jsonl_path=jsonl_path,
             chrome_path=chrome_path,
+            frames_shm=int(env.telemetry.total("fabric.frames_shm")),
+            frames_inline=int(env.telemetry.total("fabric.frames_inline")),
+            inline_fallbacks=int(
+                env.telemetry.total("fabric.inline_fallbacks")
+            ),
         )
         out.runs.append(run_record)
         if baseline is None:

@@ -77,9 +77,36 @@ class SimulatedBackend(ExecutionBackend):
 
     def execute_plan(self, env, exec_plan):
         from repro.runtime.executor import Executor
+        telemetry = getattr(env, "telemetry", None)
+        if telemetry is not None:
+            wall_started = time.perf_counter()
+            cpu_started = time.process_time()
+            # the env's collector accumulates across jobs: ledger
+            # entries bill this job's deltas, not the running totals
+            shipped_before = env.metrics.bytes_shipped
+            spilled_bytes_before = env.metrics.bytes_spilled
+            spilled_records_before = env.metrics.records_spilled
         executor = Executor(env)
         results = executor.run(exec_plan)
         env.last_executor = executor
+        if telemetry is not None:
+            from repro.observability.telemetry import (
+                JobResources,
+                read_peak_rss_bytes,
+            )
+            env.resource_ledger.add(JobResources(
+                job=getattr(env, "_job_seq", 0), rank=0,
+                wall_s=time.perf_counter() - wall_started,
+                cpu_s=time.process_time() - cpu_started,
+                peak_rss_bytes=read_peak_rss_bytes(),
+                bytes_shipped=env.metrics.bytes_shipped - shipped_before,
+                bytes_spilled=(
+                    env.metrics.bytes_spilled - spilled_bytes_before
+                ),
+                records_spilled=(
+                    env.metrics.records_spilled - spilled_records_before
+                ),
+            ))
         return results
 
     def run_program(self, program, parallelism):
@@ -116,16 +143,35 @@ class MultiprocessBackend(ExecutionBackend):
             if env.config.trace:
                 from repro.observability import attach_tracer
                 attach_tracer(env.metrics, rank=cluster.rank)
+            registry = None
+            if env.config.telemetry:
+                from repro.observability.telemetry import attach_telemetry
+                registry = attach_telemetry(env.metrics, rank=cluster.rank)
+                wall_started = time.perf_counter()
+                cpu_started = time.process_time()
             env.cluster = cluster
             env.last_checkpoint_store = None
             executor = Executor(env)
             results = executor.run(exec_plan)
-            return {
+            payload = {
                 "results": results,
                 "metrics": env.metrics,
                 "summaries": executor.iteration_summaries,
                 "checkpoint_store": env.last_checkpoint_store,
             }
+            if registry is not None:
+                from repro.observability.telemetry import (
+                    job_resources_from_metrics,
+                )
+                env.metrics.telemetry = None
+                payload["telemetry"] = registry.snapshot()
+                payload["resources"] = job_resources_from_metrics(
+                    job=None, rank=cluster.rank,
+                    wall_s=time.perf_counter() - wall_started,
+                    cpu_s=time.process_time() - cpu_started,
+                    metrics=env.metrics,
+                )
+            return payload
 
         payloads = _run_spmd(body, env.parallelism, self.timeout)
         return absorb_plan_payloads(env, payloads)
@@ -153,6 +199,21 @@ def absorb_plan_payloads(env, payloads):
     env.last_worker_traces = timelines
     env.metrics.merge(merged, align_supersteps=False)
     env.metrics.verify_invariants()
+    registry = getattr(env, "telemetry", None)
+    if registry is not None:
+        from repro.observability.telemetry import JobResources
+        job = getattr(env, "_job_seq", 0)
+        # rank order: snapshot merging is deterministic regardless, but
+        # the series keeps a stable arrival order this way
+        for payload in payloads:
+            snapshot = payload.get("telemetry")
+            if snapshot is not None:
+                registry.merge_snapshot(snapshot)
+            resources = payload.get("resources")
+            if resources is not None:
+                entry = dict(resources)
+                entry["job"] = job
+                env.resource_ledger.add(JobResources(**entry))
     env.last_executor = _ExecutorShim(payloads[0]["summaries"])
     if payloads[0]["checkpoint_store"] is not None:
         env.last_checkpoint_store = payloads[0]["checkpoint_store"]

@@ -198,6 +198,38 @@ class Endpoint:
         self.bytes_received = 0
         self.frames_sent = 0
         self.frames_received = 0
+        #: live metric registry when telemetry is enabled, else None
+        self.telemetry = None
+        #: shm bytes announced but not yet acked, keyed by lead slot
+        self._inflight: dict[int, int] = {}
+        self._inflight_bytes = 0
+
+    def enable_telemetry(self, registry) -> None:
+        """Attach a registry; transport counters get a ``rank`` label."""
+        self.telemetry = registry
+        labels = {"rank": self.rank}
+        self._t_frames_shm = registry.counter("fabric.frames_shm", labels)
+        self._t_frames_inline = registry.counter(
+            "fabric.frames_inline", labels
+        )
+        self._t_inline_fallbacks = registry.counter(
+            "fabric.inline_fallbacks", labels
+        )
+        self._t_bytes_sent = registry.counter("fabric.bytes_sent", labels)
+
+    def telemetry_probe(self) -> dict:
+        """Gauge samples for the registry's superstep-boundary poll."""
+        ring_slots = len(self._ring) if self._ring is not None else 0
+        free = self._ring.free_slots if self._ring is not None else 0
+        return {
+            "fabric.ring_slots": ring_slots,
+            "fabric.ring_free_slots": free,
+            "fabric.ring_occupancy":
+                (ring_slots - free) / ring_slots if ring_slots else 0.0,
+            "fabric.bytes_in_flight": self._inflight_bytes,
+            "fabric.pending_frames":
+                sum(len(bucket) for bucket in self._pending.values()),
+        }
 
     def begin_job(self, epoch) -> None:
         """Reset per-job state before running a new job on this endpoint.
@@ -235,6 +267,8 @@ class Endpoint:
             raise ValueError("a worker does not send frames to itself")
         self.bytes_sent += len(blob)
         self.frames_sent += 1
+        if self.telemetry is not None:
+            self._t_bytes_sent.inc(len(blob))
         if self._ring is not None and len(blob) >= self.shm_threshold:
             slots = self._acquire_slots(len(blob))
             if slots is not None:
@@ -243,10 +277,19 @@ class Endpoint:
                 for index, slot in enumerate(slots):
                     self._ring.write(slot, view[index * size:
                                                 (index + 1) * size])
+                if self.telemetry is not None:
+                    self._t_frames_shm.inc()
+                    self._inflight[slots[0]] = len(blob)
+                    self._inflight_bytes += len(blob)
                 self._mailboxes[target].put(
                     ("s", self.epoch, self.rank, tag, len(blob), slots)
                 )
                 return
+            # large frame, but the whole ring cannot hold it: inline
+            if self.telemetry is not None:
+                self._t_inline_fallbacks.inc()
+        if self.telemetry is not None:
+            self._t_frames_inline.inc()
         self._mailboxes[target].put(("f", self.epoch, self.rank, tag, blob))
 
     def _acquire_slots(self, nbytes: int):
@@ -323,6 +366,10 @@ class Endpoint:
         kind = message[0]
         if kind == "a":  # ack: our slots came home
             self._ring.release(message[1])
+            if self.telemetry is not None:
+                self._inflight_bytes -= self._inflight.pop(
+                    message[1][0], 0
+                )
             return
         if kind == "s":
             _, epoch, src, tag, nbytes, slots = message

@@ -58,6 +58,25 @@ from repro.cluster.backends import (
 )
 from repro.cluster.context import WorkerCluster
 from repro.cluster.fabric import Fabric
+from repro.observability.health import (
+    VITALS,
+    HealthMonitor,
+    HeartbeatSender,
+)
+
+#: this worker process's heartbeat sender (None in the parent and in
+#: workers that never ran a telemetry-enabled job)
+_heartbeat_sender: HeartbeatSender | None = None
+
+
+def stop_heartbeats() -> None:
+    """Silence this worker's heartbeat thread (fault-injection hook).
+
+    Exists so tests can simulate heartbeat *loss* — a worker that is
+    alive but no longer reporting — without killing the process.
+    """
+    if _heartbeat_sender is not None:
+        _heartbeat_sender.stop()
 
 
 def _pool_worker(job_queue, fabric, rank: int, size: int) -> None:
@@ -68,7 +87,15 @@ def _pool_worker(job_queue, fabric, rank: int, size: int) -> None:
     only process death (or the sentinel) ends the loop.  ``begin_job``
     resets the endpoint's counters, buffered frames, and epoch, so no
     state leaks between consecutive jobs.
+
+    Jobs carrying a ``heartbeat_interval`` (telemetry-enabled plans)
+    start a daemon :class:`HeartbeatSender` on first use; it samples the
+    worker's :data:`VITALS` and ships ``("hb", ...)`` records over the
+    results queue for the parent's :class:`HealthMonitor`, and is paused
+    between jobs so idle workers stay silent.
     """
+    global _heartbeat_sender
+    VITALS.configure(rank)
     endpoint = fabric.endpoint(rank)
     while True:
         message = job_queue.get()
@@ -76,8 +103,18 @@ def _pool_worker(job_queue, fabric, rank: int, size: int) -> None:
             return
         job_id, blob = message
         endpoint.begin_job(job_id)
+        heartbeats = False
         try:
             body = codec.loads(blob)
+            interval = getattr(body, "heartbeat_interval", None)
+            if interval:
+                heartbeats = True
+                VITALS.begin_job(job_id)
+                if _heartbeat_sender is None:
+                    _heartbeat_sender = HeartbeatSender(
+                        fabric.results, VITALS
+                    )
+                _heartbeat_sender.resume(interval)
             cluster = WorkerCluster(endpoint, size)
             payload = body(cluster)
             metrics = (
@@ -95,6 +132,19 @@ def _pool_worker(job_queue, fabric, rank: int, size: int) -> None:
         except BaseException:
             fabric.results.put(("error", job_id, rank,
                                 traceback.format_exc()))
+        finally:
+            if heartbeats:
+                _heartbeat_sender.pause()
+                VITALS.end_job()
+                try:
+                    # farewell beat: tells the parent monitor this rank
+                    # went idle on purpose, so its coming silence is not
+                    # heartbeat loss and its progress age means nothing
+                    fabric.results.put(
+                        ("hb", None, rank, VITALS.heartbeat(interval))
+                    )
+                except Exception:  # pragma: no cover - pool teardown
+                    pass
 
 
 def _shutdown_pool(workers, job_queues, fabric, force: bool = False) -> None:
@@ -147,6 +197,9 @@ class WorkerPool:
             process.start()
             self.workers.append(process)
         self._job_seq = 0
+        #: parent-side heartbeat ledger; populated only when jobs run
+        #: with telemetry enabled (workers stay silent otherwise)
+        self.monitor = HealthMonitor(size)
         self.closed = False
         self._finalizer = weakref.finalize(
             self, _shutdown_pool, list(self.workers), list(self.job_queues),
@@ -186,6 +239,10 @@ class WorkerPool:
             try:
                 kind, jid, rank, data = self.fabric.results.get(timeout=0.25)
             except queue_module.Empty:
+                # health check first: a stall or heartbeat loss surfaces
+                # as a structured warning well before the deadline turns
+                # it into a WorkerCrash
+                self.monitor.emit()
                 dead = [
                     w.name for r, w in enumerate(self.workers)
                     if r not in payloads and r not in errors
@@ -197,7 +254,7 @@ class WorkerPool:
                     self.close(force=True)
                     raise WorkerCrash(
                         f"worker(s) {', '.join(dead)} died without "
-                        "reporting a result"
+                        f"reporting a result{self._health_suffix()}"
                     )
                 if time.monotonic() >= deadline:
                     missing = sorted(
@@ -207,7 +264,14 @@ class WorkerPool:
                     raise WorkerCrash(
                         f"gave up waiting for worker(s) {missing} after "
                         f"{self.timeout:.0f}s: no result and no exit"
+                        f"{self._health_suffix()}"
                     )
+                continue
+            if kind == "hb":
+                # heartbeat on the control channel (jid is None): feed
+                # the monitor and keep waiting for real results
+                self.monitor.observe(data)
+                self.monitor.emit()
                 continue
             if jid != job_id:
                 continue  # stale report from an earlier, aborted job
@@ -228,6 +292,10 @@ class WorkerPool:
                 f"worker {rank} failed:\n{remote_traceback}{trailer}"
             )
         return [payloads[rank] for rank in range(self.size)]
+
+    def _health_suffix(self) -> str:
+        context = self.monitor.context()
+        return f"\nlast heartbeats: {context}" if context else ""
 
     def close(self, force: bool = False) -> None:
         """Shut the pool down; idempotent, safe after worker crashes."""
@@ -273,6 +341,11 @@ class _PlanJob:
         self.checkpoint_interval = checkpoint_interval
         self.failure_injector = failure_injector
         self.storage_session = storage_session
+        #: non-None marks this a telemetry job: the worker loop starts
+        #: its heartbeat sender at this cadence before calling the body
+        self.heartbeat_interval = (
+            config.heartbeat_interval_s if config.telemetry else None
+        )
 
     def __call__(self, cluster):
         from repro.runtime.executor import Executor
@@ -285,15 +358,39 @@ class _PlanJob:
         if self.config.trace:
             from repro.observability import attach_tracer
             attach_tracer(metrics, rank=cluster.rank)
+        registry = None
+        if self.config.telemetry:
+            from repro.observability.telemetry import attach_telemetry
+            registry = attach_telemetry(
+                metrics, rank=cluster.rank, vitals=VITALS
+            )
+            wall_started = time.perf_counter()
+            cpu_started = time.process_time()
         session = _WorkerSession(self, cluster, metrics)
         executor = Executor(session)
         results = executor.run(self.exec_plan)
-        return {
+        payload = {
             "results": results,
             "metrics": metrics,
             "summaries": executor.iteration_summaries,
             "checkpoint_store": session.last_checkpoint_store,
         }
+        if registry is not None:
+            from repro.observability.telemetry import (
+                job_resources_from_metrics,
+            )
+            # the registry stays home: the payload carries a plain-dict
+            # snapshot, and the parent's collector merge never has to
+            # reconcile live instruments
+            metrics.telemetry = None
+            payload["telemetry"] = registry.snapshot()
+            payload["resources"] = job_resources_from_metrics(
+                job=None, rank=cluster.rank,
+                wall_s=time.perf_counter() - wall_started,
+                cpu_s=time.process_time() - cpu_started,
+                metrics=metrics,
+            )
+        return payload
 
 
 class _ProgramJob:

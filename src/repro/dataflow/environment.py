@@ -115,6 +115,21 @@ class ExecutionEnvironment:
         if self.config.trace:
             from repro.observability import attach_tracer
             self.tracer = attach_tracer(self.metrics)
+        #: the session's live metric registry when ``config.telemetry``
+        #: is set, else None; SPMD backends merge worker snapshots into
+        #: it after every job, and ``resource_ledger`` accumulates the
+        #: per-job bills
+        self.telemetry = None
+        self.resource_ledger = None
+        if self.config.telemetry:
+            from repro.observability.telemetry import (
+                MetricRegistry,
+                ResourceLedger,
+            )
+            self.telemetry = MetricRegistry()
+            self.metrics.telemetry = self.telemetry
+            self.resource_ledger = ResourceLedger()
+        self._job_seq = 0
         self.last_worker_traces = None
         self._sinks: list[LogicalNode] = []
         self.last_executor = None
@@ -235,6 +250,7 @@ class ExecutionEnvironment:
             # spill directory nests inside this session's tree
             self._ensure_storage_session()
         exec_plan = self._compile(plan)
+        self._job_seq += 1
         # plans are compiled here, backend-agnostically; the backend only
         # decides where the compiled plan is interpreted (and is expected
         # to set last_executor for introspection)
@@ -366,6 +382,30 @@ class ExecutionEnvironment:
                 (f"worker-{t.rank}", t) for t in self.last_worker_traces
             ]
         return [("driver", self.tracer)]
+
+    def telemetry_text(self) -> str:
+        """Prometheus-format snapshot of the session's live registry."""
+        if self.telemetry is None:
+            raise RuntimeError(
+                "telemetry is not enabled: pass "
+                "RuntimeConfig(telemetry=True) or set REPRO_TELEMETRY=1"
+            )
+        from repro.observability.telemetry import prometheus_text
+        return prometheus_text(self.telemetry)
+
+    def write_telemetry_series(self, path: str) -> str:
+        """Write the session's metric time series as JSONL; returns path."""
+        if self.telemetry is None:
+            raise RuntimeError(
+                "telemetry is not enabled: pass "
+                "RuntimeConfig(telemetry=True) or set REPRO_TELEMETRY=1"
+            )
+        from repro.observability.telemetry import write_series_jsonl
+        return write_series_jsonl(
+            path, self.telemetry,
+            meta={"backend": self.backend.name,
+                  "parallelism": self.parallelism},
+        )
 
     def explain(self, dataset: DataSet) -> str:
         """Return the optimizer's chosen physical plan as text, not running it."""

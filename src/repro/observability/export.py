@@ -87,14 +87,22 @@ def _span_records(label, tracer):
         yield from walk(root, 0)
 
 
-def to_chrome_trace(timelines) -> dict:
-    """Encode timelines in the ``chrome://tracing`` Trace Event Format."""
+def to_chrome_trace(timelines, series=None) -> dict:
+    """Encode timelines in the ``chrome://tracing`` Trace Event Format.
+
+    ``series`` optionally carries telemetry time-series samples (the
+    dicts of :attr:`~repro.observability.telemetry.MetricRegistry.series`);
+    they are rendered as counter (``C``) tracks.  Spans and samples
+    share the ``perf_counter`` timebase, so spill bytes, ring occupancy,
+    and worker RSS line up under the span timeline in the Perfetto UI.
+    """
     timelines = _normalize_timelines(timelines)
+    series = series or []
     starts = [
         span.start_s
         for _label, tracer in timelines
         for span in tracer.iter_spans()
-    ]
+    ] + [sample["t_s"] for sample in series]
     origin = min(starts) if starts else 0.0
     events = [{
         "ph": "M", "name": "process_name", "pid": 0,
@@ -125,14 +133,24 @@ def to_chrome_trace(timelines) -> dict:
                     "dur": max(micros(end_s) - micros(span.start_s), 0.001),
                     "args": args,
                 })
+    for sample in series:
+        labels = sample.get("labels") or {}
+        suffix = "".join(
+            f"[{key}={labels[key]}]" for key in sorted(labels)
+        )
+        events.append({
+            "name": f"{sample['name']}{suffix}", "cat": "telemetry",
+            "ph": "C", "pid": 0, "ts": micros(sample["t_s"]),
+            "args": {"value": sample["value"]},
+        })
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
-def write_chrome_trace(path, timelines) -> str:
+def write_chrome_trace(path, timelines, series=None) -> str:
     """Write :func:`to_chrome_trace` output as JSON; returns ``path``."""
     directory = os.path.dirname(os.path.abspath(path))
     if directory:
         os.makedirs(directory, exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(to_chrome_trace(timelines), handle)
+        json.dump(to_chrome_trace(timelines, series=series), handle)
     return path

@@ -16,7 +16,8 @@ def operator_profile(tracer, top: int | None = None) -> dict:
     Returns ``{"wall_s": total root wall time, "rows": [row, ...]}``
     with rows sorted by self time descending; each row carries name,
     category, count, self_s, share, processed, records_per_s,
-    shipped_remote, bytes_shipped, cache_hits, cache_builds.
+    shipped_remote, bytes_shipped, cache_hits, cache_builds,
+    records_spilled, bytes_spilled.
     """
     buckets: dict[tuple, dict] = {}
 
@@ -44,6 +45,8 @@ def operator_profile(tracer, top: int | None = None) -> dict:
             "bytes_shipped": 0,
             "cache_hits": 0,
             "cache_builds": 0,
+            "records_spilled": 0,
+            "bytes_spilled": 0,
         })
         row["count"] += 1
         row["self_s"] += self_s
@@ -52,6 +55,8 @@ def operator_profile(tracer, top: int | None = None) -> dict:
         row["bytes_shipped"] += self_counter("bytes_shipped")
         row["cache_hits"] += self_counter("cache_hits")
         row["cache_builds"] += self_counter("cache_builds")
+        row["records_spilled"] += self_counter("records_spilled")
+        row["bytes_spilled"] += self_counter("bytes_spilled")
         for child in span.children:
             visit(child)
 

@@ -132,6 +132,47 @@ def trace_path_default() -> str | None:
     return value
 
 
+def telemetry_default() -> bool:
+    """Live telemetry is opt-in: off unless ``REPRO_TELEMETRY`` enables it.
+
+    Any of ``1/true/yes/on`` turns the metric registry, heartbeats, and
+    resource ledger on; ``0/false/no/off`` (or unset) keeps every
+    instrumented site on the plain ``None``-check fast path.
+    """
+    override = os.environ.get("REPRO_TELEMETRY")
+    if override is None:
+        return False
+    value = override.strip().lower()
+    if value in _TRUTHY:
+        return True
+    if value in _FALSY:
+        return False
+    raise ValueError(
+        f"REPRO_TELEMETRY must be one of {_TRUTHY + _FALSY}, "
+        f"got {override!r}"
+    )
+
+
+def heartbeat_interval_default() -> float:
+    """Seconds between worker heartbeats; ``REPRO_HEARTBEAT_INTERVAL``
+    overrides (only meaningful when telemetry is on)."""
+    override = os.environ.get("REPRO_HEARTBEAT_INTERVAL")
+    if override is None:
+        return 0.5
+    try:
+        value = float(override)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_HEARTBEAT_INTERVAL must be a positive number, "
+            f"got {override!r}"
+        ) from None
+    if value <= 0:
+        raise ValueError(
+            f"REPRO_HEARTBEAT_INTERVAL must be > 0, got {value}"
+        )
+    return value
+
+
 @dataclass
 class RuntimeConfig:
     """Per-session runtime switches.
@@ -185,6 +226,21 @@ class RuntimeConfig:
     are bitwise identical at every setting; only the physical
     ``records_spilled`` / ``bytes_spilled`` counters differ.
     ``REPRO_MEMORY_BUDGET`` supplies the default.
+
+    ``telemetry`` — attach a live
+    :class:`~repro.observability.telemetry.MetricRegistry` to the
+    session: the executor, spill manager, fabric endpoints, and pool
+    workers publish counters/gauges/histograms and a resource time
+    series while the job runs, pool workers ship heartbeats for the
+    :class:`~repro.observability.health.HealthMonitor`, and the session
+    keeps a per-job :class:`~repro.observability.telemetry.ResourceLedger`.
+    Off by default (every instrumented site is a single ``None`` check);
+    ``REPRO_TELEMETRY`` supplies the default.  Telemetry never touches
+    results or logical counters — the differential audit's telemetry leg
+    enforces bitwise identity.
+
+    ``heartbeat_interval_s`` — cadence of pool-worker heartbeats when
+    telemetry is on; ``REPRO_HEARTBEAT_INTERVAL`` supplies the default.
     """
 
     check_invariants: bool = field(default_factory=invariant_checking_default)
@@ -196,6 +252,10 @@ class RuntimeConfig:
     chaining: bool = field(default_factory=chaining_default)
     memory_budget_bytes: int | None = field(
         default_factory=memory_budget_default
+    )
+    telemetry: bool = field(default_factory=telemetry_default)
+    heartbeat_interval_s: float = field(
+        default_factory=heartbeat_interval_default
     )
 
     def __post_init__(self):
@@ -213,6 +273,18 @@ class RuntimeConfig:
             raise TypeError(
                 f"RuntimeConfig.chaining must be a bool, "
                 f"got {self.chaining!r}"
+            )
+        if not isinstance(self.telemetry, bool):
+            raise TypeError(
+                f"RuntimeConfig.telemetry must be a bool, "
+                f"got {self.telemetry!r}"
+            )
+        interval = self.heartbeat_interval_s
+        if isinstance(interval, bool) or \
+                not isinstance(interval, (int, float)) or interval <= 0:
+            raise ValueError(
+                f"RuntimeConfig.heartbeat_interval_s must be a positive "
+                f"number, got {interval!r}"
             )
         budget = self.memory_budget_bytes
         if budget is not None:

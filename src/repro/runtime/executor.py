@@ -113,6 +113,28 @@ class Executor:
             )
         self._memo: dict[int, list] = {}
         self.iteration_summaries: list[IterationSummary] = []
+        #: live metric registry when telemetry is enabled, else None —
+        #: the disabled path is a single attribute test per hook
+        self.telemetry = self.metrics.telemetry
+        #: step-memo residency after the most recent superstep (sampled
+        #: by the telemetry probe: how many dynamic-path nodes held
+        #: materialized partitions at the barrier)
+        self._superstep_memo_nodes = 0
+        if self.telemetry is not None:
+            self.telemetry.add_probe(self._telemetry_probe)
+            if self.spill is not None:
+                self.telemetry.add_probe(self.spill.telemetry_probe)
+            endpoint = getattr(self.cluster, "endpoint", None)
+            if endpoint is not None:
+                endpoint.enable_telemetry(self.telemetry)
+                self.telemetry.add_probe(endpoint.telemetry_probe)
+
+    def _telemetry_probe(self) -> dict:
+        """Memo-residency gauges, polled at every superstep barrier."""
+        return {
+            "executor.memo_nodes": len(self._memo),
+            "executor.step_memo_nodes": self._superstep_memo_nodes,
+        }
 
     # ------------------------------------------------------------------
     # entry point
@@ -580,6 +602,8 @@ class Executor:
                 scope.bindings[node.placeholder.id] = current
                 step = checkpoint.superstep
                 continue
+            if self.telemetry is not None:
+                self._superstep_memo_nodes = len(step_memo)
             self.metrics.end_superstep(
                 delta_size=sum(len(p) for p in new_parts)
             )
@@ -721,6 +745,8 @@ class Executor:
         step_memo[node.delta_output.id] = accepted_parts
         next_workset = self._evaluate(node.workset_output, step_memo, scope)
         applied = self._commit_delta(index, staged)
+        if self.telemetry is not None:
+            self._superstep_memo_nodes = len(step_memo)
         return next_workset, applied
 
     def _stage_delta(self, node, index, routed_parts):

@@ -103,6 +103,13 @@ class MetricsCollector:
     #: (``RuntimeConfig.trace``), superstep barriers open/close spans and
     #: cache events emit instant markers
     tracer: object | None = None
+    #: optional :class:`~repro.observability.telemetry.MetricRegistry`;
+    #: when attached (``RuntimeConfig.telemetry``), superstep barriers
+    #: feed the live instruments and resource time series.  Unlike the
+    #: checker and tracer it never influences results or logical
+    #: counters, so ``merge`` ignores it (workers detach their registry
+    #: and ship a snapshot instead)
+    telemetry: object | None = None
     _open_superstep: IterationStats | None = None
     _superstep_started: float = 0.0
     _superstep_span: object | None = None
@@ -222,6 +229,8 @@ class MetricsCollector:
                 superstep=superstep,
             )
         self._open_superstep = IterationStats(superstep=superstep)
+        if self.telemetry is not None:
+            self.telemetry.note_superstep_begin(superstep)
         self._superstep_started = time.perf_counter()
 
     def end_superstep(self, workset_size: int = 0, delta_size: int = 0):
@@ -248,6 +257,8 @@ class MetricsCollector:
                           "delta_size": delta_size},
             )
             self._superstep_span = None
+        if self.telemetry is not None:
+            self.telemetry.note_superstep_end(stats)
         return stats
 
     def verify_invariants(self):

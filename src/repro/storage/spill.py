@@ -122,6 +122,7 @@ class SpillManager:
         self.tracked_bytes = 0
         self.peak_tracked_bytes = 0
         self.spill_events = 0
+        self.spill_files = 0
         self.records_spilled = 0
         self.bytes_spilled = 0
 
@@ -131,6 +132,22 @@ class SpillManager:
         if self.metrics is None:
             return None
         return self.metrics.invariants
+
+    @property
+    def telemetry(self):
+        """The collector's live metric registry, if attached."""
+        if self.metrics is None:
+            return None
+        return self.metrics.telemetry
+
+    def telemetry_probe(self) -> dict:
+        """Gauge samples for the registry's superstep-boundary poll."""
+        return {
+            "spill.resident_bytes": self.tracked_bytes,
+            "spill.budget_utilization":
+                self.tracked_bytes / self.budget_bytes,
+            "spill.bytes_spilled": self.bytes_spilled,
+        }
 
     # ------------------------------------------------------------------
     # accounting
@@ -152,6 +169,10 @@ class SpillManager:
     # spilling
 
     def new_spill_file(self, prefix: str = "spill") -> SpillFile:
+        self.spill_files += 1
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.counter("spill.files").inc()
         return SpillFile(self.session.new_file(prefix))
 
     def note_spill(self, operator: str, records: int, nbytes: int) -> None:
@@ -166,4 +187,14 @@ class SpillManager:
                 tracer.instant(
                     f"spill:{operator}", category="storage",
                     records=records, bytes=nbytes,
+                )
+            telemetry = self.metrics.telemetry
+            if telemetry is not None:
+                telemetry.counter("spill.records_spilled").inc(records)
+                telemetry.counter("spill.bytes_spilled").inc(nbytes)
+                telemetry.gauge("spill.resident_bytes").set(
+                    self.tracked_bytes
+                )
+                telemetry.gauge("spill.budget_utilization").set(
+                    self.tracked_bytes / self.budget_bytes
                 )
