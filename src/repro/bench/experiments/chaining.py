@@ -236,6 +236,7 @@ def run(records: int = 3_000_000, cc_vertices: int = 20_000,
                 parallelism=parallelism,
                 rounds=rounds,
                 chaining="fused-vs-unfused",
+                layout="columnar" if RuntimeConfig().columnar else "row",
             ),
             "records": records,
             "cc_vertices": result.cc_vertices,

@@ -261,6 +261,17 @@ def _spmd_child(body, fabric, rank, size):
             leftover = endpoint.bytes_sent - metrics.bytes_shipped
             if leftover > 0:
                 metrics.add_bytes_shipped(leftover)
+            # same reconciliation for the zero-copy column counters:
+            # exchanges outside an instrumented ship site (microstep
+            # routing) still show up in the job's physical totals
+            zc_cols = (
+                endpoint.columns_zero_copied - metrics.columns_zero_copied
+            )
+            zc_bytes = (
+                endpoint.bytes_zero_copied - metrics.bytes_zero_copied
+            )
+            if zc_cols > 0 or zc_bytes > 0:
+                metrics.add_zero_copied(max(zc_cols, 0), max(zc_bytes, 0))
         blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         fabric.results.put(("ok", rank, blob))
     except BaseException:

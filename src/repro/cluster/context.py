@@ -23,6 +23,25 @@ from __future__ import annotations
 
 import pickle
 
+from repro.common import columns as columns_mod
+
+#: how many records the row-run sizer pickles to estimate bytes/record
+_SIZE_SAMPLE = 32
+
+
+def _estimate_record_bytes(run) -> int:
+    """Per-record pickled size, estimated from an evenly spaced sample.
+
+    Replaces the old pickle-the-whole-run size probe: one small sample
+    pickle instead of serializing every record twice.
+    """
+    if len(run) <= _SIZE_SAMPLE:
+        sample = run
+    else:
+        sample = run[:: len(run) // _SIZE_SAMPLE][:_SIZE_SAMPLE]
+    blob = pickle.dumps(sample, protocol=pickle.HIGHEST_PROTOCOL)
+    return max(1, len(blob) // len(sample))
+
 
 class ClusterContext:
     """Interface shared by the local simulator and SPMD workers."""
@@ -45,6 +64,17 @@ class ClusterContext:
         """
         return 0
 
+    @property
+    def columns_zero_copied(self) -> int:
+        """Fixed-width column buffers shipped as raw shm memcpy (no
+        pickle on the payload path); always 0 in the local setting."""
+        return 0
+
+    @property
+    def bytes_zero_copied(self) -> int:
+        """Payload bytes of those zero-copied column buffers."""
+        return 0
+
     def owned_partitions(self, parallelism: int):
         raise NotImplementedError
 
@@ -52,14 +82,18 @@ class ClusterContext:
         """Restrict a full partition list to the slots this context owns."""
         raise NotImplementedError
 
-    def exchange(self, frames, batch_size=None, max_frame_bytes=None):
+    def exchange(self, frames, batch_size=None, max_frame_bytes=None,
+                 columnar=False, key_fields=None):
         """All-to-all: send ``frames[t]`` to rank ``t``; return the frames
         received, indexed by source rank (own frame included in place).
 
         With ``batch_size`` / ``max_frame_bytes`` set, each frame moves
         as a stream of bounded chunks instead of one monolithic pickle
         (see :meth:`WorkerCluster.exchange`); the reassembled result is
-        identical either way."""
+        identical either way.  ``columnar`` ships fixed-width chunks as
+        raw column buffers (struct-of-arrays framing, zero payload
+        pickling on the shm path); ``key_fields`` tags those frames so
+        receivers can rebuild keyed batches without re-extracting."""
         raise NotImplementedError
 
     def allreduce_sum(self, value):
@@ -88,7 +122,8 @@ class LocalCluster(ClusterContext):
     def localize(self, partitions):
         return partitions
 
-    def exchange(self, frames, batch_size=None, max_frame_bytes=None):
+    def exchange(self, frames, batch_size=None, max_frame_bytes=None,
+                 columnar=False, key_fields=None):
         raise RuntimeError("the local cluster has no peers to exchange with")
 
     def allreduce_sum(self, value):
@@ -132,6 +167,14 @@ class WorkerCluster(ClusterContext):
     def bytes_sent(self) -> int:
         return self.endpoint.bytes_sent
 
+    @property
+    def columns_zero_copied(self) -> int:
+        return self.endpoint.columns_zero_copied
+
+    @property
+    def bytes_zero_copied(self) -> int:
+        return self.endpoint.bytes_zero_copied
+
     def owned_partitions(self, parallelism):
         return (self.rank,)
 
@@ -144,18 +187,31 @@ class WorkerCluster(ClusterContext):
     # ------------------------------------------------------------------
     # collectives
 
-    def exchange(self, frames, batch_size=None, max_frame_bytes=None):
-        """All-to-all exchange; optionally chunked.
+    def exchange(self, frames, batch_size=None, max_frame_bytes=None,
+                 columnar=False, key_fields=None):
+        """All-to-all exchange; optionally chunked and columnar.
 
         The monolithic mode (both bounds ``None``) pickles each target
         frame whole — one fabric frame per peer.  The chunked mode
-        splits each target frame into runs of ``batch_size`` records,
-        sends every run as a ``("c", chunk)`` frame — bisecting any run
-        whose pickled size exceeds ``max_frame_bytes`` — and closes the
-        stream with an ``("e", n_chunks)`` terminator the receiver
-        verifies.  Chunks of one ``(source, tag)`` stream arrive in
-        FIFO order, so reassembly by concatenation reproduces the
-        monolithic result exactly.
+        splits each target frame into runs of ``batch_size`` records and
+        closes each stream with an ``("e", n_chunks)`` terminator the
+        receiver verifies.  Chunks of one ``(source, tag)`` stream
+        arrive in FIFO order, so reassembly by concatenation reproduces
+        the monolithic result exactly.
+
+        Sizing against ``max_frame_bytes`` never pickles a probe copy:
+
+        * **columnar** runs (``columnar=True`` and every column of the
+          chunk is fixed-width) know their payload size exactly from
+          ``rows * sum(itemsize)``, so oversize chunks are re-split by
+          row-count arithmetic and ship as raw column buffers
+          (:meth:`~repro.cluster.fabric.Endpoint.send_columns` — zero
+          payload pickling on the shm path);
+        * **row** runs are sliced up front from a sampled per-record
+          pickle estimate and each slice is pickled exactly once.  An
+          estimate miss only makes a frame land off the target size —
+          the fabric ships any blob (multi-slot shm or inline), so the
+          bound is a framing target, not a correctness limit.
         """
         if len(frames) != self.size:
             raise ValueError(
@@ -163,13 +219,18 @@ class WorkerCluster(ClusterContext):
                 f"got {len(frames)}"
             )
         tag = self._next_tag()
-        chunked = batch_size is not None or max_frame_bytes is not None
+        chunked = (
+            batch_size is not None
+            or max_frame_bytes is not None
+            or columnar
+        )
         for target in range(self.size):
             if target == self.rank:
                 continue
             if chunked:
                 self._send_chunked(
-                    target, tag, frames[target], batch_size, max_frame_bytes
+                    target, tag, frames[target], batch_size,
+                    max_frame_bytes, columnar, key_fields,
                 )
             else:
                 self.endpoint.send(target, tag, frames[target])
@@ -183,32 +244,78 @@ class WorkerCluster(ClusterContext):
                 received.append(self.endpoint.recv(source, tag))
         return received
 
-    def _send_chunked(self, target, tag, frame, batch_size, max_frame_bytes):
+    def _send_chunked(self, target, tag, frame, batch_size, max_frame_bytes,
+                      columnar=False, key_fields=None):
         frame = list(frame)
-        if batch_size is None or batch_size >= len(frame):
-            runs = [frame] if frame else []
-        else:
-            runs = [
-                frame[i:i + batch_size]
-                for i in range(0, len(frame), batch_size)
-            ]
         sent = 0
-        for run in runs:
-            sent += self._send_run(target, tag, run, max_frame_bytes)
+        if columnar and frame:
+            from repro.common.batch import RecordBatch
+
+            wrapped = RecordBatch.wrap(frame, key_fields)
+            for chunk in wrapped.split(batch_size):
+                sent += self._send_chunk(target, tag, chunk, max_frame_bytes)
+        elif frame:
+            if batch_size is None or batch_size >= len(frame):
+                runs = [frame]
+            else:
+                runs = [
+                    frame[i:i + batch_size]
+                    for i in range(0, len(frame), batch_size)
+                ]
+            for run in runs:
+                sent += self._send_run(target, tag, run, max_frame_bytes)
         self.endpoint.send(target, tag, ("e", sent))
 
+    def _send_chunk(self, target, tag, chunk, max_frame_bytes) -> int:
+        """Ship one :class:`RecordBatch` chunk, columnar when possible.
+
+        All-fixed-width chunks go out as raw column buffers; their exact
+        payload size is linear in the row count, so an oversize chunk is
+        re-split arithmetically — no probe serialization.  Chunks with
+        any object column fall back to the pickled row run.
+        """
+        layout = chunk.columns()
+        length = len(chunk)
+        if layout is not None and length:
+            _length, cols = layout
+            nbytes = columns_mod.frame_nbytes(cols, length)
+            if nbytes is not None:
+                if (
+                    max_frame_bytes is not None
+                    and nbytes > max_frame_bytes
+                    and length > 1
+                ):
+                    pieces = -(-nbytes // max_frame_bytes)
+                    rows = max(1, -(-length // pieces))
+                    if rows < length:
+                        sent = 0
+                        for sub in chunk.split(rows):
+                            sent += self._send_chunk(
+                                target, tag, sub, max_frame_bytes
+                            )
+                        return sent
+                header, buffers = columns_mod.encode_frame(
+                    cols, length, chunk.key_fields
+                )
+                self.endpoint.send_columns(target, tag, header, buffers)
+                return 1
+        return self._send_run(target, tag, chunk.records, max_frame_bytes)
+
     def _send_run(self, target, tag, run, max_frame_bytes) -> int:
+        if max_frame_bytes is not None and len(run) > 1:
+            per_record = _estimate_record_bytes(run)
+            rows = max(1, max_frame_bytes // per_record)
+            if rows < len(run):
+                sent = 0
+                for i in range(0, len(run), rows):
+                    blob = pickle.dumps(
+                        ("c", run[i:i + rows]),
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                    self.endpoint.send_raw(target, tag, blob)
+                    sent += 1
+                return sent
         blob = pickle.dumps(("c", run), protocol=pickle.HIGHEST_PROTOCOL)
-        if (
-            max_frame_bytes is not None
-            and len(blob) > max_frame_bytes
-            and len(run) > 1
-        ):
-            mid = len(run) // 2
-            return (
-                self._send_run(target, tag, run[:mid], max_frame_bytes)
-                + self._send_run(target, tag, run[mid:], max_frame_bytes)
-            )
         self.endpoint.send_raw(target, tag, blob)
         return 1
 
@@ -216,15 +323,22 @@ class WorkerCluster(ClusterContext):
         records: list = []
         chunks = 0
         while True:
-            kind, payload = self.endpoint.recv(source, tag)
+            message = self.endpoint.recv(source, tag)
+            kind = message[0]
             if kind == "e":
-                if payload != chunks:
+                if message[1] != chunks:
                     raise RuntimeError(
                         f"chunked exchange stream from worker {source} "
-                        f"announced {payload} chunks but {chunks} arrived"
+                        f"announced {message[1]} chunks but {chunks} arrived"
                     )
                 return records
-            records.extend(payload)
+            if kind == "cols":
+                length, cols, _key_fields = columns_mod.decode_frame(
+                    message[1], message[2]
+                )
+                records.extend(columns_mod.materialize_rows(cols, length))
+            else:
+                records.extend(message[1])
             chunks += 1
 
     def allgather(self, value):

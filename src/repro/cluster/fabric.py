@@ -52,6 +52,28 @@ class FabricTimeout(RuntimeError):
     """A worker waited too long for a peer's frame (peer likely dead)."""
 
 
+def _parse_columns_wire(view) -> tuple:
+    """Split a columnar frame's contiguous wire bytes into its pieces.
+
+    Inverse of the layout :meth:`Endpoint.send_columns` writes:
+    ``[4B header_len][header][4B buf_len][buf]...``.  Every piece is
+    copied to fresh ``bytes`` because the backing shm slot is recycled
+    as soon as the frame is acked.
+    """
+    header_len = int.from_bytes(view[:4], "big")
+    pos = 4
+    header = bytes(view[pos: pos + header_len])
+    pos += header_len
+    buffers = []
+    total = len(view)
+    while pos < total:
+        buf_len = int.from_bytes(view[pos: pos + 4], "big")
+        pos += 4
+        buffers.append(bytes(view[pos: pos + buf_len]))
+        pos += buf_len
+    return ("cols", header, buffers)
+
+
 #: pickled frames at least this large travel through a shared-memory
 #: slot; smaller ones ride the control queue inline
 SHM_THRESHOLD_BYTES = 16 << 10
@@ -99,6 +121,16 @@ class FrameRing:
 
     def write(self, slot: int, data) -> None:
         self._segments[slot].buf[: len(data)] = data
+
+    def write_at(self, slot: int, offset: int, data) -> None:
+        """Copy ``data`` into ``slot`` starting at ``offset``.
+
+        Columnar frames lay several length-prefixed pieces (header,
+        then one raw buffer per column) contiguously across a slot run,
+        so the writer needs sub-slot positioning; :meth:`write` keeps
+        covering the whole-blob path.
+        """
+        self._segments[slot].buf[offset: offset + len(data)] = data
 
     def view(self, slot: int, nbytes: int) -> memoryview:
         return self._segments[slot].buf[:nbytes]
@@ -198,6 +230,11 @@ class Endpoint:
         self.bytes_received = 0
         self.frames_sent = 0
         self.frames_received = 0
+        #: fixed-width column buffers that reached the wire as raw
+        #: memcpy into a shared slot — never pickled (columnar frames
+        #: on the shm path only; inline fallbacks don't count)
+        self.columns_zero_copied = 0
+        self.bytes_zero_copied = 0
         #: live metric registry when telemetry is enabled, else None
         self.telemetry = None
         #: shm bytes announced but not yet acked, keyed by lead slot
@@ -216,6 +253,12 @@ class Endpoint:
             "fabric.inline_fallbacks", labels
         )
         self._t_bytes_sent = registry.counter("fabric.bytes_sent", labels)
+        self._t_columns_zero_copied = registry.counter(
+            "fabric.columns_zero_copied", labels
+        )
+        self._t_bytes_zero_copied = registry.counter(
+            "fabric.bytes_zero_copied", labels
+        )
 
     def telemetry_probe(self) -> dict:
         """Gauge samples for the registry's superstep-boundary poll."""
@@ -229,6 +272,8 @@ class Endpoint:
             "fabric.bytes_in_flight": self._inflight_bytes,
             "fabric.pending_frames":
                 sum(len(bucket) for bucket in self._pending.values()),
+            "fabric.columns_zero_copied": self.columns_zero_copied,
+            "fabric.bytes_zero_copied": self.bytes_zero_copied,
         }
 
     def begin_job(self, epoch) -> None:
@@ -245,6 +290,8 @@ class Endpoint:
         self.bytes_received = 0
         self.frames_sent = 0
         self.frames_received = 0
+        self.columns_zero_copied = 0
+        self.bytes_zero_copied = 0
 
     # ------------------------------------------------------------------
     # sending
@@ -258,9 +305,8 @@ class Endpoint:
     def send_raw(self, target: int, tag, blob: bytes):
         """Send an already-pickled frame.
 
-        The chunked exchange pickles a chunk once to probe its wire
-        size against ``max_frame_bytes``; sending the probed blob
-        directly avoids pickling twice.  ``blob`` must unpickle to the
+        The chunked exchange pickles each sized run exactly once and
+        hands the blob straight here.  ``blob`` must unpickle to the
         frame payload, exactly as :meth:`send` would have produced.
         """
         if target == self.rank:
@@ -291,6 +337,77 @@ class Endpoint:
         if self.telemetry is not None:
             self._t_frames_inline.inc()
         self._mailboxes[target].put(("f", self.epoch, self.rank, tag, blob))
+
+    def send_columns(self, target: int, tag, header: bytes, buffers):
+        """Send a struct-of-arrays frame without pickling its payload.
+
+        The wire layout is length-prefixed pieces laid contiguously:
+        ``[4B header_len][header][4B buf_len][buf]...`` — the header is
+        a small pickled schema tuple, each ``buf`` one column.  On the
+        shm path every fixed-width buffer (a ``memoryview``) reaches
+        the wire as a raw memcpy into a shared slot, never touching
+        pickle; the ``columns_zero_copied`` / ``bytes_zero_copied``
+        counters record exactly those buffers.  Object-column buffers
+        arrive here already pickled and are copied like any bytes.
+
+        Frames below the shm threshold — or hitting a full ring — ride
+        the control queue as one pickled ``("cols", header, buffers)``
+        frame instead: correct either way, but pickling bytes is still
+        serialization, so the zero-copy counters stay untouched.
+        """
+        if target == self.rank:
+            raise ValueError("a worker does not send frames to itself")
+        pieces = [len(header).to_bytes(4, "big"), header]
+        for buffer in buffers:
+            pieces.append(len(buffer).to_bytes(4, "big"))
+            pieces.append(buffer)
+        nbytes = sum(len(piece) for piece in pieces)
+        if self._ring is not None and nbytes >= self.shm_threshold:
+            slots = self._acquire_slots(nbytes)
+            if slots is not None:
+                self._write_pieces(slots, pieces)
+                self.bytes_sent += nbytes
+                self.frames_sent += 1
+                for buffer in buffers:
+                    if isinstance(buffer, memoryview):
+                        self.columns_zero_copied += 1
+                        self.bytes_zero_copied += len(buffer)
+                if self.telemetry is not None:
+                    self._t_bytes_sent.inc(nbytes)
+                    self._t_frames_shm.inc()
+                    for buffer in buffers:
+                        if isinstance(buffer, memoryview):
+                            self._t_columns_zero_copied.inc()
+                            self._t_bytes_zero_copied.inc(len(buffer))
+                    self._inflight[slots[0]] = nbytes
+                    self._inflight_bytes += nbytes
+                self._mailboxes[target].put(
+                    ("c", self.epoch, self.rank, tag, nbytes, slots)
+                )
+                return
+            if self.telemetry is not None:
+                self._t_inline_fallbacks.inc()
+        self.send(
+            target, tag,
+            ("cols", bytes(header), [bytes(b) for b in buffers]),
+        )
+
+    def _write_pieces(self, slots, pieces) -> None:
+        """Lay ``pieces`` contiguously across a run of acquired slots."""
+        ring = self._ring
+        size = ring.slot_bytes
+        pos = 0
+        for piece in pieces:
+            view = memoryview(piece)
+            offset = 0
+            while offset < len(view):
+                slot = slots[pos // size]
+                slot_offset = pos % size
+                take = min(size - slot_offset, len(view) - offset)
+                ring.write_at(slot, slot_offset,
+                              view[offset: offset + take])
+                pos += take
+                offset += take
 
     def _acquire_slots(self, nbytes: int):
         """Free slots covering ``nbytes``, or ``None`` for inline fallback.
@@ -371,11 +488,14 @@ class Endpoint:
                     message[1][0], 0
                 )
             return
-        if kind == "s":
+        if kind in ("s", "c"):
             _, epoch, src, tag, nbytes, slots = message
             payload = None
             if epoch == self.epoch:
-                payload = self._load_shared(src, nbytes, slots)
+                if kind == "s":
+                    payload = self._load_shared(src, nbytes, slots)
+                else:
+                    payload = self._load_columns(src, nbytes, slots)
             # handoff complete either way: return the slots to their owner
             self._mailboxes[src].put(("a", slots))
             if epoch != self.epoch:
@@ -408,3 +528,28 @@ class Endpoint:
             view.release()
             remaining -= take
         return pickle.loads(b"".join(parts))
+
+    def _load_columns(self, src: int, nbytes: int, slots):
+        """Parse a columnar frame's wire pieces out of the sender's ring.
+
+        Returns the same ``("cols", header, buffers)`` payload the
+        inline fallback delivers, so receivers never see which path a
+        frame took.  Buffer bytes are copied out — the slots are acked
+        (and recyclable) the moment this returns.
+        """
+        ring = self._rings[src]
+        if len(slots) == 1:
+            view = ring.view(slots[0], nbytes)
+            try:
+                return _parse_columns_wire(view)
+            finally:
+                view.release()
+        parts = []
+        remaining = nbytes
+        for slot in slots:
+            take = min(remaining, ring.slot_bytes)
+            view = ring.view(slot, take)
+            parts.append(bytes(view))
+            view.release()
+            remaining -= take
+        return _parse_columns_wire(memoryview(b"".join(parts)))

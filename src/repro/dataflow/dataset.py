@@ -74,10 +74,23 @@ class DataSet:
     # ------------------------------------------------------------------
     # record-at-a-time operators
 
-    def map(self, fn, name=None):
-        return self._wrap(
-            LogicalNode(Contract.MAP, [self._node], udf=fn, name=name)
-        )
+    def map(self, fn, name=None, columnar_udf=None):
+        """Record-at-a-time transform.
+
+        ``columnar_udf`` optionally supplies an equivalent
+        struct-of-arrays transform ``fn(columns, length) -> (columns,
+        length)`` over ``[(typecode, buffer), ...]`` columns (see
+        :mod:`repro.common.columns`).  Under columnar execution, fused
+        chains apply it to chunks that columnarize — whole column
+        buffers at a time instead of one record per call — falling back
+        to ``fn`` rows otherwise.  The caller promises both produce
+        bitwise-identical records; the parity suite holds opt-ins to
+        that contract.
+        """
+        node = LogicalNode(Contract.MAP, [self._node], udf=fn, name=name)
+        if columnar_udf is not None:
+            node.columnar_udf = columnar_udf
+        return self._wrap(node)
 
     def flat_map(self, fn, name=None):
         return self._wrap(

@@ -36,31 +36,41 @@ class SolutionSetIndex:
 
     @classmethod
     def build(cls, records, key_fields, parallelism, metrics=None,
-              should_replace=None, batch_size=None, **extra):
+              should_replace=None, batch_size=None, columnar=False, **extra):
         """Build the index from a flat or partitioned record collection.
 
         Records are routed to partitions by the stable hash of their key,
         matching the runtime's hash partitioner, so solution-join probes
         arriving over a hash channel land in the right partition.  The
         routing works batch-at-a-time from each chunk's cached key and
-        hash vectors (``batch_size=None`` = one chunk).
+        hash vectors (``batch_size=None`` = one chunk); ``columnar``
+        computes each chunk's target vector in one vectorized pass over
+        the int64 key column when it has one — same targets, same
+        insertion order.
+
+        Partitioned input accepts ``list`` or :class:`RecordBatch`
+        partitions (a batch-producing channel may hand its chunks over
+        unmaterialized).
 
         ``extra`` keyword arguments pass through to the subclass
         constructor (the disk-backed variant takes its spill manager
         this way).
         """
         index = cls(key_fields, parallelism, metrics, should_replace, **extra)
-        if records and isinstance(records[0], list):
+        if records and isinstance(records[0], (list, RecordBatch)):
             flat = [record for part in records for record in part]
         else:
             flat = list(records)
         if flat:
             partitions = index._partitions
             for chunk in RecordBatch.wrap(flat, key_fields).split(batch_size):
-                for k, h, record in zip(
-                    chunk.keys, chunk.hashes, chunk.records
+                targets = chunk.partition_targets(
+                    parallelism, columnar_mode=columnar
+                )
+                for k, target, record in zip(
+                    chunk.keys, targets, chunk.records
                 ):
-                    partitions[h % parallelism][k] = record
+                    partitions[target][k] = record
         return index
 
     # ------------------------------------------------------------------
@@ -119,21 +129,24 @@ class SolutionSetIndex:
             self.metrics.add_solution_update()
         return record
 
-    def apply_delta(self, records, batch_size=None) -> list:
+    def apply_delta(self, records, batch_size=None, columnar=False) -> list:
         """Apply a batch of delta records; returns the accepted records.
 
         The delta is consumed in record-batch chunks: the replaced-record
-        pre-check works from each chunk's cached key and hash vectors,
-        while the actual ∪̇ application still goes through
-        :meth:`apply_record` one record at a time — the per-record path
-        stays the oracle the audit (and subclass instrumentation) hooks.
+        pre-check works from each chunk's cached key and hash vectors
+        (``columnar`` vectorizes the partition-target computation over
+        the int64 key column when the chunk has one), while the actual
+        ∪̇ application still goes through :meth:`apply_record` one
+        record at a time — the per-record path stays the oracle the
+        audit (and subclass instrumentation) hooks.
 
         Under invariant checking, every chunk's cached vectors are
         audited against per-record recomputation, ``|S|`` must move by
         exactly accepted-minus-replaced records, and every probed record
         must have been counted as a solution access.
         """
-        records = records if isinstance(records, list) else list(records)
+        if not isinstance(records, list):
+            records = list(records)
         checker = (
             self.metrics.invariants if self.metrics is not None else None
         )
@@ -154,10 +167,13 @@ class SolutionSetIndex:
                 batch_size
             ):
                 checker.check_batch(chunk)
-                for k, h, record in zip(
-                    chunk.keys, chunk.hashes, chunk.records
+                targets = chunk.partition_targets(
+                    parallelism, columnar_mode=columnar
+                )
+                for k, target, record in zip(
+                    chunk.keys, targets, chunk.records
                 ):
-                    existing = k in partitions[h % parallelism]
+                    existing = k in partitions[target]
                     accepted = self.apply_record(record)
                     if accepted is not None:
                         applied.append(accepted)

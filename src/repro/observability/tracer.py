@@ -52,6 +52,8 @@ SPAN_COUNTERS = (
     "cache_builds",
     "records_spilled",
     "bytes_spilled",
+    "columns_zero_copied",
+    "bytes_zero_copied",
 )
 
 #: the counters that must be identical across backends (physical
@@ -152,6 +154,8 @@ class Tracer:
             m.cache_builds,
             m.records_spilled,
             m.bytes_spilled,
+            m.columns_zero_copied,
+            m.bytes_zero_copied,
         )
 
     def begin(self, name, category: str = "runtime", **attributes) -> Span:

@@ -39,10 +39,18 @@ def _calibrated_weights(env) -> CostWeights:
     import dataclasses
 
     config = getattr(env, "config", None)
-    if config is None or config.batch_size == int(DEFAULT_WEIGHTS.batch_size):
+    if config is None:
+        return DEFAULT_WEIGHTS
+    columnar = 1.0 if config.columnar else 0.0
+    if (
+        config.batch_size == int(DEFAULT_WEIGHTS.batch_size)
+        and columnar == DEFAULT_WEIGHTS.columnar
+    ):
         return DEFAULT_WEIGHTS
     return dataclasses.replace(
-        DEFAULT_WEIGHTS, batch_size=float(config.batch_size)
+        DEFAULT_WEIGHTS,
+        batch_size=float(config.batch_size),
+        columnar=columnar,
     )
 
 

@@ -56,9 +56,42 @@ class CostWeights:
     per_record_overhead: float = 0.001
     per_batch_overhead: float = 0.5
     batch_size: float = 1024.0
+    #: columnar data plane (``REPRO_COLUMNAR``): all-fixed-width batches
+    #: leave as raw column buffers, so per-record serialization handling
+    #: shrinks to ``per_record_overhead * columnar_record_factor`` while
+    #: every batch pays a per-column encode term
+    #: (``per_column_overhead * assumed_columns``) on top of its frame
+    #: cost.  ``columnar`` is 1.0 when the session runs the columnar
+    #: plane, 0.0 (the context-free default) otherwise.
+    columnar: float = 0.0
+    columnar_record_factor: float = 0.25
+    per_column_overhead: float = 0.05
+    assumed_columns: float = 3.0
 
 
 DEFAULT_WEIGHTS = CostWeights()
+
+
+def amortized_overhead(weights: CostWeights) -> float:
+    """Effective per-record data-plane overhead under ``weights``.
+
+    Row plane: ``per_record + per_batch / batch_size``.  Columnar plane:
+    the per-record handling is vectorized (one encode per column buffer
+    instead of one pickle visit per record), so the record term scales
+    by ``columnar_record_factor`` and the batch term grows by the
+    per-column encode cost.
+    """
+    if weights.columnar:
+        return (
+            weights.per_record_overhead * weights.columnar_record_factor
+            + (
+                weights.per_batch_overhead
+                + weights.per_column_overhead * weights.assumed_columns
+            ) / max(1.0, weights.batch_size)
+        )
+    return weights.per_record_overhead + (
+        weights.per_batch_overhead / max(1.0, weights.batch_size)
+    )
 
 
 def _framed_records(kind: ShipKind, size: float, parallelism: int) -> float:
@@ -80,10 +113,9 @@ def framing_cost(kind: ShipKind, size: float, parallelism: int,
     model stays comparable across cardinalities while still charging
     record-at-a-time plans the full per-frame price.
     """
-    amortized = weights.per_record_overhead + (
-        weights.per_batch_overhead / max(1.0, weights.batch_size)
+    return _framed_records(kind, size, parallelism) * amortized_overhead(
+        weights
     )
-    return _framed_records(kind, size, parallelism) * amortized
 
 
 def ship_cost(kind: ShipKind, size: float, parallelism: int,
@@ -115,10 +147,7 @@ def forward_edge_cost(size: float, weights: CostWeights) -> float:
     be fused away — which is what lets plan selection prefer fusable
     shapes when chaining is enabled.
     """
-    amortized = weights.per_record_overhead + (
-        weights.per_batch_overhead / max(1.0, weights.batch_size)
-    )
-    return size * amortized
+    return size * amortized_overhead(weights)
 
 
 def sort_cost(size: float, parallelism: int, weights: CostWeights) -> float:

@@ -59,7 +59,7 @@ def _chunk_count(n: int, batch_size) -> int:
 
 
 def ship(partitions, strategy, parallelism, metrics=None, cluster=None,
-         batch_size=None, max_frame_bytes=None):
+         batch_size=None, max_frame_bytes=None, columnar=False):
     """Move ``partitions`` according to ``strategy``; returns new partitions.
 
     Enforces the partition-count contract above: ``partitions`` must hold
@@ -75,6 +75,13 @@ def ship(partitions, strategy, parallelism, metrics=None, cluster=None,
     ``batch_size`` frames the move in record-batch chunks (see the
     module docstring); ``max_frame_bytes`` additionally bounds the
     serialized size of one SPMD fabric frame.
+
+    ``columnar`` engages the struct-of-arrays fast paths: the hash
+    scatter computes partition targets with one vectorized pass over
+    the int64 key column when the batch has one (falling back to the
+    row loop otherwise), and the SPMD exchange frames fixed-width
+    columns as raw buffers.  Targets, output order, and the
+    local/remote split are bitwise identical in both modes.
     """
     if len(partitions) != parallelism:
         raise ValueError(
@@ -103,6 +110,7 @@ def ship(partitions, strategy, parallelism, metrics=None, cluster=None,
             return _ship_spmd(
                 partitions, strategy, parallelism, metrics, cluster,
                 batch_size=batch_size, max_frame_bytes=max_frame_bytes,
+                columnar=columnar,
             )
         if kind is ShipKind.FORWARD:
             out, local, remote = _ship_forward(partitions)
@@ -110,7 +118,7 @@ def ship(partitions, strategy, parallelism, metrics=None, cluster=None,
         elif kind is ShipKind.PARTITION_HASH:
             out, local, remote, batches = _ship_hash(
                 partitions, strategy.key_fields, parallelism,
-                batch_size=batch_size, metrics=metrics,
+                batch_size=batch_size, metrics=metrics, columnar=columnar,
             )
         elif kind is ShipKind.BROADCAST:
             out, local, remote = _ship_broadcast(partitions, parallelism)
@@ -149,13 +157,19 @@ def _ship_forward(partitions):
 
 
 def _ship_hash(partitions, key_fields, parallelism, batch_size=None,
-               metrics=None):
+               metrics=None, columnar=False):
+    checker = metrics.invariants if metrics is not None else None
+    if columnar:
+        scattered = _ship_hash_columnar(
+            partitions, key_fields, parallelism, batch_size, checker
+        )
+        if scattered is not None:
+            return scattered
     out = empty_partitions(parallelism)
     appends = [p.append for p in out]
     local = 0
     remote = 0
     batches = 0
-    checker = metrics.invariants if metrics is not None else None
     # source_index and target index refer to the same partitioning: the
     # contract in ship() guarantees len(partitions) == parallelism
     for source_index, part in enumerate(partitions):
@@ -164,13 +178,66 @@ def _ship_hash(partitions, key_fields, parallelism, batch_size=None,
         for chunk in RecordBatch.wrap(part, key_fields).split(batch_size):
             if checker is not None:
                 checker.check_batch(chunk)
-            targets = chunk.partition_targets(parallelism)
+            targets = chunk.partition_targets(
+                parallelism, columnar_mode=columnar
+            )
             for target, record in zip(targets, chunk.records):
                 appends[target](record)
             here = targets.count(source_index)
             local += here
             remote += len(targets) - here
             batches += 1
+    return out, local, remote, batches
+
+
+def _ship_hash_columnar(partitions, key_fields, parallelism,
+                        batch_size, checker):
+    """Column-at-a-time hash scatter for columnar-resident inputs.
+
+    Engages only when every non-empty partition is a column-born
+    :class:`RecordBatch` whose chunks scatter (all fixed-width columns,
+    int64 key vector): each chunk's records are grouped by one
+    vectorized hash pass (:meth:`RecordBatch.scatter`) and the groups
+    concatenated per target as column buffers — no row materializes
+    anywhere on the path, and the output partitions are themselves
+    column-born batches ready for the next columnar consumer.  Output
+    record order, the local/remote split, and the ``batches`` count are
+    identical to the row loop's.  Returns ``None`` to fall back when
+    any partition is row-resident or any chunk carries an object
+    column (partially-gathered work is discarded; the row loop redoes
+    it from scratch).
+    """
+    gathered: list[list] = [[] for _ in range(parallelism)]
+    local = 0
+    remote = 0
+    batches = 0
+    for source_index, part in enumerate(partitions):
+        if isinstance(part, RecordBatch):
+            if not len(part):
+                continue
+            if part._records is not None or not part.has_columns():
+                return None
+        elif not part:
+            continue
+        else:
+            return None
+        wrapped = RecordBatch.wrap(part, key_fields)
+        for chunk in wrapped.split(batch_size):
+            if checker is not None:
+                checker.check_batch(chunk)
+            groups = chunk.scatter(parallelism)
+            if groups is None:
+                return None
+            for target, group in enumerate(groups):
+                gathered[target].append(group)
+            here = len(groups[source_index])
+            local += here
+            remote += len(chunk) - here
+            batches += 1
+    out = [
+        RecordBatch.merge(groups) if groups else []
+        for groups in gathered
+    ]
     return out, local, remote, batches
 
 
@@ -189,7 +256,7 @@ def _ship_gather(partitions, parallelism):
 
 
 def _ship_spmd(partitions, strategy, parallelism, metrics, cluster,
-               batch_size=None, max_frame_bytes=None):
+               batch_size=None, max_frame_bytes=None, columnar=False):
     """One SPMD worker's side of a ship: frame, exchange, reassemble.
 
     The worker owns only ``partitions[rank]`` (the other slots are empty
@@ -221,9 +288,10 @@ def _ship_spmd(partitions, strategy, parallelism, metrics, cluster,
             for chunk in wrapped.split(batch_size):
                 if checker is not None:
                     checker.check_batch(chunk)
-                for target, record in zip(
-                    chunk.partition_targets(parallelism), chunk.records
-                ):
+                targets = chunk.partition_targets(
+                    parallelism, columnar_mode=columnar
+                )
+                for target, record in zip(targets, chunk.records):
                     appends[target](record)
                 batches += 1
         local = len(frames[rank])
@@ -241,8 +309,11 @@ def _ship_spmd(partitions, strategy, parallelism, metrics, cluster,
     else:
         raise ValueError(f"unknown ship kind {kind}")
     bytes_before = cluster.bytes_sent
+    zc_cols_before = cluster.columns_zero_copied
+    zc_bytes_before = cluster.bytes_zero_copied
     received_frames = cluster.exchange(
-        frames, batch_size=batch_size, max_frame_bytes=max_frame_bytes
+        frames, batch_size=batch_size, max_frame_bytes=max_frame_bytes,
+        columnar=columnar, key_fields=getattr(strategy, "key_fields", None),
     )
     out = empty_partitions(parallelism)
     out[rank] = [
@@ -250,6 +321,10 @@ def _ship_spmd(partitions, strategy, parallelism, metrics, cluster,
     ]
     if metrics is not None:
         metrics.add_bytes_shipped(cluster.bytes_sent - bytes_before)
+        metrics.add_zero_copied(
+            cluster.columns_zero_copied - zc_cols_before,
+            cluster.bytes_zero_copied - zc_bytes_before,
+        )
         metrics.add_shipped(local=local, remote=remote)
         if batches:
             metrics.add_batches_shipped(batches)

@@ -81,6 +81,31 @@ def chaining_default() -> bool:
     )
 
 
+def columnar_default() -> bool:
+    """The columnar data plane is on unless ``REPRO_COLUMNAR=0``.
+
+    ``REPRO_COLUMNAR`` is the escape hatch for the struct-of-arrays
+    :class:`~repro.common.batch.RecordBatch` layout and its vectorized
+    kernels (hash-scatter, join index computation, sort permutations,
+    columnar fabric/spill framing).  A falsy value (``0/false/no/off``)
+    restores the row-chunk paths everywhere; a truthy value (or unset)
+    keeps the columnar paths on.  Results and logical counters are
+    bitwise identical in both modes — the cross-backend audit runs both.
+    """
+    override = os.environ.get("REPRO_COLUMNAR")
+    if override is None:
+        return True
+    value = override.strip().lower()
+    if value in _TRUTHY:
+        return True
+    if value in _FALSY:
+        return False
+    raise ValueError(
+        f"REPRO_COLUMNAR must be one of {_TRUTHY + _FALSY}, "
+        f"got {override!r}"
+    )
+
+
 def memory_budget_default() -> int | None:
     """Per-process memory budget in bytes; ``None`` means unbounded.
 
@@ -216,6 +241,16 @@ class RuntimeConfig:
     counters — only how many memo entries and forward ships the
     interpreter materializes.
 
+    ``columnar`` — run the data plane on the struct-of-arrays
+    :class:`~repro.common.batch.RecordBatch` layout: the hash channel
+    computes partition targets with one vectorized pass over the int64
+    key column, join drivers compute match indices by ``searchsorted``,
+    sort drivers take ``argsort`` permutations, and the SPMD fabric
+    frames fixed-width columns as raw buffers (zero payload pickling on
+    the shm ring).  On by default; ``REPRO_COLUMNAR=0`` is the escape
+    hatch back to the row-chunk paths.  Results and logical counters
+    are bitwise identical in both modes and on every backend.
+
     ``memory_budget_bytes`` — per-process budget for operator state in
     bytes, or ``None`` for unbounded in-memory execution (the
     default).  When set, the executor attaches a
@@ -250,6 +285,7 @@ class RuntimeConfig:
     max_frame_bytes: int = 1 << 20
     async_poll_batch: int = 64
     chaining: bool = field(default_factory=chaining_default)
+    columnar: bool = field(default_factory=columnar_default)
     memory_budget_bytes: int | None = field(
         default_factory=memory_budget_default
     )
@@ -273,6 +309,11 @@ class RuntimeConfig:
             raise TypeError(
                 f"RuntimeConfig.chaining must be a bool, "
                 f"got {self.chaining!r}"
+            )
+        if not isinstance(self.columnar, bool):
+            raise TypeError(
+                f"RuntimeConfig.columnar must be a bool, "
+                f"got {self.columnar!r}"
             )
         if not isinstance(self.telemetry, bool):
             raise TypeError(

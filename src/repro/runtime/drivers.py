@@ -18,12 +18,28 @@ build insert, or sort comparison.  ``batch_size=None`` processes the
 whole partition as one chunk; any value produces identical outputs in
 identical order, because chunking only changes how the key vectors are
 materialized, never the record order they are consumed in.
+
+**Columnar kernels.**  With the ``columnar`` knob on, the keyed
+drivers route through vectorized kernels whenever the key vector is an
+int64 column (:meth:`RecordBatch.key_array`): the hash join computes
+match indices with a stable-sorted ``searchsorted`` instead of a
+per-record dict probe, and the sort-based drivers take ``argsort``
+permutations instead of Python comparison sorts.  Both reproduce the
+row kernels' output order bit for bit — the stable sort preserves
+arrival order within equal keys, which is exactly the dict-insertion
+order the hash table iterates — and any batch whose keys are not
+strictly ``int`` (bools, floats, composites, >64-bit) falls back to
+the row kernel.  The fold-based drivers (hash aggregate, reduce-group,
+cogroup) keep their dict loops: a fold's per-record UDF call dominates
+and dict insertion order is the contract, so there is nothing left to
+vectorize without changing observable order.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 
+from repro.common import columns as columnar_mod
 from repro.common.batch import RecordBatch
 from repro.common.errors import InvalidPlanError
 from repro.dataflow.contracts import Contract
@@ -81,13 +97,179 @@ def _keyed(records, key_fields, batch_size):
 
 
 # ----------------------------------------------------------------------
+# columnar kernels (struct-of-arrays fast paths)
+
+
+def _int64_side(records, key_fields):
+    """``(records, int64 key array)`` for one driver input, or ``None``.
+
+    ``None`` means the side does not qualify for a vectorized kernel
+    (numpy missing, non-int keys, composite keys, 64-bit overflow) and
+    the caller must take the row path.
+    """
+    batch = RecordBatch.wrap(records, key_fields)
+    vector = batch.key_array()
+    if vector is None:
+        return None
+    return batch.records, vector
+
+
+def _stable_order(vector) -> list[int]:
+    """Ascending-key stable permutation (ties keep arrival order)."""
+    np = columnar_mod.numpy_module()
+    return np.argsort(vector, kind="stable").tolist()
+
+
+def _join_pairs(build_vector, probe_vector):
+    """Vectorized equi-join index computation.
+
+    Returns ``(build_indices, probe_indices)`` (numpy int arrays) in
+    probe-major order: all matches of probe 0, then probe 1, …; within
+    one probe, build matches ascend in arrival order.  That is exactly
+    the emission order of the row kernel's ``for probe: for build in
+    table[k]`` loop, because the stable sort keeps equal-key builds in
+    insertion order.
+    """
+    np = columnar_mod.numpy_module()
+    order = np.argsort(build_vector, kind="stable")
+    sorted_keys = build_vector[order]
+    left = np.searchsorted(sorted_keys, probe_vector, side="left")
+    right = np.searchsorted(sorted_keys, probe_vector, side="right")
+    counts = right - left
+    if int(counts.max(initial=0)) <= 1:
+        hit = counts.astype(bool)
+        build_idx = order[left[hit]]
+        if bool(hit.all()):
+            probe_idx = None  # every probe matched exactly once, in order
+        else:
+            probe_idx = np.flatnonzero(hit)
+        return build_idx, probe_idx
+    # general expansion: probe p owns counts[p] consecutive output pairs
+    probe_idx = np.repeat(np.arange(len(probe_vector)), counts)
+    offsets = np.arange(int(counts.sum())) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    build_idx = order[np.repeat(left, counts) + offsets]
+    return build_idx, probe_idx
+
+
+def _emit_pairs(fn, build_records, build_idx, probe_records, probe_idx,
+                build_left, flat, out):
+    """Run the join UDF over matched index pairs at C speed.
+
+    ``map`` drives the UDF without per-pair bytecode; ``None`` results
+    are dropped and ``flat`` results extended, matching
+    :func:`_emit_join_result` exactly.
+    """
+    builds = map(build_records.__getitem__, build_idx.tolist())
+    if probe_idx is None:
+        probes = iter(probe_records)
+    else:
+        probes = map(probe_records.__getitem__, probe_idx.tolist())
+    if build_left:
+        results = map(fn, builds, probes)
+    else:
+        results = map(fn, probes, builds)
+    if flat:
+        for result in results:
+            if result is not None:
+                out.extend(result)
+        return
+    chunk = list(results)
+    if None in chunk:
+        chunk = [result for result in chunk if result is not None]
+    out.extend(chunk)
+
+
+def _columnar_hash_join(build_in, build_fields, probe_in, probe_fields,
+                        fn, build_left, flat):
+    """The hash join as an index join over int64 key columns.
+
+    Returns the output list, or ``None`` when either side's keys do not
+    vectorize (caller falls back to the dict kernel).
+    """
+    build_side = _int64_side(build_in, build_fields)
+    if build_side is None:
+        return None
+    probe_side = _int64_side(probe_in, probe_fields)
+    if probe_side is None:
+        return None
+    build_records, build_vector = build_side
+    probe_records, probe_vector = probe_side
+    out: list = []
+    if not build_records or not probe_records:
+        return out
+    build_idx, probe_idx = _join_pairs(build_vector, probe_vector)
+    _emit_pairs(fn, build_records, build_idx, probe_records, probe_idx,
+                build_left, flat, out)
+    return out
+
+
+class ColumnarBuildSide:
+    """A cached, key-sorted build side for repeated vectorized probes.
+
+    The executor's constant-edge build-table cache (Fig. 4) keeps one
+    of these per partition alongside the dict table: supersteps probe
+    the same sorted key column over and over, paying the stable sort
+    once.  ``None`` from :meth:`of` means the partition's keys do not
+    vectorize and only the dict is usable.
+    """
+
+    __slots__ = ("records", "sorted_keys", "order")
+
+    @classmethod
+    def of(cls, records, key_fields):
+        side = _int64_side(records, key_fields)
+        if side is None:
+            return None
+        np = columnar_mod.numpy_module()
+        rows, vector = side
+        built = cls.__new__(cls)
+        built.records = rows
+        built.order = np.argsort(vector, kind="stable")
+        built.sorted_keys = vector[built.order]
+        return built
+
+    def probe(self, chunk_records, chunk_vector, fn, build_left, flat, out):
+        """Probe one chunk's key column; emits in row-kernel order."""
+        np = columnar_mod.numpy_module()
+        left = np.searchsorted(self.sorted_keys, chunk_vector, side="left")
+        right = np.searchsorted(self.sorted_keys, chunk_vector, side="right")
+        counts = right - left
+        if int(counts.max(initial=0)) <= 1:
+            hit = counts.astype(bool)
+            build_idx = self.order[left[hit]]
+            probe_idx = None if bool(hit.all()) else np.flatnonzero(hit)
+        else:
+            probe_idx = np.repeat(np.arange(len(chunk_vector)), counts)
+            offsets = np.arange(int(counts.sum())) - np.repeat(
+                np.cumsum(counts) - counts, counts
+            )
+            build_idx = self.order[np.repeat(left, counts) + offsets]
+        _emit_pairs(fn, self.records, build_idx, chunk_records, probe_idx,
+                    build_left, flat, out)
+
+
+# ----------------------------------------------------------------------
 # record-at-a-time drivers
 
 
-def run_map(node, inputs, metrics):
+def run_map(node, inputs, metrics, columnar=False):
     records = inputs[0]
     metrics.add_processed(node.name, len(records))
     fn = node.udf
+    if columnar:
+        column_fn = getattr(node, "columnar_udf", None)
+        if column_fn is not None and records:
+            cols = columnar_mod.columnarize(
+                records if isinstance(records, list) else list(records)
+            )
+            if cols is not None:
+                _arity, columns = cols
+                out_columns, out_length = column_fn(columns, len(records))
+                return columnar_mod.materialize_rows(
+                    out_columns, out_length
+                )
     return [fn(record) for record in records]
 
 
@@ -119,7 +301,7 @@ def run_union(node, inputs, metrics):
 
 
 def run_hash_join(node, inputs, metrics, build_left: bool,
-                  batch_size=None, spill=None):
+                  batch_size=None, spill=None, columnar=False):
     left, right = inputs
     metrics.add_processed(node.name, len(left) + len(right))
     fn = node.udf
@@ -131,6 +313,13 @@ def run_hash_join(node, inputs, metrics, build_left: bool,
     else:
         build_in, build_fields = right, node.key_fields[1]
         probe_in, probe_fields = left, node.key_fields[0]
+    if columnar and spill is None:
+        vectorized = _columnar_hash_join(
+            build_in, build_fields, probe_in, probe_fields,
+            fn, build_left, flat,
+        )
+        if vectorized is not None:
+            return vectorized
     if spill is not None:
         from repro.storage.hashtable import spilled_hash_join
 
@@ -163,7 +352,23 @@ def run_hash_join(node, inputs, metrics, build_left: bool,
     return out
 
 
-def run_sort_merge_join(node, inputs, metrics, batch_size=None, spill=None):
+def _sort_permutation(keys, columnar):
+    """The driver's sort order: stable ascending by key.
+
+    With ``columnar`` and an all-int key vector this is one vectorized
+    ``argsort``; otherwise a Python comparison sort.  Both are stable,
+    so the permutations — and every downstream emission — are
+    identical.
+    """
+    if columnar:
+        vector = columnar_mod.int64_from_values(keys)
+        if vector is not None:
+            return _stable_order(vector)
+    return sorted(range(len(keys)), key=keys.__getitem__)
+
+
+def run_sort_merge_join(node, inputs, metrics, batch_size=None, spill=None,
+                        columnar=False):
     left, right = inputs
     metrics.add_processed(node.name, len(left) + len(right))
     fn = node.udf
@@ -179,8 +384,8 @@ def run_sort_merge_join(node, inputs, metrics, batch_size=None, spill=None):
         )
     lrecs, lkeys = _keyed(left, node.key_fields[0], batch_size)
     rrecs, rkeys = _keyed(right, node.key_fields[1], batch_size)
-    lorder = sorted(range(len(lrecs)), key=lkeys.__getitem__)
-    rorder = sorted(range(len(rrecs)), key=rkeys.__getitem__)
+    lorder = _sort_permutation(lkeys, columnar)
+    rorder = _sort_permutation(rkeys, columnar)
     lsorted = [lrecs[i] for i in lorder]
     lsk = [lkeys[i] for i in lorder]
     rsorted = [rrecs[i] for i in rorder]
@@ -234,7 +439,8 @@ def run_hash_aggregate(node, inputs, metrics, batch_size=None, spill=None):
     return list(table.values())
 
 
-def run_sort_aggregate(node, inputs, metrics, batch_size=None, spill=None):
+def run_sort_aggregate(node, inputs, metrics, batch_size=None, spill=None,
+                       columnar=False):
     """Combinable REDUCE over key-sorted runs; output is key-sorted."""
     records = inputs[0]
     metrics.add_processed(node.name, len(records))
@@ -247,7 +453,7 @@ def run_sort_aggregate(node, inputs, metrics, batch_size=None, spill=None):
             _entry_stream(records, node.key_fields[0], batch_size), fn,
         )
     recs, keys = _keyed(records, node.key_fields[0], batch_size)
-    order = sorted(range(len(recs)), key=keys.__getitem__)
+    order = _sort_permutation(keys, columnar)
     out = []
     current_key = object()
     acc = None
@@ -356,11 +562,15 @@ def apply_combiner(node, partitions, metrics, batch_size=None):
 
 
 def run_driver(node, local_strategy, inputs, metrics, batch_size=None,
-               spill=None):
+               spill=None, columnar=False):
     """Run one operator on one partition's inputs.
 
     ``batch_size`` frames the keyed drivers' key-vector extraction in
     record-batch chunks (outputs are identical at any setting).
+
+    ``columnar`` engages the vectorized join/sort kernels (see the
+    module docstring); outputs, output order, and counters are
+    identical in both modes.
 
     ``spill`` is the session's :class:`~repro.storage.spill.SpillManager`
     when a memory budget is configured; the keyed drivers then route
@@ -372,7 +582,8 @@ def run_driver(node, local_strategy, inputs, metrics, batch_size=None,
     (Map: one out per in; Filter: never grows; Union: bag sum;
     combinable Reduce: at most one record per input).
     """
-    out = _dispatch(node, local_strategy, inputs, metrics, batch_size, spill)
+    out = _dispatch(node, local_strategy, inputs, metrics, batch_size, spill,
+                    columnar)
     checker = metrics.invariants if metrics is not None else None
     if checker is not None:
         checker.check_driver(
@@ -382,10 +593,10 @@ def run_driver(node, local_strategy, inputs, metrics, batch_size=None,
 
 
 def _dispatch(node, local_strategy, inputs, metrics, batch_size=None,
-              spill=None):
+              spill=None, columnar=False):
     contract = node.contract
     if contract is Contract.MAP:
-        return run_map(node, inputs, metrics)
+        return run_map(node, inputs, metrics, columnar=columnar)
     if contract is Contract.FLAT_MAP:
         return run_flat_map(node, inputs, metrics)
     if contract is Contract.FILTER:
@@ -396,22 +607,24 @@ def _dispatch(node, local_strategy, inputs, metrics, batch_size=None,
         if local_strategy is LocalStrategy.HASH_BUILD_LEFT:
             return run_hash_join(
                 node, inputs, metrics, build_left=True, batch_size=batch_size,
-                spill=spill,
+                spill=spill, columnar=columnar,
             )
         if local_strategy is LocalStrategy.HASH_BUILD_RIGHT:
             return run_hash_join(
                 node, inputs, metrics, build_left=False, batch_size=batch_size,
-                spill=spill,
+                spill=spill, columnar=columnar,
             )
         if local_strategy is LocalStrategy.SORT_MERGE:
             return run_sort_merge_join(
-                node, inputs, metrics, batch_size=batch_size, spill=spill
+                node, inputs, metrics, batch_size=batch_size, spill=spill,
+                columnar=columnar,
             )
         raise InvalidPlanError(f"{node.name}: no join strategy assigned")
     if contract is Contract.REDUCE:
         if local_strategy is LocalStrategy.SORT_AGGREGATE:
             return run_sort_aggregate(
-                node, inputs, metrics, batch_size=batch_size, spill=spill
+                node, inputs, metrics, batch_size=batch_size, spill=spill,
+                columnar=columnar,
             )
         return run_hash_aggregate(
             node, inputs, metrics, batch_size=batch_size, spill=spill

@@ -87,6 +87,11 @@ class Executor:
         self.config = getattr(env, "config", None) or RuntimeConfig()
         self.batch_size = self.config.batch_size
         self.max_frame_bytes = self.config.max_frame_bytes
+        #: struct-of-arrays mode: vectorized hash scatter / join / sort
+        #: kernels and raw column framing on the SPMD fabric.  Purely
+        #: physical — results, logical counters, and span trees are
+        #: bitwise identical with it on or off
+        self.columnar = self.config.columnar
         #: where this executor runs: the local simulator context, or one
         #: SPMD worker's view of its forked peers (multiprocess backend)
         self.cluster = getattr(env, "cluster", None) or LOCAL
@@ -295,7 +300,7 @@ class Executor:
         return channels.ship(
             partitions, strategy, self.parallelism, self.metrics,
             cluster=self.cluster, batch_size=self.batch_size,
-            max_frame_bytes=self.max_frame_bytes,
+            max_frame_bytes=self.max_frame_bytes, columnar=self.columnar,
         )
 
     def _resolve_placeholder(self, node, scope):
@@ -372,6 +377,7 @@ class Executor:
             out.append(drivers.run_driver(
                 node, ann.local, inputs, self.metrics,
                 batch_size=self.batch_size, spill=self.spill,
+                columnar=self.columnar,
             ))
         return out
 
@@ -387,11 +393,12 @@ class Executor:
         if not self._edge_is_constant(node, producer, scope):
             return self._run_generic(node, step_memo, scope)
 
-        tables = scope.table_cache.get(node.id)
-        if tables is None:
+        cached = scope.table_cache.get(node.id)
+        if cached is None:
             shipped = self._ship_one_input(node, build_idx, step_memo, scope)
             build_fields = node.key_fields[build_idx]
             tables = []
+            sides = []
             for part in shipped:
                 table = {}
                 for records, keys in drivers._key_chunks(
@@ -400,10 +407,19 @@ class Executor:
                     for k, record in zip(keys, records):
                         table.setdefault(k, []).append(record)
                 tables.append(table)
-            scope.table_cache[node.id] = tables
+                # the sorted column rides the cache next to the dict:
+                # supersteps re-probe it, paying the stable sort once.
+                # The dict stays the fallback for probe chunks whose
+                # keys don't vectorize
+                sides.append(
+                    drivers.ColumnarBuildSide.of(part, build_fields)
+                    if self.columnar else None
+                )
+            scope.table_cache[node.id] = (tables, sides)
             self.metrics.add_cache_build()
             self.metrics.add_processed(node.name, sum(len(p) for p in shipped))
         else:
+            tables, sides = cached
             self.metrics.add_cache_hit()
 
         probe_idx = 1 - build_idx
@@ -414,13 +430,21 @@ class Executor:
         out = []
         for p in range(self.parallelism):
             table = tables[p]
+            side = sides[p]
             lookup = table.get
             results = []
             self.metrics.add_processed(node.name, len(probe_parts[p]))
-            for records, keys in drivers._key_chunks(
-                probe_parts[p], probe_fields, self.batch_size
-            ):
-                for k, probe in zip(keys, records):
+            if not probe_parts[p]:
+                out.append(results)
+                continue
+            wrapped = RecordBatch.wrap(probe_parts[p], probe_fields)
+            for chunk in wrapped.split(self.batch_size):
+                vector = chunk.key_array() if side is not None else None
+                if vector is not None:
+                    side.probe(chunk.records, vector, fn, build_left,
+                               flat, results)
+                    continue
+                for k, probe in zip(chunk.keys, chunk.records):
                     for build in lookup(k, ()):
                         if build_left:
                             drivers._emit_join_result(
@@ -637,13 +661,14 @@ class Executor:
             index = DiskBackedSolutionSetIndex.build(
                 routed, node.solution_key, self.parallelism,
                 metrics=self.metrics, should_replace=node.should_replace,
-                batch_size=self.batch_size, manager=self.spill,
+                batch_size=self.batch_size, columnar=self.columnar,
+                manager=self.spill,
             )
         else:
             index = SolutionSetIndex.build(
                 routed, node.solution_key, self.parallelism,
                 metrics=self.metrics, should_replace=node.should_replace,
-                batch_size=self.batch_size,
+                batch_size=self.batch_size, columnar=self.columnar,
             )
         workset = self._evaluate(node.inputs[1], outer_memo, outer_scope)
         scope = _IterationScope(
@@ -843,7 +868,9 @@ class Executor:
             for chunk in RecordBatch.wrap(part, route_fields).split(
                 self.batch_size
             ):
-                targets = chunk.partition_targets(self.parallelism)
+                targets = chunk.partition_targets(
+                    self.parallelism, columnar_mode=self.columnar
+                )
                 for target, record in zip(targets, chunk.records):
                     queues[target].append(record)
                 detector.sent(len(targets))
@@ -1062,7 +1089,9 @@ class Executor:
             for chunk in RecordBatch.wrap(initial[rank], route_fields).split(
                 self.batch_size
             ):
-                targets = chunk.partition_targets(parallelism)
+                targets = chunk.partition_targets(
+                    parallelism, columnar_mode=self.columnar
+                )
                 for target, record in zip(targets, chunk.records):
                     frames[target].append(record)
                 here = targets.count(rank)
@@ -1073,6 +1102,7 @@ class Executor:
         for frame in cluster.exchange(
             frames, batch_size=self.batch_size,
             max_frame_bytes=self.max_frame_bytes,
+            columnar=self.columnar, key_fields=route_fields,
         ):
             queue.extend(frame)
         self.metrics.add_bytes_shipped(cluster.bytes_sent - bytes_before)
@@ -1125,6 +1155,7 @@ class Executor:
             for frame in cluster.exchange(
                 buffers, batch_size=self.batch_size,
                 max_frame_bytes=self.max_frame_bytes,
+                columnar=self.columnar, key_fields=route_fields,
             ):
                 queue.extend(frame)
             self.metrics.add_bytes_shipped(cluster.bytes_sent - bytes_before)

@@ -74,6 +74,8 @@ ATTRIBUTED_COUNTERS = (
     "cache_builds",
     "records_spilled",
     "bytes_spilled",
+    "columns_zero_copied",
+    "bytes_zero_copied",
 )
 
 #: (span counter key, IterationStats field) pairs the trace law
@@ -90,6 +92,8 @@ _TRACE_RECONCILED = (
     ("cache_builds", "cache_builds"),
     ("records_spilled", "records_spilled"),
     ("bytes_spilled", "bytes_spilled"),
+    ("columns_zero_copied", "columns_zero_copied"),
+    ("bytes_zero_copied", "bytes_zero_copied"),
     ("workset_size", "workset_size"),
     ("delta_size", "delta_size"),
 )
@@ -484,6 +488,8 @@ class InvariantChecker:
             "cache_builds": sum(s.cache_builds for s in log),
             "records_spilled": sum(s.records_spilled for s in log),
             "bytes_spilled": sum(s.bytes_spilled for s in log),
+            "columns_zero_copied": sum(s.columns_zero_copied for s in log),
+            "bytes_zero_copied": sum(s.bytes_zero_copied for s in log),
         }
         totals = {
             "shipped_local": metrics.records_shipped_local,
@@ -497,6 +503,8 @@ class InvariantChecker:
             "cache_builds": metrics.cache_builds,
             "records_spilled": metrics.records_spilled,
             "bytes_spilled": metrics.bytes_spilled,
+            "columns_zero_copied": metrics.columns_zero_copied,
+            "bytes_zero_copied": metrics.bytes_zero_copied,
         }
         for name in ATTRIBUTED_COUNTERS:
             if logged[name] != self._inside[name]:

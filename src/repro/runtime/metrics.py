@@ -43,6 +43,12 @@ class IterationStats:
     records_spilled: int = 0
     #: bytes written to spill files this superstep
     bytes_spilled: int = 0
+    #: fixed-width column buffers that crossed the shm ring as raw
+    #: memcpy this superstep (physical: only the pool/multiprocess
+    #: backends' columnar frames take the zero-copy path)
+    columns_zero_copied: int = 0
+    #: payload bytes of those zero-copied buffers
+    bytes_zero_copied: int = 0
 
     @property
     def messages(self) -> int:
@@ -67,6 +73,8 @@ class IterationStats:
             "cache_builds": self.cache_builds,
             "records_spilled": self.records_spilled,
             "bytes_spilled": self.bytes_spilled,
+            "columns_zero_copied": self.columns_zero_copied,
+            "bytes_zero_copied": self.bytes_zero_copied,
             "messages": self.messages,
         }
 
@@ -94,6 +102,11 @@ class MetricsCollector:
     #: each process's resident share, so backends may differ)
     records_spilled: int = 0
     bytes_spilled: int = 0
+    #: column buffers / payload bytes the SPMD fabric shipped as raw
+    #: shm memcpy without pickling (physical: the simulator never
+    #: serializes, and chunk framing differs per backend)
+    columns_zero_copied: int = 0
+    bytes_zero_copied: int = 0
     iteration_log: list[IterationStats] = field(default_factory=list)
     #: optional :class:`~repro.runtime.invariants.InvariantChecker`; when
     #: attached (``RuntimeConfig.check_invariants``), every counter hook
@@ -211,6 +224,19 @@ class MetricsCollector:
             self.invariants.on_counter("records_spilled", records, in_step)
             self.invariants.on_counter("bytes_spilled", nbytes, in_step)
 
+    def add_zero_copied(self, columns: int, nbytes: int):
+        """Column buffers the fabric memcpy'd into shm without pickling."""
+        self.columns_zero_copied += columns
+        self.bytes_zero_copied += nbytes
+        if self._open_superstep is not None:
+            self._open_superstep.columns_zero_copied += columns
+            self._open_superstep.bytes_zero_copied += nbytes
+        if self.invariants is not None:
+            in_step = self._open_superstep is not None
+            self.invariants.on_counter("columns_zero_copied", columns,
+                                       in_step)
+            self.invariants.on_counter("bytes_zero_copied", nbytes, in_step)
+
     # ------------------------------------------------------------------
     # superstep scoping
 
@@ -311,6 +337,8 @@ class MetricsCollector:
         self.batches_shipped += other.batches_shipped
         self.records_spilled += other.records_spilled
         self.bytes_spilled += other.bytes_spilled
+        self.columns_zero_copied += other.columns_zero_copied
+        self.bytes_zero_copied += other.bytes_zero_copied
         if align_supersteps:
             if len(self.iteration_log) != len(other.iteration_log) or \
                     self.supersteps != other.supersteps:
@@ -339,6 +367,8 @@ class MetricsCollector:
                 mine.cache_builds += theirs.cache_builds
                 mine.records_spilled += theirs.records_spilled
                 mine.bytes_spilled += theirs.bytes_spilled
+                mine.columns_zero_copied += theirs.columns_zero_copied
+                mine.bytes_zero_copied += theirs.bytes_zero_copied
                 mine.duration_s = max(mine.duration_s, theirs.duration_s)
         else:
             self.iteration_log.extend(other.iteration_log)
@@ -372,6 +402,8 @@ class MetricsCollector:
         self.batches_shipped = 0
         self.records_spilled = 0
         self.bytes_spilled = 0
+        self.columns_zero_copied = 0
+        self.bytes_zero_copied = 0
         self.iteration_log.clear()
         self._open_superstep = None
         self._superstep_span = None
@@ -397,5 +429,7 @@ class MetricsCollector:
             "batches_shipped": self.batches_shipped,
             "records_spilled": self.records_spilled,
             "bytes_spilled": self.bytes_spilled,
+            "columns_zero_copied": self.columns_zero_copied,
+            "bytes_zero_copied": self.bytes_zero_copied,
             "iteration_log": [s.as_dict() for s in self.iteration_log],
         }

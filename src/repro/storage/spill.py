@@ -15,15 +15,20 @@ A :class:`SpillManager` is attached to an executor when
   instant on the tracer's open span.
 
 Spill files are version-stamped (:mod:`repro.storage.format`) streams
-of length-prefixed pickle frames, allocated inside the manager's
+of length-prefixed frames, allocated inside the manager's
 :class:`~repro.storage.session.StorageSession` so cleanup is the
-session's problem, not each consumer's.
+session's problem, not each consumer's.  All-fixed-width entry lists
+spill as raw column frames (:mod:`repro.common.columns` header plus
+buffers — no per-record pickling); everything else spills as a
+pickled entry list.  Readers materialize rows either way.
 """
 
 from __future__ import annotations
 
 import sys
 
+from repro.common import columns as columns_mod
+from repro.common.batch import RecordBatch
 from repro.storage.format import (
     SPILL_MAGIC,
     SPILL_VERSION,
@@ -42,8 +47,15 @@ def estimate_record_bytes(records, sample: int = _SIZE_SAMPLE) -> int:
     One level deep: the tuple plus its fields.  Nested containers are
     charged their shallow size only — cheap and stable is worth more
     here than exact, since the estimate only decides *when* to spill,
-    never *what the results are*.
+    never *what the results are*.  A :class:`RecordBatch` whose column
+    view is all fixed-width skips the sampling walk entirely — its
+    payload size is exact arithmetic over the column buffers.
     """
+    if isinstance(records, RecordBatch):
+        exact = records.nbytes()
+        if exact is not None and len(records):
+            return max(1, exact // len(records))
+        records = records.records
     if not records:
         return 0
     total = 0
@@ -69,8 +81,27 @@ class SpillFile:
         write_header(self._fh, SPILL_MAGIC, SPILL_VERSION)
 
     def append(self, entries: list) -> int:
-        """Write one frame holding ``entries``; returns frame bytes."""
-        nbytes = write_frame(self._fh, entries)
+        """Write one frame holding ``entries``; returns frame bytes.
+
+        An all-fixed-width entry list leaves as a raw column frame
+        (header + buffers — no per-record pickling); anything else —
+        nested tuples, mixed types, irregular arity — writes the
+        classic pickled entry list.  Readers see row lists either way.
+        """
+        payload = entries
+        if isinstance(entries, list) and entries:
+            transposed = columns_mod.columnarize(entries)
+            if transposed is not None:
+                _arity, cols = transposed
+                if columns_mod.frame_nbytes(cols, len(entries)) is not None:
+                    header, buffers = columns_mod.encode_frame(
+                        cols, len(entries), None
+                    )
+                    payload = (
+                        "cols", bytes(header),
+                        [bytes(b) for b in buffers],
+                    )
+        nbytes = write_frame(self._fh, payload)
         self.frames += 1
         self.records += len(entries)
         self.bytes_written += nbytes
@@ -90,7 +121,17 @@ class SpillFile:
                 frame = read_frame(fh, self.path)
                 if frame is None:
                     return
-                yield frame
+                if (
+                    isinstance(frame, tuple)
+                    and len(frame) == 3
+                    and frame[0] == "cols"
+                ):
+                    length, cols, _key_fields = columns_mod.decode_frame(
+                        frame[1], frame[2]
+                    )
+                    yield columns_mod.materialize_rows(cols, length)
+                else:
+                    yield frame
 
     def read_entries(self) -> list:
         """All entries, flattened, in write order."""

@@ -61,7 +61,7 @@ class TestShipAudit:
         checker's per-record recomputation.
         """
         def buggy_hash(partitions, key_fields, parallelism,
-                       batch_size=None, metrics=None):
+                       batch_size=None, metrics=None, columnar=False):
             out = [[] for _ in range(parallelism)]
             local = remote = 0
             for _, part in enumerate(partitions):
