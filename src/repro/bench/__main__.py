@@ -25,8 +25,8 @@ def _registry():
     from repro.bench import audit
     from repro.bench.experiments import (
         chaining, dataplane, extensions, fig2, fig4, fig7, fig8, fig9,
-        fig10, fig11, fig12, outofcore, scaling, table1, table2,
-        telemetry_overhead,
+        fig10, fig11, fig12, optimizer_bench, outofcore, scaling, table1,
+        table2, telemetry_overhead,
     )
     return {
         "audit": ("Differential audit — engines agree, invariants hold",
@@ -37,6 +37,9 @@ def _registry():
                       dataplane.run),
         "chaining": ("Chain fusion — fused vs unfused forward pipelines",
                      chaining.run),
+        "optimizer": ("Optimizer v2 — pushdown and adaptive "
+                      "re-optimization vs static plans",
+                      optimizer_bench.run),
         "outofcore": ("Out-of-core — CC state ~10x the memory budget, "
                       "RSS-gated", outofcore.run),
         "telemetry": ("Telemetry overhead — REPRO_TELEMETRY=1 within "

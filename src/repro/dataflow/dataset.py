@@ -97,8 +97,21 @@ class DataSet:
             LogicalNode(Contract.FLAT_MAP, [self._node], udf=fn, name=name)
         )
 
-    def filter(self, fn, name=None):
+    def filter(self, fn, name=None, deterministic=True, fields=None):
+        """Keep records for which ``fn(record)`` is truthy.
+
+        ``fields`` optionally declares the field positions the predicate
+        reads; combined with ``deterministic=True`` (the default
+        promise) it lets the optimizer push the filter below a
+        downstream join's ship when those fields are identity-forwarded
+        from one join input (see :mod:`repro.optimizer.pushdown`).
+        Pass ``deterministic=False`` for predicates with side effects or
+        hidden state — they are never relocated.
+        """
         node = LogicalNode(Contract.FILTER, [self._node], udf=fn, name=name)
+        node.deterministic = bool(deterministic)
+        if fields is not None:
+            node.read_fields = normalize_key_fields(fields)
         return self._wrap(node)
 
     def union(self, other, name=None):
@@ -317,6 +330,21 @@ class DataSet:
         store under ``name``; returns the written part ids.  Reload it
         with ``env.from_store(name)``."""
         return self._env.register_dataset(name, self)
+
+    def explain(self) -> str:
+        """Compile (without executing) and describe the chosen plan.
+
+        The report shows, per operator, the local strategy and the
+        estimated vs *observed* cardinality (measured by this
+        environment's previous runs when adaptivity is on), and per
+        edge the ship strategy plus any optimizer-v2 rewrites — pushed
+        filters and adaptive switch candidates.
+        """
+        from repro.dataflow.graph import LogicalPlan
+        from repro.optimizer.visualize import explain_plan
+        sink = LogicalNode(Contract.SINK, [self._node], name="explain")
+        exec_plan = self._env._compile(LogicalPlan([sink]))
+        return explain_plan(exec_plan, self._env)
 
     # ------------------------------------------------------------------
 

@@ -129,6 +129,17 @@ class ExecutionEnvironment:
             self.telemetry = MetricRegistry()
             self.metrics.telemetry = self.telemetry
             self.resource_ledger = ResourceLedger()
+        #: runtime cardinality observer (optimizer v2): after every run
+        #: it derives observed per-operator cardinalities from the
+        #: merged logical counters, and the next compilation in this
+        #: environment prefers them over the textbook defaults.  Only
+        #: attached when ``config.adaptive`` is on, so the
+        #: ``REPRO_ADAPTIVE=0`` escape hatch keeps observation fully
+        #: off-path
+        self.observer = None
+        if self.config.adaptive:
+            from repro.optimizer.observer import CardinalityObserver
+            self.observer = CardinalityObserver()
         self._job_seq = 0
         self.last_worker_traces = None
         self._sinks: list[LogicalNode] = []
@@ -236,6 +247,13 @@ class ExecutionEnvironment:
                 ann.local = override["local"]
             if "combiner" in override:
                 ann.combiner = override["combiner"]
+        # adaptive eligibility is computed after overrides so the specs
+        # describe the plan that actually runs (experiments may force a
+        # specific baseline ship); it is recorded with adaptivity on or
+        # off — the executor consults config.adaptive, the plan itself
+        # is identical in both modes
+        from repro.optimizer.adaptive import annotate_adaptive
+        annotate_adaptive(exec_plan, self)
         # chain fusion runs last so it sees the final ship/dam/combiner
         # annotations, overrides included (an override that repartitions
         # a fused edge must break the chain)
@@ -256,6 +274,8 @@ class ExecutionEnvironment:
         # to set last_executor for introspection)
         results = self.backend.execute_plan(self, exec_plan)
         self.last_plan = exec_plan
+        if self.observer is not None:
+            self.observer.ingest(exec_plan, self.metrics)
         if self.tracer is not None and self.config.trace_path:
             from repro.observability import write_jsonl
             write_jsonl(
@@ -306,30 +326,64 @@ class ExecutionEnvironment:
     def part_store(self):
         return self.attach_part_store()
 
-    def register_dataset(self, name, dataset_or_records) -> list[str]:
+    def register_dataset(self, name, dataset_or_records,
+                         key_fields=None) -> list[str]:
         """Persist a dataset (or record collection) as named parts.
 
         A :class:`DataSet` argument is executed first; records are then
         partitioned exactly like a source (round-robin over the
         session's parallelism) and written to the part store, one
         stats-tracked, content-addressed part per partition.
+
+        ``key_fields`` (an int or tuple of ints) additionally records
+        each part's key range in its manifest stats row, enabling
+        :meth:`from_store` to prune whole parts against a key predicate
+        without reading them.
         """
+        from repro.common.keys import normalize_key_fields
         from repro.runtime import channels
         if isinstance(dataset_or_records, DataSet):
             records = self.collect(dataset_or_records)
         else:
             records = list(dataset_or_records)
         partitions = channels.round_robin(records, self.parallelism)
-        return self.part_store.register(name, partitions)
+        keys_per_partition = None
+        if key_fields is not None:
+            fields = normalize_key_fields(key_fields)
+            extract = (
+                (lambda r: r[fields[0]]) if len(fields) == 1
+                else (lambda r: tuple(r[f] for f in fields))
+            )
+            keys_per_partition = [
+                [extract(r) for r in part] for part in partitions
+            ]
+        return self.part_store.register(
+            name, partitions, keys_per_partition=keys_per_partition
+        )
 
-    def from_store(self, name) -> DataSet:
+    def from_store(self, name, key_range=None) -> DataSet:
         """Source a previously registered dataset from the part store.
 
         Every part is re-validated (header, cardinality, content hash)
         on load, so a torn write surfaces here as a loud
         ``StorageFormatError`` rather than as wrong answers downstream.
+
+        ``key_range=(lo, hi)`` declares an inclusive key predicate over
+        the key recorded at :meth:`register_dataset` time; parts whose
+        manifest key range falls entirely outside it (and empty parts)
+        are pruned without touching their files — the datamgr-style
+        manifest pruning of the optimizer-v2 stats loop.  Either bound
+        may be ``None`` for a half-open predicate.  Parts registered
+        without key stats are conservatively kept; records inside kept
+        parts are *not* filtered (apply the real filter downstream).
+        The resulting source carries the exact post-pruning cardinality
+        from the stats rows, so the optimizer plans with it.
         """
-        parts = self.part_store.load_dataset(name)
+        store = self.part_store
+        part_ids = store.dataset_part_ids(name)
+        if key_range is not None:
+            part_ids = store.prune_parts(part_ids, key_range)
+        parts = [store.load_part(pid) for pid in part_ids]
         return self.from_iterable(
             [record for part in parts for record in part], name=name
         )

@@ -66,6 +66,14 @@ class LogicalNode:
         #: REDUCE only: whether the UDF is associative/commutative and may
         #: be applied as a pre-shuffle combiner.
         self.combinable = contract is Contract.REDUCE
+        #: whether the UDF is a pure function of its input record; the
+        #: optimizer only relocates (e.g. pushes down) deterministic UDFs
+        self.deterministic = True
+        #: FILTER only: field positions the predicate reads, or ``None``
+        #: (unknown).  Declaring them (``DataSet.filter(fields=...)``)
+        #: lets the optimizer push the filter below a join's ship when
+        #: those fields are identity-forwarded from one join input
+        self.read_fields: tuple[int, ...] | None = None
 
     def with_forwarded_fields(self, input_index, mapping):
         """Declare that ``mapping`` (src field -> dst field) survives the UDF.

@@ -15,6 +15,7 @@ from repro.iterations.microstep import analyze_microstep
 from repro.optimizer.costs import DEFAULT_WEIGHTS, CostWeights
 from repro.optimizer.enumerator import Candidate, Enumerator
 from repro.optimizer.naive import naive_plan, resolve_iteration_mode
+from repro.optimizer.pushdown import plan_pushdown
 from repro.optimizer.statistics import Statistics
 from repro.runtime.plan import BROADCAST, ExecutionPlan, partition_on
 
@@ -68,15 +69,25 @@ def optimize_plan(logical_plan, env) -> ExecutionPlan:
 
 def _optimize_plan(logical_plan, env, tracer) -> ExecutionPlan:
     weights = env.cost_weights or _calibrated_weights(env)
-    stats = Statistics()
+    # measured truth from previous runs in this environment (optimizer
+    # v2): the observer is only attached when RuntimeConfig.adaptive is
+    # on, so REPRO_ADAPTIVE=0 sees the static defaults
+    observer = getattr(env, "observer", None)
+    if observer is not None:
+        stats = Statistics(observed=observer.sizes,
+                           selectivities=observer.selectivities)
+    else:
+        stats = Statistics()
+    pushdown = plan_pushdown(logical_plan)
     config = getattr(env, "config", None)
     chaining = config.chaining if config is not None else True
     enumerator = Enumerator(env.parallelism, weights, stats, tracer=tracer,
-                            chaining=chaining)
+                            chaining=chaining, pushdown=pushdown)
     outer_nodes = _outer_region(logical_plan)
     enumerator.count_consumers(outer_nodes)
 
     exec_plan = ExecutionPlan(logical_plan)
+    exec_plan.pushed_filters = dict(pushdown)
     total_cost = 0.0
     applied: set[int] = set()
     for sink in logical_plan.sinks:

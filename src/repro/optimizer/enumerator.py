@@ -97,7 +97,8 @@ class Enumerator:
 
     def __init__(self, parallelism, weights, stats, interesting=None,
                  dynamic_ids=frozenset(), iteration_weight=1.0,
-                 placeholder_props=None, tracer=None, chaining=True):
+                 placeholder_props=None, tracer=None, chaining=True,
+                 pushdown=None):
         self.parallelism = parallelism
         self.weights = weights
         self.stats = stats
@@ -106,6 +107,10 @@ class Enumerator:
         self.iteration_weight = iteration_weight
         self.placeholder_props = placeholder_props or {}
         self.tracer = tracer
+        #: {match id: PushedFilter} from repro.optimizer.pushdown — the
+        #: pushed side's records are filtered before shipping, so match
+        #: costing discounts that side by the filter's selectivity
+        self.pushdown = pushdown or {}
         #: when chain fusion is on, forward edges that will fuse away
         #: (see :mod:`repro.optimizer.chaining`) stop paying the
         #: per-edge materialization overhead — plan selection can then
@@ -340,6 +345,14 @@ class Enumerator:
         lkey, rkey = node.key_fields
         lsize = self.stats.size(node.inputs[0])
         rsize = self.stats.size(node.inputs[1])
+        pushed = self.pushdown.get(node.id)
+        if pushed is not None:
+            # a pushed-down filter thins this side before it ships
+            selectivity = self.stats.filter_selectivity(pushed.filter_node)
+            if pushed.side == 0:
+                lsize *= selectivity
+            else:
+                rsize *= selectivity
         weight = self._node_weight(node)
         for lc in self.candidates(node.inputs[0]):
             for rc in self.candidates(node.inputs[1]):
@@ -417,31 +430,59 @@ class Enumerator:
                                 self.parallelism, self.weights),
                 PhysicalProps(partitioned_on=tuple(ip)),
             ))
-        build_local = (
+        build_broadcast = (
             LocalStrategy.HASH_BUILD_LEFT if broadcast_side == 0
+            else LocalStrategy.HASH_BUILD_RIGHT
+        )
+        build_other = (
+            LocalStrategy.HASH_BUILD_LEFT if other_side == 0
             else LocalStrategy.HASH_BUILD_RIGHT
         )
         results = []
         for oship, ocost, oprops in other_options:
-            # the replicated build table is cached across supersteps when
-            # the broadcast side is constant (bw == 1); a dynamic side is
-            # re-broadcast and re-built every superstep (bw == weight)
+            bc_props = REPLICATED
+            lprops = bc_props if broadcast_side == 0 else oprops
+            rprops = oprops if broadcast_side == 0 else bc_props
+            ships = {broadcast_side: BROADCAST, other_side: oship}
+            # Orientation 1 — build over the replica, probe the resident
+            # side.  The replicated build table is cached across
+            # supersteps when the broadcast side is constant (bw == 1);
+            # a dynamic side is re-broadcast and re-built every
+            # superstep (bw == weight).
             base = (
                 lc.cost + rc.cost + bw * bc_cost + ow * ocost
                 + bw * costs.hash_build_cost(bc_size * self.parallelism,
                                              self.weights)
                 + weight * costs.probe_cost(other_size, self.weights)
             )
-            bc_props = REPLICATED
-            lprops = bc_props if broadcast_side == 0 else oprops
-            rprops = oprops if broadcast_side == 0 else bc_props
-            ships = {broadcast_side: BROADCAST, other_side: oship}
             results.append(Candidate(
                 node,
                 self._join_output_props(node, lprops, rprops,
                                         probe_side=other_side),
                 base,
-                local=build_local,
+                local=build_broadcast,
+                ships=ships,
+                children=(lc, rc),
+            ))
+            # Orientation 2 — build over the resident side, probe the
+            # replica.  Every match pair is still emitted exactly once
+            # (each resident record lives in one partition), and a small
+            # *dynamic* probe side meets a constant build table that is
+            # built once and cached — the shape the adaptive layer can
+            # later re-ship as a hash join when the measured probe side
+            # outgrows the broadcast crossover.
+            base = (
+                lc.cost + rc.cost + bw * bc_cost + ow * ocost
+                + ow * costs.hash_build_cost(other_size, self.weights)
+                + weight * costs.probe_cost(bc_size * self.parallelism,
+                                            self.weights)
+            )
+            results.append(Candidate(
+                node,
+                self._join_output_props(node, lprops, rprops,
+                                        probe_side=broadcast_side),
+                base,
+                local=build_other,
                 ships=ships,
                 children=(lc, rc),
             ))
@@ -640,7 +681,14 @@ def _optimize_body(iteration, parallelism, weights, outer_stats,
                 outer_stats.size(iteration.inputs[1]),
         }
 
-    stats = Statistics(placeholder_sizes=placeholder_sizes)
+    # observed cardinalities thread through by *name*; body nodes are
+    # never ingested by the observer, but constant-path chains shared
+    # with the outer program keep their measured sizes
+    stats = Statistics(
+        placeholder_sizes=placeholder_sizes,
+        observed=outer_stats.observed,
+        selectivities=outer_stats.selectivities,
+    )
     interesting = propagate_interesting_properties(
         body, feedback=feedback
     )

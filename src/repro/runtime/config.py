@@ -106,6 +106,33 @@ def columnar_default() -> bool:
     )
 
 
+def adaptive_default() -> bool:
+    """Adaptive re-optimization is on unless ``REPRO_ADAPTIVE=0``.
+
+    ``REPRO_ADAPTIVE`` is the escape hatch for the statistics-driven
+    runtime layer: mid-iteration ship-strategy switches decided from
+    *measured* superstep cardinalities (see
+    :mod:`repro.optimizer.adaptive`).  A falsy value (``0/false/no/
+    off``) pins every iteration to its statically chosen plan; a truthy
+    value (or unset) lets the executor re-cost the dynamic path at
+    superstep boundaries.  Results, logical counters, and span-tree
+    structure are identical in both modes — plan switches are physical
+    optimizations, audited like the columnar and chaining planes.
+    """
+    override = os.environ.get("REPRO_ADAPTIVE")
+    if override is None:
+        return True
+    value = override.strip().lower()
+    if value in _TRUTHY:
+        return True
+    if value in _FALSY:
+        return False
+    raise ValueError(
+        f"REPRO_ADAPTIVE must be one of {_TRUTHY + _FALSY}, "
+        f"got {override!r}"
+    )
+
+
 def memory_budget_default() -> int | None:
     """Per-process memory budget in bytes; ``None`` means unbounded.
 
@@ -276,6 +303,18 @@ class RuntimeConfig:
 
     ``heartbeat_interval_s`` — cadence of pool-worker heartbeats when
     telemetry is on; ``REPRO_HEARTBEAT_INTERVAL`` supplies the default.
+
+    ``adaptive`` — allow the executor to re-cost an iteration's dynamic
+    data path with *measured* superstep cardinalities and switch ship
+    strategies mid-iteration (broadcast→repartition once the workset
+    crosses the Figure 4 crossover, or the reverse for tiny deltas; see
+    :mod:`repro.optimizer.adaptive`).  On by default;
+    ``REPRO_ADAPTIVE=0`` is the escape hatch that pins the static plan.
+    Switches are observationally invisible: results, logical counters,
+    and span-tree structure are bitwise identical with adaptivity on or
+    off and across every backend — a switch announces itself only
+    through a ``plan_switch`` instant marker and the physical
+    ``plan_switches`` counter.
     """
 
     check_invariants: bool = field(default_factory=invariant_checking_default)
@@ -293,6 +332,7 @@ class RuntimeConfig:
     heartbeat_interval_s: float = field(
         default_factory=heartbeat_interval_default
     )
+    adaptive: bool = field(default_factory=adaptive_default)
 
     def __post_init__(self):
         for name in ("batch_size", "max_frame_bytes", "async_poll_batch"):
@@ -314,6 +354,11 @@ class RuntimeConfig:
             raise TypeError(
                 f"RuntimeConfig.columnar must be a bool, "
                 f"got {self.columnar!r}"
+            )
+        if not isinstance(self.adaptive, bool):
+            raise TypeError(
+                f"RuntimeConfig.adaptive must be a bool, "
+                f"got {self.adaptive!r}"
             )
         if not isinstance(self.telemetry, bool):
             raise TypeError(

@@ -181,6 +181,36 @@ class PartStore:
             for pid in self.dataset_part_ids(name)
         ]
 
+    def prune_parts(self, part_ids, key_range) -> list[str]:
+        """Parts that may hold keys inside ``key_range=(lo, hi)``.
+
+        Manifest-only: no part file is opened.  A part survives pruning
+        unless its stats row *proves* it irrelevant — its recorded key
+        range lies entirely outside the predicate, or it is empty.
+        Parts without a recorded key range (unkeyed registration, or
+        keys that were not mutually comparable) are conservatively
+        kept.  Either predicate bound may be ``None``, meaning
+        unbounded on that side; ``(None, None)`` only prunes empty
+        parts.
+        """
+        lo, hi = key_range
+        kept = []
+        for pid in part_ids:
+            stats = self.manifest["parts"][pid]
+            if stats["cardinality"] == 0:
+                continue  # provably contributes nothing
+            recorded = stats.get("key_range")
+            if recorded is None:
+                kept.append(pid)  # no stats row evidence: must keep
+                continue
+            part_lo, part_hi = recorded
+            if lo is not None and part_hi < lo:
+                continue
+            if hi is not None and part_lo > hi:
+                continue
+            kept.append(pid)
+        return kept
+
     # ------------------------------------------------------------------
 
     def _save_manifest(self) -> None:

@@ -1,0 +1,188 @@
+"""Unit tests for the adaptive re-optimizer's pure pieces.
+
+``decide`` is a pure function of the superstep's measured cardinality —
+these tests pin its crossover behaviour without running an iteration.
+``annotate_adaptive`` runs at compile time; the eligibility tests
+compile real plans and inspect the recorded specs.
+"""
+
+import pytest
+
+from repro import ExecutionEnvironment
+from repro.optimizer.adaptive import HYSTERESIS, decide
+from repro.optimizer.costs import CostWeights
+from repro.runtime.plan import (
+    BROADCAST,
+    FORWARD,
+    AdaptiveSpec,
+    LocalStrategy,
+    ShipKind,
+    partition_on,
+)
+
+WEIGHTS = CostWeights()
+
+
+def _spec(baseline, switch, est_build_size=100.0, force=None):
+    return AdaptiveSpec(
+        iteration_id=0, node_id=1, probe_index=0, build_index=1,
+        baseline_kind=baseline, switch_kind=switch,
+        probe_key=(0,), build_key=(0,),
+        est_build_size=est_build_size, force_at_superstep=force,
+    )
+
+
+# ----------------------------------------------------------------------
+# decide()
+
+def test_force_fires_at_and_after_the_forced_superstep():
+    spec = _spec(ShipKind.BROADCAST, ShipKind.PARTITION_HASH, force=3)
+    assert not decide(spec, 10_000, 2, 4, WEIGHTS)
+    assert decide(spec, 10_000, 3, 4, WEIGHTS)
+    assert decide(spec, 0, 5, 4, WEIGHTS)  # force ignores the cost model
+
+
+def test_force_works_for_the_unprofitable_direction_too():
+    spec = _spec(ShipKind.PARTITION_HASH, ShipKind.BROADCAST, force=2)
+    assert not decide(spec, 50, 1, 4, WEIGHTS)
+    assert decide(spec, 50, 2, 4, WEIGHTS)
+
+
+def test_hash_baseline_never_switches_honestly():
+    spec = _spec(ShipKind.PARTITION_HASH, ShipKind.BROADCAST)
+    for n in (1, 100, 10_000, 1_000_000):
+        assert not decide(spec, n, 1, 4, WEIGHTS)
+
+
+def test_zero_probe_cardinality_never_switches():
+    spec = _spec(ShipKind.BROADCAST, ShipKind.PARTITION_HASH)
+    assert not decide(spec, 0, 1, 4, WEIGHTS)
+
+
+def test_broadcast_crossover_scales_with_workset():
+    # per-superstep saving grows linearly with n while the switch
+    # overhead is fixed, so large worksets switch and tiny ones don't
+    spec = _spec(ShipKind.BROADCAST, ShipKind.PARTITION_HASH,
+                 est_build_size=2_000.0)
+    assert decide(spec, 5_000, 1, 4, WEIGHTS)
+    assert not decide(spec, 1, 1, 4, WEIGHTS)
+
+
+def test_late_supersteps_raise_the_bar():
+    # the same measured workset that pays off early in the iteration
+    # (many supersteps left to amortize over) does not pay off with one
+    # superstep remaining
+    spec = _spec(ShipKind.BROADCAST, ShipKind.PARTITION_HASH,
+                 est_build_size=2_000.0)
+    early = decide(spec, 700, 1, 4, WEIGHTS)
+    late = decide(spec, 700, int(WEIGHTS.expected_iterations), 4, WEIGHTS)
+    assert early and not late
+
+
+def test_hysteresis_delays_marginal_switches():
+    spec = _spec(ShipKind.BROADCAST, ShipKind.PARTITION_HASH,
+                 est_build_size=2_000.0)
+    # find an n that clears the bar without hysteresis but not with it
+    marginal = next(
+        n for n in range(1, 10_000)
+        if decide(spec, n, 1, 4, WEIGHTS, hysteresis=0.0)
+    )
+    assert not decide(spec, marginal, 1, 4, WEIGHTS,
+                      hysteresis=HYSTERESIS * 50)
+
+
+# ----------------------------------------------------------------------
+# annotate_adaptive (via env._compile on real programs)
+
+def _cc_plan(env, override=None):
+    edges = env.from_iterable(
+        [(i, (i + 1) % 20) for i in range(20)], name="edges"
+    )
+    verts = env.from_iterable([(i, i) for i in range(20)], name="verts")
+    it = env.iterate_delta(verts, verts, 0, 10, name="cc")
+    j = it.workset.join(edges, 0, 0,
+                        lambda w, e: (e[1], w[1]), name="expand")
+    m = j.min_by_key(0, 1)
+    upd = m.cogroup(
+        it.solution_set, 0, 0,
+        lambda k, cand, cur: [c for c in cand if not cur or c[1] < cur[0][1]],
+        inner=False, name="upd",
+    )
+    if override is not None:
+        env.plan_overrides[j.node.id] = override
+    it.close(upd, upd).collect()
+    return j.node, env.last_plan
+
+
+def test_broadcast_probe_is_eligible(env):
+    node, plan = _cc_plan(env, override={
+        "ship": {0: BROADCAST, 1: FORWARD},
+        "local": LocalStrategy.HASH_BUILD_RIGHT,
+    })
+    spec = plan.adaptive[node.id]
+    assert spec.probe_index == 0 and spec.build_index == 1
+    assert spec.baseline_kind is ShipKind.BROADCAST
+    assert spec.switch_kind is ShipKind.PARTITION_HASH
+    assert spec.probe_key == (0,) and spec.build_key == (0,)
+    assert spec.est_build_size > 0
+
+
+def test_hash_probe_needs_key_partitioned_build(env):
+    node, plan = _cc_plan(env, override={
+        "ship": {0: partition_on((0,)), 1: partition_on((0,))},
+        "local": LocalStrategy.HASH_BUILD_RIGHT,
+    })
+    spec = plan.adaptive[node.id]
+    assert spec.baseline_kind is ShipKind.PARTITION_HASH
+    assert spec.switch_kind is ShipKind.BROADCAST
+
+
+def test_broadcast_build_side_is_not_eligible(env):
+    # build side replicated: there is no cached partitioned table to
+    # keep, and the probe edge is FORWARD — nothing to re-price
+    node, plan = _cc_plan(env, override={
+        "ship": {0: FORWARD, 1: BROADCAST},
+        "local": LocalStrategy.HASH_BUILD_RIGHT,
+    })
+    assert node.id not in plan.adaptive
+
+
+def test_natural_plan_shape_is_not_eligible(env):
+    # the optimizer's own choice for this program probes the *constant*
+    # side against a broadcast-replica build — the dynamic edge is the
+    # build, so there is nothing to switch
+    node, plan = _cc_plan(env)
+    assert node.id not in plan.adaptive
+
+
+def test_naive_plan_spec_is_force_only(env_naive):
+    # naive partition-both-sides plans are shape-B eligible; the spec is
+    # recorded (plans are mode-independent) but its hash baseline never
+    # switches honestly, so naive behaviour is unchanged
+    node, plan = _cc_plan(env_naive)
+    spec = plan.adaptive[node.id]
+    assert spec.baseline_kind is ShipKind.PARTITION_HASH
+    assert spec.force_at_superstep is None
+
+
+def test_force_hook_is_captured_at_compile_time(env):
+    edges = env.from_iterable(
+        [(i, (i + 1) % 20) for i in range(20)], name="edges"
+    )
+    verts = env.from_iterable([(i, i) for i in range(20)], name="verts")
+    it = env.iterate_delta(verts, verts, 0, 10, name="cc")
+    j = it.workset.join(edges, 0, 0,
+                        lambda w, e: (e[1], w[1]), name="expand")
+    j.node.force_switch_at = 4
+    m = j.min_by_key(0, 1)
+    upd = m.cogroup(
+        it.solution_set, 0, 0,
+        lambda k, cand, cur: [c for c in cand if not cur or c[1] < cur[0][1]],
+        inner=False, name="upd",
+    )
+    env.plan_overrides[j.node.id] = {
+        "ship": {0: BROADCAST, 1: FORWARD},
+        "local": LocalStrategy.HASH_BUILD_RIGHT,
+    }
+    it.close(upd, upd).collect()
+    assert env.last_plan.adaptive[j.node.id].force_at_superstep == 4

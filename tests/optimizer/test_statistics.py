@@ -74,3 +74,74 @@ class TestEstimates:
             placeholder_sizes={it.partial_solution.node.id: 42.0}
         )
         assert stats.size(it.partial_solution.node) == 42.0
+
+
+class TestChainedFilterComposition:
+    """Stacked filters compose with exponential backoff, not 0.5^n."""
+
+    def test_four_stacked_filters_compose_to_about_a_quarter(self):
+        env, stats = make()
+        data = env.from_iterable([(i,) for i in range(1000)])
+        chain = data
+        for _ in range(4):
+            chain = chain.filter(lambda r: True)
+        # 0.5^(0.5^0) * 0.5^(0.5^1) * 0.5^(0.5^2) * 0.5^(0.5^3) ≈ 0.273
+        estimate = stats.size(chain.node)
+        assert 250.0 < estimate < 300.0
+        assert estimate != 1000.0 * 0.5 ** 4  # the old double-charging
+
+    def test_map_between_filters_keeps_the_run_alive(self):
+        env, stats = make()
+        data = env.from_iterable([(i,) for i in range(1000)])
+        two = data.filter(lambda r: True).map(lambda r: r).filter(
+            lambda r: True
+        )
+        # maps are part of the same record-wise run: the second filter
+        # is damped (0.5^0.5 ≈ 0.707), not charged another full 0.5
+        assert stats.size(two.node) == 1000.0 * 0.5 * 0.5 ** 0.5
+
+    def test_reduce_breaks_the_run(self):
+        env, stats = make()
+        data = env.from_iterable([(i, i) for i in range(1000)])
+        below = data.filter(lambda r: True)
+        above = below.sum_by_key(0, 1).filter(lambda r: True)
+        # the aggregation dams the chain: the downstream filter starts a
+        # fresh run and is charged the full default again
+        assert stats.size(above.node) == (1000.0 * 0.5) * 0.5 * 0.5
+
+
+class TestObservedStats:
+    """Measured cardinalities beat every static rule."""
+
+    def test_observed_size_is_preferred(self):
+        env, _ = make()
+        data = env.from_iterable([(i,) for i in range(10)], name="src")
+        node = data.map(lambda r: r, name="m").node
+        stats = Statistics(observed={"m": 123.0})
+        assert stats.size(node) == 123.0
+
+    def test_observed_selectivity_scales_with_fresh_input(self):
+        env, _ = make()
+        data = env.from_iterable([(i,) for i in range(200)], name="src")
+        f = data.filter(lambda r: True, name="sel").node
+        # no observed output size for "sel", but a measured ratio: it
+        # applies to the *current* input size, not the old one
+        stats = Statistics(selectivities={"sel": 0.1})
+        assert stats.size(f) == 200.0 * 0.1
+
+    def test_filter_selectivity_helper(self):
+        env, _ = make()
+        data = env.from_iterable([(i,) for i in range(10)])
+        f = data.filter(lambda r: True, name="sel").node
+        assert Statistics().filter_selectivity(f) == 0.5
+        assert Statistics(
+            selectivities={"sel": 0.25}
+        ).filter_selectivity(f) == 0.25
+
+    def test_user_hint_beats_static_but_not_observed(self):
+        env, _ = make()
+        data = env.from_iterable([(i,) for i in range(10)], name="src")
+        hinted = data.map(lambda r: r, name="m").with_estimated_size(999)
+        assert Statistics().size(hinted.node) == 999.0
+        # a measurement from a real run overrides even the user's hint
+        assert Statistics(observed={"m": 42.0}).size(hinted.node) == 42.0

@@ -1,0 +1,123 @@
+"""Manifest-only part pruning against key-range predicates.
+
+``PartStore.prune_parts`` must never open a part file: it prunes only
+on stats-row *proof* (recorded key range entirely outside the
+predicate, or an empty part) and keeps everything else conservatively.
+``ExecutionEnvironment.from_store(key_range=...)`` is the integration
+surface — the optimizer-v2 stats loop that sources only the surviving
+parts.
+"""
+
+import pytest
+
+from repro import ExecutionEnvironment
+from repro.storage.session import StorageSession
+from repro.storage.partstore import PartStore
+
+
+@pytest.fixture
+def session():
+    with StorageSession() as sess:
+        yield sess
+
+
+@pytest.fixture
+def store(session):
+    return PartStore(session.subdir("parts"))
+
+
+def _keyed_part(store, lo, hi):
+    records = [(k, f"v{k}") for k in range(lo, hi + 1)]
+    return store.put_part(records, keys=[k for k, _ in records])
+
+
+class TestPrunePartsEdgeCases:
+    def test_disjoint_ranges_are_pruned(self, store):
+        below = _keyed_part(store, 0, 9)
+        inside = _keyed_part(store, 10, 19)
+        above = _keyed_part(store, 20, 29)
+        kept = store.prune_parts([below, inside, above], (12, 15))
+        assert kept == [inside]
+
+    def test_overlap_is_kept_even_when_partial(self, store):
+        part = _keyed_part(store, 0, 10)
+        # predicate clips the range on either end: still a candidate
+        assert store.prune_parts([part], (10, 50)) == [part]
+        assert store.prune_parts([part], (-5, 0)) == [part]
+        # boundary equality is inclusive on both sides
+        assert store.prune_parts([part], (10, 10)) == [part]
+        assert store.prune_parts([part], (11, 50)) == []
+
+    def test_empty_parts_always_pruned(self, store):
+        empty = store.put_part([], keys=[])
+        assert store.prune_parts([empty], (0, 100)) == []
+        assert store.prune_parts([empty], (None, None)) == []
+
+    def test_unkeyed_parts_are_conservatively_kept(self, store):
+        unkeyed = store.put_part([(5, "x")])  # no keys= → no stats row
+        assert store.prune_parts([unkeyed], (1000, 2000)) == [unkeyed]
+
+    def test_incomparable_keys_are_conservatively_kept(self, store):
+        # min()/max() over mixed types raises; the stats row records no
+        # range and pruning must keep the part
+        part = store.put_part([(1, "a"), ("z", "b")], keys=[1, "z"])
+        assert store.part_stats(part)["key_range"] is None
+        assert store.prune_parts([part], (1000, 2000)) == [part]
+
+    def test_none_bounds_are_half_open(self, store):
+        low = _keyed_part(store, 0, 9)
+        high = _keyed_part(store, 100, 109)
+        assert store.prune_parts([low, high], (None, 50)) == [low]
+        assert store.prune_parts([low, high], (50, None)) == [high]
+        # (None, None) proves nothing about keyed parts
+        assert store.prune_parts([low, high], (None, None)) == [low, high]
+
+
+class TestFromStoreIntegration:
+    def test_key_range_prunes_parts_not_records(self):
+        env = ExecutionEnvironment(parallelism=2)
+        try:
+            # round-robin over 2 partitions: evens land in one part,
+            # odds in the other, both spanning keys 0..99
+            env.register_dataset(
+                "people", [(i, f"p{i}") for i in range(100)], key_fields=0
+            )
+            full = env.from_store("people").collect()
+            assert len(full) == 100
+            pruned = env.from_store("people", key_range=(10, 20))
+            records = pruned.collect()
+            # both parts overlap [10, 20], so nothing is pruned and no
+            # record-level filtering happens (that's the consumer's job)
+            assert sorted(records) == sorted(full)
+        finally:
+            env.close()
+
+    def test_key_range_skips_irrelevant_parts(self):
+        env = ExecutionEnvironment(parallelism=1)
+        try:
+            store = env.part_store
+            # register each decade as its own dataset partition
+            ids = store.register(
+                "decades",
+                [[(k, k) for k in range(lo, lo + 10)]
+                 for lo in (0, 10, 20, 30)],
+                keys_per_partition=[
+                    list(range(lo, lo + 10)) for lo in (0, 10, 20, 30)
+                ],
+            )
+            assert len(ids) == 4
+            records = env.from_store("decades", key_range=(10, 19)).collect()
+            assert sorted(records) == [(k, k) for k in range(10, 20)]
+            # estimated cardinality reflects the post-pruning size
+            ds = env.from_store("decades", key_range=(10, 19))
+            assert len(ds.collect()) == 10
+        finally:
+            env.close()
+
+    def test_unknown_dataset_raises(self):
+        env = ExecutionEnvironment(parallelism=1)
+        try:
+            with pytest.raises(KeyError):
+                env.from_store("nonexistent")
+        finally:
+            env.close()
